@@ -1,0 +1,31 @@
+# Canonical targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples artifact report verify-all clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s --help >/dev/null 2>&1 || true; done
+	$(PYTHON) examples/quickstart.py --scale 0.25
+
+artifact:
+	$(PYTHON) -m repro export out/artifact
+
+report:
+	$(PYTHON) -m repro report --output out/report.md
+
+verify-all: test bench
+	$(PYTHON) examples/regenerate_paper.py > out/regenerate.txt
+
+clean:
+	rm -rf out benchmarks/output .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

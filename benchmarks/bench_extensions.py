@@ -1,0 +1,76 @@
+"""Benchmarks for the §6 extensions and methodology ablations."""
+
+import numpy as np
+import pytest
+
+from repro.collab import build_coauthorship_graph, collaboration_report
+from repro.gender.resolver import ResolverPolicy
+from repro.harvest.webindex import build_name_keyed_evidence
+from repro.pipeline import infer_genders, link_identities, ingest_world, run_pipeline
+from repro.synth import WorldConfig, build_world
+from repro.universe import systems_universe, universe_report
+
+
+def test_collaboration_analysis(benchmark, result):
+    """§6 extension: coauthorship-graph construction + metrics."""
+    rep = benchmark(collaboration_report, result.dataset)
+    benchmark.extra_info["assortativity"] = round(rep.assortativity, 4)
+    benchmark.extra_info["largest_component"] = rep.largest_component
+    assert abs(rep.assortativity) < 0.15  # null-model world mixes randomly
+
+
+def test_coauthorship_graph_build(benchmark, result):
+    """Graph construction alone (quadratic in team size)."""
+    g = benchmark(build_coauthorship_graph, result.dataset)
+    benchmark.extra_info["nodes"] = g.number_of_nodes()
+    benchmark.extra_info["edges"] = g.number_of_edges()
+
+
+@pytest.fixture(scope="module")
+def universe_world():
+    targets = systems_universe(56)
+    world = build_world(
+        WorldConfig(seed=56, scale=0.35, include_timeline=False), targets=targets
+    )
+    return world, targets
+
+
+def test_universe_pipeline(benchmark, universe_world):
+    """§6 extension: full pipeline over the 56-conference universe."""
+    world, targets = universe_world
+    res = benchmark(run_pipeline, world=world)
+    rep = universe_report(res.dataset, targets)
+    order = [r.field for r in rep.rows]
+    benchmark.extra_info["hpc_rank_from_bottom"] = len(order) - order.index("HPC")
+    assert len(rep.rows) == 9
+
+
+def test_inference_threshold_ablation(benchmark, result):
+    """Ablation: genderize confidence threshold vs coverage.
+
+    The paper accepts genderize at ≥0.70.  Sweep thresholds and record
+    the unassigned rate at each — the tradeoff the paper's choice sits on.
+    """
+    world = result.world
+    linked = result.linked
+    avail, truth = build_name_keyed_evidence(
+        world.registry, world.evidence_availability, world.true_genders
+    )
+
+    def sweep():
+        rates = {}
+        for threshold in (0.55, 0.70, 0.85, 0.95):
+            out = infer_genders(
+                linked, avail, truth, seed=world.seed,
+                policy=ResolverPolicy(genderize_threshold=threshold),
+            )
+            rates[threshold] = out.coverage["none"]
+        return rates
+
+    rates = benchmark(sweep)
+    benchmark.extra_info["unassigned_by_threshold"] = {
+        str(k): round(100 * v, 2) for k, v in rates.items()
+    }
+    # stricter thresholds leave (weakly) more people unassigned
+    values = [rates[t] for t in sorted(rates)]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,81 @@
+"""Benchmarks F1–F8: regenerate every figure's data series."""
+
+from benchmarks.conftest import write_artifact
+from repro.report import run_experiment
+
+
+def test_fig1(benchmark, result, output_dir):
+    """F1 — representation of women across conference roles."""
+    payload, text = benchmark(run_experiment, "F1", result)
+    write_artifact(output_dir, "F1", text)
+    overall = payload["overall"]
+    benchmark.extra_info["author_pct"] = round(overall["author"], 2)
+    benchmark.extra_info["pc_member_pct"] = round(overall["pc_member"], 2)
+    assert overall["pc_member"] > overall["author"]
+
+
+def test_fig2(benchmark, result, output_dir):
+    """F2 — citation densities by lead gender (paper: 13.04/10.55/7.63)."""
+    payload, text = benchmark(run_experiment, "F2", result)
+    write_artifact(output_dir, "F2", text)
+    rep = payload["report"]
+    benchmark.extra_info["mean_female"] = round(rep.mean_female, 2)
+    benchmark.extra_info["mean_male"] = round(rep.mean_male, 2)
+    benchmark.extra_info["mean_female_no_outlier"] = round(
+        rep.mean_female_no_outlier, 2
+    )
+    assert rep.mean_female_no_outlier < rep.mean_male
+
+
+def test_fig3(benchmark, result, output_dir):
+    """F3 — GS past publications by gender and role."""
+    payload, text = benchmark(run_experiment, "F3", result)
+    write_artifact(output_dir, "F3", text)
+    benchmark.extra_info["author_F_n"] = int(payload["authors"]["F"].size)
+
+
+def test_fig4(benchmark, result, output_dir):
+    """F4 — h-index distributions by gender and role."""
+    payload, text = benchmark(run_experiment, "F4", result)
+    write_artifact(output_dir, "F4", text)
+    import numpy as np
+
+    benchmark.extra_info["median_h_pc_M"] = float(
+        np.median(payload["pc"]["M"])
+    )
+
+
+def test_fig5(benchmark, result, output_dir):
+    """F5 — S2 publications by gender; GS↔S2 r (paper: 0.334)."""
+    payload, text = benchmark(run_experiment, "F5", result)
+    write_artifact(output_dir, "F5", text)
+    benchmark.extra_info["gs_s2_r"] = round(payload["correlation"].r, 3)
+    assert 0.1 < payload["correlation"].r < 0.65
+
+
+def test_fig6(benchmark, result, output_dir):
+    """F6 — experience bands (paper: 44.8% vs 36.4% novice authors)."""
+    payload, text = benchmark(run_experiment, "F6", result)
+    write_artifact(output_dir, "F6", text)
+    rep = payload["report"]
+    benchmark.extra_info["novice_F"] = round(100 * rep.novice_female_authors, 1)
+    benchmark.extra_info["novice_M"] = round(100 * rep.novice_male_authors, 1)
+    assert rep.novice_female_authors > rep.novice_male_authors
+
+
+def test_fig7(benchmark, result, output_dir):
+    """F7 — % women for countries with ≥10 authors."""
+    payload, text = benchmark(run_experiment, "F7", result)
+    write_artifact(output_dir, "F7", text)
+    benchmark.extra_info["countries"] = len(payload["countries"])
+    assert len(payload["countries"]) >= 15
+
+
+def test_fig8(benchmark, result, output_dir):
+    """F8 — % women by sector and role (paper: nonsignificant contrasts)."""
+    payload, text = benchmark(run_experiment, "F8", result)
+    write_artifact(output_dir, "F8", text)
+    rep = payload["report"]
+    benchmark.extra_info["author_chi2"] = round(rep.author_test.statistic, 2)
+    benchmark.extra_info["pc_chi2"] = round(rep.pc_test.statistic, 2)
+    assert not rep.pc_test.significant()

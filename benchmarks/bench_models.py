@@ -1,0 +1,39 @@
+"""Benchmarks for the review-bias and parity-forecast models."""
+
+import numpy as np
+
+from repro.forecast import SCENARIOS, project_scenario, years_to_share
+from repro.review import ReviewConfig, ReviewProcess, bias_sweep
+
+
+def test_review_cycle(benchmark):
+    """One simulated review cycle at conference scale."""
+    cfg = ReviewConfig(submissions=400, acceptance_rate=0.22, submission_far=0.105)
+    proc = ReviewProcess(cfg)
+    rng = np.random.default_rng(0)
+    out = benchmark(proc.run, rng)
+    benchmark.extra_info["accepted"] = out.accepted_papers
+
+
+def test_bias_sweep(benchmark):
+    """The full bias→FAR response curve (Monte Carlo)."""
+    cfg = ReviewConfig(submissions=300, acceptance_rate=0.22, submission_far=0.118)
+    sweep = benchmark(bias_sweep, cfg, (0.0, 0.5, 1.0), 60, 3)
+    benchmark.extra_info["suppression_at_1.0"] = round(
+        100 * sweep.suppression()[-1], 2
+    )
+
+
+def test_forecast_all_scenarios(benchmark):
+    """80-year projection of all four scenarios."""
+
+    def run():
+        return {
+            name: project_scenario(name, years=80) for name in SCENARIOS
+        }
+
+    projections = benchmark(run)
+    p = projections["parity_entry"]
+    y = years_to_share(p, 0.30)
+    benchmark.extra_info["parity_entry_reaches_30pct_in"] = y
+    assert y is not None

@@ -1,0 +1,50 @@
+"""Benchmark PIPE: end-to-end pipeline throughput, serial vs parallel.
+
+Times the full scrape→link→enrich→infer→dataset path over a fresh
+pre-built world (world construction itself is benchmarked separately so
+pipeline numbers are not confounded by generation cost).
+"""
+
+import pytest
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig, build_world
+from repro.util.parallel import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(seed=7, scale=1.0, include_timeline=False))
+
+
+def test_world_build(benchmark):
+    """World generation at full scale (population + papers + careers)."""
+    out = benchmark(build_world, WorldConfig(seed=7, scale=1.0, include_timeline=False))
+    benchmark.extra_info["people"] = len(out.registry.people)
+    benchmark.extra_info["papers"] = len(out.registry.papers)
+
+
+def test_pipeline_serial(benchmark, world):
+    """Full pipeline, serial ingest."""
+    res = benchmark(run_pipeline, world=world)
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+
+def test_pipeline_parallel(benchmark, world):
+    """Full pipeline, 4-worker ingest (deterministic)."""
+    cfg = ParallelConfig(workers=4, min_items_per_worker=1)
+    res = benchmark(run_pipeline, world=world, parallel=cfg)
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+
+def test_inference_stage(benchmark, world):
+    """The gender-inference cascade alone (manual + genderize)."""
+    from repro.harvest.webindex import build_name_keyed_evidence
+    from repro.pipeline import infer_genders, ingest_world, link_identities
+
+    linked = link_identities(ingest_world(world))
+    avail, truth = build_name_keyed_evidence(
+        world.registry, world.evidence_availability, world.true_genders
+    )
+    out = benchmark(infer_genders, linked, avail, truth, world.seed)
+    benchmark.extra_info["manual_pct"] = round(100 * out.coverage["manual"], 2)

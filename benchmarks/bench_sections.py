@@ -1,0 +1,50 @@
+"""Benchmarks for the in-text analyses: §3.1/§3.2, §3.3, §3.4, §4.1."""
+
+from benchmarks.conftest import write_artifact
+from repro.report import run_experiment
+
+
+def test_headline_stats(benchmark, result, output_dir):
+    """S3.1/S3.2 — FAR, blind contrasts, PC composition."""
+    payload, text = benchmark(run_experiment, "S3.1", result)
+    write_artifact(output_dir, "S3.1", text)
+    far = payload["far"]
+    benchmark.extra_info["far_overall_pct"] = round(far.overall.pct, 2)
+    benchmark.extra_info["far_sc_pct"] = round(far.conference("SC").authors.pct, 2)
+    assert 8.5 < far.overall.pct < 11.5
+
+
+def test_visible_roles(benchmark, result, output_dir):
+    """S3.3 — keynotes, panelists, session chairs."""
+    payload, text = benchmark(run_experiment, "S3.3", result)
+    write_artifact(output_dir, "S3.3", text)
+    benchmark.extra_info["zero_session_seats"] = payload.zero_session_chair_seats
+    assert payload.zero_session_chair_seats == 45
+
+
+def test_case_study(benchmark, result, output_dir):
+    """S3.4 — SC/ISC 2016–2020 FAR trajectories."""
+    payload, text = benchmark(run_experiment, "S3.4", result)
+    write_artifact(output_dir, "S3.4", text)
+    lo, hi = payload.far_range["ISC"]
+    benchmark.extra_info["isc_far_range"] = f"{100*lo:.1f}%-{100*hi:.1f}%"
+    assert hi < 0.12
+
+
+def test_policy(benchmark, result, output_dir):
+    """POLICY — diversity policies vs representation (§3.2/§3.4)."""
+    payload, text = benchmark(run_experiment, "POLICY", result)
+    write_artifact(output_dir, "POLICY", text)
+    benchmark.extra_info["pc_author_r"] = round(
+        payload.pc_vs_author_correlation.r, 3
+    )
+    assert payload.policy_confs_below_average
+
+
+def test_hpc_topic(benchmark, result, output_dir):
+    """S4.1 — strictly-HPC paper subset."""
+    payload, text = benchmark(run_experiment, "S4.1", result)
+    write_artifact(output_dir, "S4.1", text)
+    benchmark.extra_info["hpc_papers"] = payload.hpc_papers
+    benchmark.extra_info["hpc_far_pct"] = round(payload.authors_hpc.pct, 2)
+    assert payload.hpc_papers == 178

@@ -1,0 +1,13 @@
+"""Benchmark SENS: the §2 sensitivity analysis (full re-analysis ×2)."""
+
+from benchmarks.conftest import write_artifact
+from repro.report import run_experiment
+
+
+def test_sensitivity(benchmark, result, output_dir):
+    """SENS — force unknowns to women, then men; re-run all analyses."""
+    payload, text = benchmark(run_experiment, "SENS", result)
+    write_artifact(output_dir, "SENS", text)
+    benchmark.extra_info["unknowns"] = payload.unknowns
+    benchmark.extra_info["all_stable"] = payload.all_stable
+    assert payload.all_stable

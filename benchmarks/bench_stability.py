@@ -1,0 +1,20 @@
+"""Benchmark STAB: seed-stability sweep (serial vs parallel)."""
+
+from repro.report.stability import stability_report
+from repro.util.parallel import ParallelConfig
+
+
+def test_stability_sweep(benchmark):
+    """Three-seed stability sweep at 0.3 scale."""
+    rep = benchmark(stability_report, (11, 22, 33), 0.3)
+    far = rep.stat("far_overall_pct")
+    benchmark.extra_info["far_mean"] = round(far.mean, 2)
+    benchmark.extra_info["far_sd"] = round(far.sd, 3)
+    assert far.sd < 2.0
+
+
+def test_stability_sweep_parallel(benchmark):
+    """Same sweep with a 3-worker pool (one seed per worker)."""
+    cfg = ParallelConfig(workers=3, min_items_per_worker=1)
+    rep = benchmark(stability_report, (11, 22, 33), 0.3, cfg)
+    benchmark.extra_info["seeds"] = list(rep.seeds)

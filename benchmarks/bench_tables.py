@@ -1,0 +1,32 @@
+"""Benchmarks T1–T3: regenerate the paper's three tables."""
+
+from benchmarks.conftest import write_artifact
+from repro.report import run_experiment
+
+
+def test_table1(benchmark, result, output_dir):
+    """T1 — Table 1: the nine conferences."""
+    payload, text = benchmark(run_experiment, "T1", result)
+    write_artifact(output_dir, "T1", text)
+    rows = payload.to_records()
+    benchmark.extra_info["papers_total"] = sum(r["Papers"] for r in rows)
+    benchmark.extra_info["authors_total"] = sum(r["Authors"] for r in rows)
+    assert benchmark.extra_info["papers_total"] == 518
+
+
+def test_table2(benchmark, result, output_dir):
+    """T2 — Table 2: top ten countries by researchers."""
+    payload, text = benchmark(run_experiment, "T2", result)
+    write_artifact(output_dir, "T2", text)
+    top = payload.to_records()[0]
+    benchmark.extra_info["top_country"] = top["Country"]
+    benchmark.extra_info["top_pct_women"] = top["% Women"]
+    assert top["Country"] == "United States"
+
+
+def test_table3(benchmark, result, output_dir):
+    """T3 — Table 3: region × role representation."""
+    payload, text = benchmark(run_experiment, "T3", result)
+    write_artifact(output_dir, "T3", text)
+    benchmark.extra_info["regions"] = payload.num_rows
+    assert payload.to_records()[0]["Region"] == "Northern America"

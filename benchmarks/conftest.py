@@ -1,0 +1,35 @@
+"""Benchmark fixtures: one full-scale pipeline run shared by all benches.
+
+Each benchmark times the regeneration of one paper artifact (table or
+figure) from the already-built dataset — the analysis cost, which is what
+varies between approaches — and writes the rendered artifact to
+``benchmarks/output/<id>.txt`` so the run leaves the same tables/series
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def result():
+    """The full-scale pipeline result (paper-sized population)."""
+    return run_pipeline(WorldConfig(seed=7, scale=1.0))
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def write_artifact(output_dir: Path, exp_id: str, text: str) -> None:
+    (output_dir / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Manual vs automated gender inference — the §2 methodology claim.
+
+Usage::
+
+    python examples/inference_shootout.py [--seed N]
+
+The paper argues that manual web-evidence assignment "provided more
+gender data and higher accuracy than automated approaches based on
+forename and country, especially for women".  Because the synthetic
+world knows every researcher's true gender, that claim is measurable:
+run three policies over the same population and score them.
+
+Policies:
+
+1. paper     — manual evidence first, genderize ≥0.70 fallback;
+2. automated — genderize only at ≥0.70 (what most studies do);
+3. greedy    — genderize only with no threshold (maximum coverage).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.gender import (
+    GenderizeClient,
+    GenderResolver,
+    ResolverPolicy,
+    evaluate_inference,
+)
+from repro.gender.webevidence import WebEvidenceSource
+from repro.harvest.webindex import build_name_keyed_evidence
+from repro.names.parsing import name_key
+from repro.pipeline import infer_genders, ingest_world, link_identities
+from repro.synth import WorldConfig, build_world
+from repro.viz import format_records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    world = build_world(WorldConfig(seed=args.seed, scale=1.0, include_timeline=False))
+    linked = link_identities(ingest_world(world))
+    avail, truth_by_name = build_name_keyed_evidence(
+        world.registry, world.evidence_availability, world.true_genders
+    )
+    # ground truth per researcher id (via name key; collisions stay unknown)
+    truth = {
+        rid: truth_by_name.get(rec.name_key)
+        for rid, rec in linked.researchers.items()
+    }
+    truth = {rid: g for rid, g in truth.items() if g is not None}
+
+    policies = {
+        "paper (manual + genderize@0.70)": ResolverPolicy(),
+        "automated (genderize@0.70)": ResolverPolicy(use_manual=False),
+        "greedy (genderize@0.50)": ResolverPolicy(
+            use_manual=False, genderize_threshold=0.50
+        ),
+    }
+    rows = []
+    for label, policy in policies.items():
+        out = infer_genders(
+            linked, avail, truth_by_name, seed=world.seed, policy=policy
+        )
+        rep = evaluate_inference(out.assignments, truth)
+        rows.append(
+            {
+                "policy": label,
+                "coverage": f"{100*rep.coverage:.1f}%",
+                "accuracy": f"{100*rep.accuracy:.1f}%",
+                "acc_women": f"{100*rep.accuracy_women:.1f}%",
+                "acc_men": f"{100*rep.accuracy_men:.1f}%",
+                "gap_men_minus_women": f"{100*rep.error_asymmetry():.1f}pp",
+            }
+        )
+    print(format_records(rows, title="Gender-inference policy shootout (vs ground truth)"))
+    print(
+        "\nExpected pattern (paper §2): the manual-first cascade has the "
+        "highest coverage and accuracy;\nautomated-only methods lose "
+        "accuracy, and disproportionately so for women."
+    )
+
+
+if __name__ == "__main__":
+    main()

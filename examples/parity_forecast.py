@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""How long until women are equally represented in HPC? (§6 follow-up)
+
+Usage::
+
+    python examples/parity_forecast.py [--years N]
+
+Starting from the reproduced 2017 state (~10% women with the Fig. 6
+experience mix), projects the authoring population forward under four
+scenarios with a cohort flow model, and reports when (if ever) each
+reaches 20%, 30%, and 50% women — the question posed by Holman et al.
+(2018), which the paper cites.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.forecast import SCENARIOS, project_scenario, years_to_share
+from repro.viz import format_records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--years", type=int, default=80)
+    args = parser.parse_args()
+
+    rows = []
+    for name, sc in SCENARIOS.items():
+        p = project_scenario(name, years=args.years)
+        def year_of(target: float) -> str:
+            y = years_to_share(p, target)
+            return str(p.start_year + y) if y is not None else f"beyond {p.start_year + args.years}"
+        rows.append(
+            {
+                "scenario": name,
+                "description": sc.description,
+                "2027": f"{100*p.share_in(10):.1f}%",
+                "2047": f"{100*p.share_in(30):.1f}%",
+                "reaches 20%": year_of(0.20),
+                "reaches 30%": year_of(0.30),
+                "reaches 50%": year_of(0.50),
+            }
+        )
+    print(format_records(rows, title="Projected share of women among HPC authors"))
+    print(
+        "\nReading: fixing retention alone barely moves the aggregate — the"
+        "\nentry mix dominates. Even immediate parity hiring takes decades to"
+        "\npropagate through the senior ranks (cohort inertia), consistent"
+        "\nwith Holman et al.'s cross-field projections."
+    )
+
+
+if __name__ == "__main__":
+    main()

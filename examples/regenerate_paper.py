@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper, plus the comparison.
+
+Usage::
+
+    python examples/regenerate_paper.py [--seed N] [--out DIR]
+
+Runs all registered experiments (T1–T3, F1–F8, §3.1/§3.3/§3.4/§4.1,
+SENS), prints each artifact, and finishes with the paper-vs-measured
+comparison table that backs EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.pipeline import run_pipeline
+from repro.report import EXPERIMENTS, compare_headlines, run_experiment
+from repro.report.compare import render_comparison
+from repro.synth import WorldConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write each artifact to DIR/<id>.txt")
+    args = parser.parse_args()
+
+    result = run_pipeline(WorldConfig(seed=args.seed, scale=1.0))
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for exp_id in EXPERIMENTS:
+        _, text = run_experiment(exp_id, result)
+        banner = f"===== {exp_id} " + "=" * max(0, 66 - len(exp_id))
+        print(banner)
+        print(text)
+        print()
+        if args.out:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+    rows = compare_headlines(result)
+    print("===== paper vs measured " + "=" * 50)
+    print(render_comparison(rows))
+    close = sum(1 for r in rows if r.rel_error < 0.25)
+    print(f"\n{close}/{len(rows)} headline statistics within 25% of the paper's value")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""How much review bias could hide in the paper's data? (§2 / §3.1)
+
+Usage::
+
+    python examples/review_bias_bounds.py
+
+The paper observes accepted papers only, so gender bias in reviewing
+could make FAR undercount women — and §3.1's double- vs single-blind
+contrast is its only (nonsignificant) probe.  This example simulates the
+review process at the paper's scale and answers three questions:
+
+1. how strongly does visible-identity bias suppress accepted FAR?
+2. what bias magnitude would explain the entire double/single-blind
+   lead-author difference the paper saw (6.2% vs 11.8%)?
+3. what is the smallest bias the paper's sample sizes could have
+   detected at α = 0.05 — i.e. how much room its "cannot completely
+   rule out review bias" caveat really leaves?
+"""
+
+from __future__ import annotations
+
+from repro.review import ReviewConfig, bias_sweep, detectable_bias
+from repro.stats import minimum_detectable_diff
+from repro.viz import format_records
+
+
+def main() -> None:
+    # a typical single-blind conference from the paper's set
+    base = ReviewConfig(
+        submissions=400,
+        acceptance_rate=0.22,
+        submission_far=0.118,       # single-blind lead FAR observed
+        reviews_per_paper=3,
+    )
+    sweep = bias_sweep(base, biases=(0.0, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0), cycles=150)
+
+    rows = [
+        {
+            "bias (score sd units)": b,
+            "accepted FAR": f"{100*f:.2f}%",
+            "suppression": f"{100*s:.2f}pp",
+        }
+        for b, f, s in zip(sweep.biases, sweep.accepted_far, sweep.suppression())
+    ]
+    print(format_records(rows, title="Visible-identity bias vs accepted FAR"))
+    print()
+
+    observed_gap = 0.1179 - 0.0617  # single- minus double-blind lead FAR
+    implied = sweep.bias_for_gap(observed_gap)
+    print(f"observed single-vs-double-blind lead gap: {100*observed_gap:.1f}pp")
+    print(f"bias that would fully explain it:         {implied:.2f} score-sd "
+          "(a large, Tomkins-scale penalty)")
+
+    min_bias = detectable_bias(sweep, n_single=417, n_double=83)
+    print(f"smallest bias detectable at the paper's n: "
+          f"{'none in sweep' if min_bias == float('inf') else f'{min_bias:.2f} score-sd'}")
+    mdd = minimum_detectable_diff(0.0617, 83, 417)
+    print(f"minimum detectable FAR difference (80% power): {100*mdd:.1f}pp "
+          f"(the observed gap was {100*observed_gap:.1f}pp) — underpowered, "
+          "as the paper cautions")
+
+
+if __name__ == "__main__":
+    main()

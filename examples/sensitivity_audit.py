@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The §2 sensitivity analysis, interactively.
+
+Usage::
+
+    python examples/sensitivity_audit.py [--seed N]
+
+The paper excludes the 144 researchers (3.03%) whose gender could not be
+assigned and verifies that forcing them all to women and then all to men
+changes no observation.  This example reproduces that audit on the
+synthetic dataset and prints how every checked claim fares, plus the FAR
+under each forcing.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import sensitivity_report
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    result = run_pipeline(WorldConfig(seed=args.seed, scale=1.0))
+    ds = result.dataset
+    rep = sensitivity_report(ds)
+
+    n = ds.researchers.num_rows
+    print(f"researchers: {n}; unknown gender: {rep.unknowns} "
+          f"({100*rep.unknowns/n:.2f}%)  [paper: 144 of ~4800, 3.03%]")
+    print()
+    print("overall FAR under each scenario:")
+    for scenario, value in rep.far_values.items():
+        print(f"  {scenario:<10s} {100*value:6.2f}%")
+    print()
+    print(f"{'observation':<38s} {'base':>5s} {'allF':>5s} {'allM':>5s}  stable")
+    for o in rep.observations:
+        print(
+            f"{o.name:<38s} {str(o.baseline):>5s} {str(o.all_women):>5s} "
+            f"{str(o.all_men):>5s}  {'yes' if o.stable else 'NO  <-- FLIPPED'}"
+        )
+    print()
+    verdict = "no observation flips" if rep.all_stable else "OBSERVATIONS FLIPPED"
+    print(f"verdict: {verdict} (paper: 'None of our observations were "
+          "subsequently changed in either direction or statistical significance')")
+
+
+if __name__ == "__main__":
+    main()

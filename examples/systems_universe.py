@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The §6 expansion: all 56 systems conferences, compared by subfield.
+
+Usage::
+
+    python examples/systems_universe.py [--seed N] [--scale S]
+
+Generates the 56-conference synthetic systems universe (nine subfields
+with literature-profiled representation rates), runs the *same* pipeline
+the HPC reproduction uses over all of them, and prints women's author
+share per subfield with χ² contrasts against the HPC baseline — the
+comparison the paper planned as future work.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig, build_world
+from repro.universe import systems_universe, universe_report
+from repro.viz import format_records
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=56)
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="universe population scale (0.5 ≈ 12k author seats)")
+    args = parser.parse_args()
+
+    targets = systems_universe(args.seed)
+    print(f"building a {len(targets)}-conference universe "
+          f"({sum(t.papers for t in targets)} papers at scale 1.0)...")
+    world = build_world(
+        WorldConfig(seed=args.seed, scale=args.scale, include_timeline=False),
+        targets=targets,
+    )
+    result = run_pipeline(world=world)
+    rep = universe_report(result.dataset, targets)
+
+    rows = []
+    for r in rep.rows:
+        rows.append(
+            {
+                "subfield": r.field,
+                "confs": r.conferences,
+                "women_authors": str(r.authors),
+                "chi2_vs_HPC": f"{r.vs_hpc.statistic:.2f}" if r.vs_hpc else "-",
+                "p": f"{r.vs_hpc.p_value:.3f}" if r.vs_hpc else "-",
+            }
+        )
+    print(format_records(rows, title="Women among authors, by systems subfield"))
+    print()
+    print(f"overall: {rep.overall}")
+    print(f"subfield heterogeneity: chi2={rep.heterogeneity.statistic:.1f} "
+          f"(df={rep.heterogeneity.df}), p={rep.heterogeneity.p_value:.2g}")
+    print("\nExpected pattern: HPC and Architecture at the bottom, "
+          "Databases/Measurement highest — all far below CS-wide 20-30%.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The environment has setuptools 65 but no `wheel`; a PEP 517 editable
+install would need bdist_wheel.  With setup.py present and no
+[build-system] table, pip falls back to the legacy develop install.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Representation of Women in HPC Conferences" (SC '21).
+
+Public entry points:
+
+- :func:`repro.run_pipeline` / :class:`repro.WorldConfig` — build the
+  synthetic world, harvest it, infer genders, and return an
+  :class:`~repro.pipeline.dataset.AnalysisDataset`.
+- :mod:`repro.report` — regenerate every table and figure of the paper
+  (``run_experiment("T1", result)`` … ``"SENS"``).
+- :mod:`repro.analysis` — the individual analyses (FAR, PC, reception,
+  experience, geography, sector, sensitivity, case studies).
+- :mod:`repro.collab`, :mod:`repro.universe`, :mod:`repro.review`,
+  :mod:`repro.forecast`, :mod:`repro.survey` — the paper's §2/§6
+  extensions.
+- ``python -m repro`` — the command-line interface.
+
+See DESIGN.md for the system inventory, docs/METHODOLOGY.md for the
+calibration math, and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.version import __version__
+from repro.synth import WorldConfig, build_world
+from repro.pipeline import run_pipeline
+
+__all__ = ["__version__", "WorldConfig", "build_world", "run_pipeline"]

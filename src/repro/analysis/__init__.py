@@ -1,0 +1,62 @@
+"""The paper's analyses, one module per section.
+
+Every function takes an :class:`~repro.pipeline.dataset.AnalysisDataset`
+(the pipeline's output) and returns a typed result object carrying the
+quantities the paper prints plus the statistical tests it reports.
+
+- :mod:`repro.analysis.far`         — §3.1 author gender ratios.
+- :mod:`repro.analysis.blind`       — §3.1 double- vs single-blind.
+- :mod:`repro.analysis.pc`          — §3.2 program committees.
+- :mod:`repro.analysis.visible`     — §3.3 keynotes/panels/session chairs.
+- :mod:`repro.analysis.hpctopic`    — §4.1 the HPC-only paper subset.
+- :mod:`repro.analysis.reception`   — §4.2 citations by lead gender.
+- :mod:`repro.analysis.experience`  — §5.1 publications/h-index/bands.
+- :mod:`repro.analysis.geography`   — §5.2 countries and regions.
+- :mod:`repro.analysis.sector`      — §5.3 COM/EDU/GOV.
+- :mod:`repro.analysis.casestudy`   — §3.4 SC/ISC 2016-2020.
+- :mod:`repro.analysis.sensitivity` — §2 unknown-gender flipping.
+"""
+
+from repro.analysis.common import women_share, share_of
+from repro.analysis.far import far_report, FarReport, ConferenceFar
+from repro.analysis.blind import blind_report, BlindReport
+from repro.analysis.pc import pc_report, PcReport
+from repro.analysis.visible import visible_report, VisibleReport
+from repro.analysis.hpctopic import hpc_topic_report, HpcTopicReport
+from repro.analysis.reception import reception_report, ReceptionReport
+from repro.analysis.experience import experience_report, ExperienceReport
+from repro.analysis.geography import geography_report, GeographyReport
+from repro.analysis.sector import sector_report, SectorReport
+from repro.analysis.casestudy import casestudy_report, CaseStudyReport
+from repro.analysis.sensitivity import sensitivity_report, SensitivityReport
+from repro.analysis.policies import policy_report, PolicyReport
+
+__all__ = [
+    "women_share",
+    "share_of",
+    "far_report",
+    "FarReport",
+    "ConferenceFar",
+    "blind_report",
+    "BlindReport",
+    "pc_report",
+    "PcReport",
+    "visible_report",
+    "VisibleReport",
+    "hpc_topic_report",
+    "HpcTopicReport",
+    "reception_report",
+    "ReceptionReport",
+    "experience_report",
+    "ExperienceReport",
+    "geography_report",
+    "GeographyReport",
+    "sector_report",
+    "SectorReport",
+    "casestudy_report",
+    "CaseStudyReport",
+    "sensitivity_report",
+    "SensitivityReport",
+    "policy_report",
+    "PolicyReport",
+]

@@ -1,0 +1,28 @@
+"""Shared helpers for the analysis modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.proportions import Proportion
+from repro.tabular import Table
+
+__all__ = ["women_share", "share_of", "mask_eq"]
+
+
+def mask_eq(table: Table, column: str, value) -> np.ndarray:
+    """Boolean mask of rows whose column equals ``value``."""
+    return np.array([v == value for v in table[column]], dtype=bool)
+
+
+def share_of(table: Table, column: str, value) -> Proportion:
+    """Proportion of rows equal to ``value`` among non-missing rows."""
+    col = table.col(column)
+    known = ~col.is_missing()
+    hits = int(np.sum(mask_eq(table, column, value) & known))
+    return Proportion(hits, int(known.sum()))
+
+
+def women_share(table: Table, column: str = "gender") -> Proportion:
+    """Women among known-gender rows — the paper's universal metric."""
+    return share_of(table, column, "F")

@@ -1,0 +1,142 @@
+"""§5.1 / Figs. 3–6 — research experience.
+
+Quantities: GS-profile coverage (69.65% of known-gender researchers),
+distributions of past publications (GS and Semantic Scholar) and h-index
+by gender × role, the GS↔S2 correlation (r = 0.334), and the Fig. 6
+experience bands (novice h<13, mid-career 13–18, experienced >18;
+44.8% of female authors vs 36.4% of male authors are novices,
+χ² = 7.419, p = 0.00645).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import mask_eq
+from repro.pipeline.dataset import AnalysisDataset
+from repro.stats.chisquare import Chi2Result, chi2_contingency, chi2_two_proportions
+from repro.stats.correlation import CorrelationResult, pearson
+from repro.stats.descriptive import Summary, describe
+
+__all__ = ["ExperienceReport", "experience_report", "band_of_h"]
+
+
+def band_of_h(h: float) -> str:
+    """Hirsch's stratification as used in Fig. 6."""
+    if np.isnan(h):
+        raise ValueError("h is NaN; filter unknown researchers first")
+    if h < 13:
+        return "novice"
+    if h <= 18:
+        return "mid-career"
+    return "experienced"
+
+
+@dataclass(frozen=True)
+class GroupDistribution:
+    """One (role, gender) cell of Figs. 3–5."""
+
+    role: str      # 'author' | 'pc'
+    gender: str    # 'F' | 'M'
+    gs_pubs: Summary
+    gs_h: Summary
+    s2_pubs: Summary
+
+
+@dataclass(frozen=True)
+class ExperienceReport:
+    """§5.1's quantities."""
+
+    gs_coverage_known_gender: float
+    gs_s2_correlation: CorrelationResult
+    groups: tuple[GroupDistribution, ...]
+    band_shares: dict[tuple[str, str], dict[str, float]]  # (role,gender) -> band -> share
+    novice_female_authors: float
+    novice_male_authors: float
+    novice_test: Chi2Result
+    bands_test: Chi2Result      # full 3x2 contingency over author bands
+
+
+def _series(table, col: str) -> np.ndarray:
+    return table[col].astype(np.float64)
+
+
+def experience_report(ds: AnalysisDataset) -> ExperienceReport:
+    """Compute §5.1 over an analysis dataset."""
+    r = ds.researchers
+    known = r.filter(lambda t: ~t.col("gender").is_missing())
+    has_gs = np.array([bool(x) for x in known["has_gs"]], dtype=bool)
+    coverage = float(has_gs.mean()) if known.num_rows else float("nan")
+
+    corr = pearson(_series(known, "gs_pubs"), _series(known, "s2_pubs"))
+
+    groups: list[GroupDistribution] = []
+    for role, role_mask_col in (("author", "is_author"), ("pc", "is_pc")):
+        for gender in ("F", "M"):
+            sub = known.filter(
+                lambda t: np.array([bool(x) for x in t[role_mask_col]], dtype=bool)
+                & mask_eq(t, "gender", gender)
+            )
+            groups.append(
+                GroupDistribution(
+                    role=role,
+                    gender=gender,
+                    gs_pubs=describe(_series(sub, "gs_pubs")),
+                    gs_h=describe(_series(sub, "gs_h")),
+                    s2_pubs=describe(_series(sub, "s2_pubs")),
+                )
+            )
+
+    # Fig. 6: bands over researchers with known h
+    band_shares: dict[tuple[str, str], dict[str, float]] = {}
+    band_counts: dict[tuple[str, str], dict[str, int]] = {}
+    for role, role_mask_col in (("author", "is_author"), ("pc", "is_pc")):
+        for gender in ("F", "M"):
+            sub = known.filter(
+                lambda t: np.array([bool(x) for x in t[role_mask_col]], dtype=bool)
+                & mask_eq(t, "gender", gender)
+            )
+            h = _series(sub, "gs_h")
+            h = h[~np.isnan(h)]
+            counts = {"novice": 0, "mid-career": 0, "experienced": 0}
+            for value in h:
+                counts[band_of_h(float(value))] += 1
+            total = max(1, int(h.size))
+            band_counts[(role, gender)] = counts
+            band_shares[(role, gender)] = {k: v / total for k, v in counts.items()}
+
+    f_counts = band_counts[("author", "F")]
+    m_counts = band_counts[("author", "M")]
+    f_total = sum(f_counts.values())
+    m_total = sum(m_counts.values())
+    novice_test = chi2_two_proportions(
+        f_counts["novice"], max(1, f_total), m_counts["novice"], max(1, m_total)
+    )
+    bands_matrix = np.array(
+        [
+            [f_counts["novice"], f_counts["mid-career"], f_counts["experienced"]],
+            [m_counts["novice"], m_counts["mid-career"], m_counts["experienced"]],
+        ]
+    )
+    bands_test = (
+        chi2_contingency(bands_matrix)
+        if bands_matrix.sum() > 0 and (bands_matrix.sum(axis=1) > 0).all()
+        else Chi2Result(float("nan"), 2, float("nan"), ())
+    )
+
+    return ExperienceReport(
+        gs_coverage_known_gender=coverage,
+        gs_s2_correlation=corr,
+        groups=tuple(groups),
+        band_shares=band_shares,
+        novice_female_authors=(
+            f_counts["novice"] / f_total if f_total else float("nan")
+        ),
+        novice_male_authors=(
+            m_counts["novice"] / m_total if m_total else float("nan")
+        ),
+        novice_test=novice_test,
+        bands_test=bands_test,
+    )

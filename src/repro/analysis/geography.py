@@ -1,0 +1,134 @@
+"""§5.2 / Table 2, Table 3, Fig. 7 — geography.
+
+Table 2 counts researchers per country (authors + PC seats) with the
+women's share; Table 3 crosses M49 subregion with role; Fig. 7 plots the
+women's share for every country with at least 10 authors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import mask_eq, women_share
+from repro.geo.countries import country_by_code
+from repro.geo.regions import REGION_ORDER
+from repro.pipeline.dataset import AnalysisDataset
+from repro.stats.proportions import Proportion
+from repro.tabular import Table
+
+__all__ = ["CountryRow", "RegionRow", "GeographyReport", "geography_report"]
+
+
+@dataclass(frozen=True)
+class CountryRow:
+    """One row of Table 2 / Fig. 7."""
+
+    country_code: str
+    country_name: str
+    total: int                 # researcher seats (authors + PC)
+    women: Proportion
+    author_total: int          # Fig. 7 threshold counts authors only
+
+
+@dataclass(frozen=True)
+class RegionRow:
+    """One row of Table 3."""
+
+    region: str
+    authors: Proportion
+    pc: Proportion
+
+
+@dataclass(frozen=True)
+class GeographyReport:
+    countries: tuple[CountryRow, ...]      # descending by total
+    regions: tuple[RegionRow, ...]         # Table 3 order
+    identified_authors: int                # seats with a resolved country
+    us_author_share: float                 # "a full half ... US email domain"
+
+
+def _seat_table(ds: AnalysisDataset) -> Table:
+    """All seats (author positions + role slots) with country and gender."""
+    # author positions lack country columns; join researcher enrichment
+    r = ds.researchers
+    info = {
+        rid: (c, g)
+        for rid, c, g in zip(r["researcher_id"], r["country"], r["gender"])
+    }
+    rows = []
+    for rid in ds.author_positions["researcher_id"]:
+        c, g = info.get(rid, (None, None))
+        rows.append({"researcher_id": rid, "kind": "author", "country": c, "gender": g})
+    slots = ds.role_slots
+    for rid, role, c, g in zip(
+        slots["researcher_id"], slots["role"], slots["country"], slots["gender"]
+    ):
+        if role == "pc_member":
+            rows.append(
+                {"researcher_id": rid, "kind": "pc", "country": c, "gender": g}
+            )
+    return Table.from_records(rows, columns=["researcher_id", "kind", "country", "gender"])
+
+
+def geography_report(ds: AnalysisDataset, fig7_min_authors: int = 10) -> GeographyReport:
+    """Compute §5.2 over an analysis dataset."""
+    seats = _seat_table(ds)
+    with_country = seats.filter(lambda t: ~t.col("country").is_missing())
+
+    # ---- per-country rows (Table 2 / Fig. 7) -----------------------------
+    rows: list[CountryRow] = []
+    for code in with_country.col("country").unique():
+        sub = with_country.filter(lambda t: mask_eq(t, "country", code))
+        authors_n = int(np.sum(mask_eq(sub, "kind", "author")))
+        country = country_by_code(code)
+        rows.append(
+            CountryRow(
+                country_code=code,
+                country_name=country.name if country else code,
+                total=sub.num_rows,
+                women=women_share(sub),
+                author_total=authors_n,
+            )
+        )
+    rows.sort(key=lambda r: (-r.total, r.country_code))
+
+    # ---- per-region rows (Table 3) -------------------------------------------
+    region_of = {}
+    for code in with_country.col("country").unique():
+        c = country_by_code(code)
+        region_of[code] = c.subregion if c else None
+    regions_present = {}
+    for code, region in region_of.items():
+        if region:
+            regions_present.setdefault(region, []).append(code)
+
+    region_rows: list[RegionRow] = []
+    ordered = [r for r in REGION_ORDER if r in regions_present] + [
+        r for r in sorted(regions_present) if r not in REGION_ORDER
+    ]
+    for region in ordered:
+        codes = set(regions_present[region])
+        sub = with_country.filter(
+            lambda t: np.array([c in codes for c in t["country"]], dtype=bool)
+        )
+        authors = sub.filter(lambda t: mask_eq(t, "kind", "author"))
+        pc = sub.filter(lambda t: mask_eq(t, "kind", "pc"))
+        region_rows.append(
+            RegionRow(region=region, authors=women_share(authors), pc=women_share(pc))
+        )
+
+    author_seats = with_country.filter(lambda t: mask_eq(t, "kind", "author"))
+    us_share = (
+        float(np.mean(mask_eq(author_seats, "country", "US")))
+        if author_seats.num_rows
+        else float("nan")
+    )
+
+    return GeographyReport(
+        countries=tuple(rows),
+        regions=tuple(region_rows),
+        identified_authors=author_seats.num_rows,
+        us_author_share=us_share,
+    )

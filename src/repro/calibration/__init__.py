@@ -1,0 +1,56 @@
+"""Calibration: the paper's published numbers and the fitting machinery.
+
+- :mod:`repro.calibration.targets`   — every constant the paper prints
+  (Table 1–3, the figures' headline statistics, coverage rates), plus the
+  interpretation notes for ambiguous numbers.
+- :mod:`repro.calibration.ipf`       — iterative proportional fitting
+  (raking) used to build joint distributions consistent with several
+  published marginals at once.
+- :mod:`repro.calibration.allocate`  — quota allocation helpers that turn
+  fractional targets into exact integer counts.
+
+The synthetic world generator consumes these; the analyses never do
+(they recompute everything from harvested data), which keeps the
+reproduction honest.
+"""
+
+from repro.calibration.targets import (
+    CONFERENCES_2017,
+    ConferenceTargets,
+    COUNTRY_TARGETS,
+    CountryTarget,
+    REGION_ROLE_TARGETS,
+    RegionRoleTarget,
+    SECTOR_SHARES,
+    SECTOR_WOMEN_SHARE,
+    EXPERIENCE_BANDS,
+    PAPER_STATS,
+    TOTALS,
+    SC_ISC_TIMELINE,
+)
+from repro.calibration.ipf import ipf_fit, IPFResult
+from repro.calibration.allocate import (
+    split_women,
+    allocate_counts,
+    allocate_two_way,
+)
+
+__all__ = [
+    "CONFERENCES_2017",
+    "ConferenceTargets",
+    "COUNTRY_TARGETS",
+    "CountryTarget",
+    "REGION_ROLE_TARGETS",
+    "RegionRoleTarget",
+    "SECTOR_SHARES",
+    "SECTOR_WOMEN_SHARE",
+    "EXPERIENCE_BANDS",
+    "PAPER_STATS",
+    "TOTALS",
+    "SC_ISC_TIMELINE",
+    "ipf_fit",
+    "IPFResult",
+    "split_women",
+    "allocate_counts",
+    "allocate_two_way",
+]

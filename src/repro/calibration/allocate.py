@@ -1,0 +1,63 @@
+"""Quota allocation: fractional targets → exact integer counts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rounding import largest_remainder
+
+__all__ = ["split_women", "allocate_counts", "allocate_two_way"]
+
+
+def split_women(total: int, far: float) -> tuple[int, int]:
+    """Split ``total`` known-gender slots into (women, men) at rate ``far``.
+
+    Rounds to the nearest integer; guarantees both parts are nonnegative
+    and sum to ``total``.
+    """
+    if total < 0:
+        raise ValueError("total must be nonnegative")
+    if not 0.0 <= far <= 1.0:
+        raise ValueError(f"far must be in [0,1], got {far}")
+    women = int(round(total * far))
+    women = min(max(women, 0), total)
+    return women, total - women
+
+
+def allocate_counts(weights, total: int) -> np.ndarray:
+    """Integer allocation of ``total`` over categories by weight."""
+    return largest_remainder(np.asarray(weights, dtype=float), total)
+
+
+def allocate_two_way(
+    row_targets: np.ndarray, col_targets: np.ndarray, seed: np.ndarray | None = None
+) -> np.ndarray:
+    """Integer R×C table with exact row sums and near-exact column sums.
+
+    Fits the fractional table by IPF (independence seed unless given),
+    then integerizes row by row with largest remainder, so every row sum
+    is exact; column sums can be off by rounding (reported by tests).
+    Used to cross nationality with gender inside a conference.
+    """
+    from repro.calibration.ipf import ipf_fit
+
+    rows = np.asarray(row_targets, dtype=float)
+    cols = np.asarray(col_targets, dtype=float)
+    if rows.sum() <= 0 or cols.sum() <= 0:
+        raise ValueError("targets must have positive totals")
+    if abs(rows.sum() - cols.sum()) > 1e-6 * max(rows.sum(), 1.0):
+        raise ValueError("row and column totals must agree")
+    if seed is None:
+        seed = np.outer(rows, cols) / rows.sum()
+    fit = ipf_fit(seed, [((0,), rows), ((1,), cols)])
+    frac = fit.table
+    out = np.zeros(frac.shape, dtype=np.int64)
+    for i in range(frac.shape[0]):
+        r = int(round(rows[i]))
+        if r > 0:
+            if frac[i].sum() <= 0:
+                # structurally empty row with a positive target: spread evenly
+                out[i] = largest_remainder(np.ones_like(frac[i]), r)
+            else:
+                out[i] = largest_remainder(frac[i], r)
+    return out

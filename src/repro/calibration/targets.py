@@ -1,0 +1,476 @@
+"""Every constant the paper publishes, as structured data.
+
+Sources are cited by section/table/figure.  Where the paper's prose is
+ambiguous, the interpretation is documented inline and in DESIGN.md
+("Known deviations").
+
+Three kinds of values live here:
+
+1. **Generation targets** — consumed by :mod:`repro.synth` to construct
+   the world (conference sizes, per-conference FAR, country mixes, ...).
+2. **Derived interpretations** — numbers we computed from the paper's own
+   numbers to make the targets mutually consistent (marked ``derived``).
+3. **PAPER_STATS** — the headline statistics used only for the
+   paper-vs-measured comparison in EXPERIMENTS.md, never by generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ConferenceTargets",
+    "CONFERENCES_2017",
+    "CountryTarget",
+    "COUNTRY_TARGETS",
+    "RegionRoleTarget",
+    "REGION_ROLE_TARGETS",
+    "SECTOR_SHARES",
+    "SECTOR_WOMEN_SHARE",
+    "EXPERIENCE_BANDS",
+    "TOTALS",
+    "PAPER_STATS",
+    "SC_ISC_TIMELINE",
+]
+
+
+# --------------------------------------------------------------------------
+# Per-conference targets (Table 1 + §3 + derived role compositions)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConferenceTargets:
+    """Calibration targets for one 2017 conference edition.
+
+    ``papers``, ``unique_authors``, ``acceptance_rate``, ``country`` and
+    ``date`` are Table 1 verbatim.  ``author_positions`` scales the
+    2 236 total authorship positions (§3.1) over conferences
+    proportionally to unique authors (derived).  Role sizes and women
+    counts are derived so that every §3.2/§3.3 statistic holds exactly:
+    1 220 PC memberships at 18.46% women, SC's PC of 225 at 29.6%, the
+    16.1% rate excluding SC, 36 PC chairs / 30 keynotes with four
+    conferences at zero women each, 158 session chairs with zero women at
+    HPDC+HiPC+HPCC (45 seats), 106 panelists.
+
+    ``far`` is the target share of women among *known-gender* authors:
+    SC 8.12% and ISC 5.77% are §3.1 verbatim; the others are derived to
+    average 10.52% (the paper's single-blind pooled rate).
+
+    ``lead_far`` is the share of women among first authors: derived from
+    §3.1's 6.17% (double-blind pooled) / 11.79% (single-blind pooled).
+    ``last_far`` similarly targets the pooled 8.4% for last authors.
+    """
+
+    name: str
+    date: str
+    papers: int
+    unique_authors: int
+    acceptance_rate: float
+    country: str
+    author_positions: int
+    far: float
+    lead_far: float
+    last_far: float
+    pc_size: int
+    pc_women: int
+    pc_chairs: int
+    pc_chair_women: int
+    keynotes: int
+    keynote_women: int
+    panelists: int
+    panelist_women: int
+    session_chairs: int
+    session_chair_women: int
+    double_blind: bool
+    diversity_chair: bool
+    code_of_conduct: bool
+    childcare: bool
+    demographic_reporting: bool
+    #: research subfield; always "HPC" for the paper's set, used by the
+    #: §6 universe extension (repro.universe) to compare subfields
+    field: str = "HPC"
+
+    @property
+    def submitted(self) -> int:
+        """Submission count implied by the acceptance rate."""
+        return round(self.papers / self.acceptance_rate)
+
+
+CONFERENCES_2017: tuple[ConferenceTargets, ...] = (
+    ConferenceTargets(
+        name="CCGrid", date="2017-05-14", papers=72, unique_authors=296,
+        acceptance_rate=0.252, country="ES", author_positions=314,
+        far=0.1050, lead_far=0.1150, last_far=0.0880,
+        pc_size=130, pc_women=20, pc_chairs=4, pc_chair_women=1,
+        keynotes=3, keynote_women=1, panelists=10, panelist_women=1,
+        session_chairs=16, session_chair_women=2,
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="IPDPS", date="2017-05-29", papers=116, unique_authors=447,
+        acceptance_rate=0.228, country="US", author_positions=473,
+        far=0.1020, lead_far=0.1160, last_far=0.0850,
+        pc_size=180, pc_women=28, pc_chairs=4, pc_chair_women=1,
+        keynotes=3, keynote_women=1, panelists=14, panelist_women=2,
+        session_chairs=25, session_chair_women=3,
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="ISC", date="2017-06-18", papers=22, unique_authors=99,
+        acceptance_rate=0.333, country="DE", author_positions=105,
+        far=0.0577, lead_far=0.0600, last_far=0.0500,  # §3.1: 5.77%
+        pc_size=90, pc_women=14, pc_chairs=4, pc_chair_women=1,
+        keynotes=4, keynote_women=1, panelists=12, panelist_women=2,
+        session_chairs=12, session_chair_women=2,
+        double_blind=True, diversity_chair=True, code_of_conduct=True,
+        childcare=False, demographic_reporting=True,
+    ),
+    ConferenceTargets(
+        name="HPDC", date="2017-06-28", papers=19, unique_authors=76,
+        acceptance_rate=0.190, country="US", author_positions=81,
+        far=0.0950, lead_far=0.1050, last_far=0.0800,
+        pc_size=60, pc_women=9, pc_chairs=4, pc_chair_women=0,
+        keynotes=3, keynote_women=0, panelists=8, panelist_women=0,
+        session_chairs=10, session_chair_women=0,  # §3.3: zero women
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="ICPP", date="2017-08-14", papers=60, unique_authors=234,
+        acceptance_rate=0.286, country="UK", author_positions=248,
+        far=0.1100, lead_far=0.1250, last_far=0.0900,
+        pc_size=140, pc_women=22, pc_chairs=4, pc_chair_women=0,
+        keynotes=3, keynote_women=0, panelists=10, panelist_women=1,
+        session_chairs=14, session_chair_women=2,
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="EuroPar", date="2017-08-30", papers=50, unique_authors=179,
+        acceptance_rate=0.284, country="ES", author_positions=190,
+        far=0.1000, lead_far=0.1100, last_far=0.0850,
+        pc_size=160, pc_women=26, pc_chairs=4, pc_chair_women=1,
+        keynotes=3, keynote_women=1, panelists=12, panelist_women=1,
+        session_chairs=16, session_chair_women=2,
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="SC", date="2017-11-13", papers=61, unique_authors=325,
+        acceptance_rate=0.187, country="US", author_positions=344,
+        far=0.0812, lead_far=0.0650, last_far=0.0700,  # §3.1: 8.12%
+        pc_size=225, pc_women=67, pc_chairs=4, pc_chair_women=2,  # §3.2: 29.6%
+        keynotes=4, keynote_women=2, panelists=20, panelist_women=4,
+        session_chairs=30, session_chair_women=13,  # §3.3: near parity
+        double_blind=True, diversity_chair=True, code_of_conduct=True,
+        childcare=True, demographic_reporting=True,
+    ),
+    ConferenceTargets(
+        name="HiPC", date="2017-12-18", papers=41, unique_authors=168,
+        acceptance_rate=0.223, country="IN", author_positions=178,
+        far=0.0980, lead_far=0.1100, last_far=0.0800,
+        pc_size=105, pc_women=17, pc_chairs=4, pc_chair_women=0,
+        keynotes=3, keynote_women=0, panelists=10, panelist_women=1,
+        session_chairs=15, session_chair_women=0,  # §3.3: zero women
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+    ConferenceTargets(
+        name="HPCC", date="2017-12-18", papers=77, unique_authors=287,
+        acceptance_rate=0.438, country="TH", author_positions=303,
+        far=0.1150, lead_far=0.1250, last_far=0.0950,
+        pc_size=130, pc_women=24, pc_chairs=4, pc_chair_women=0,
+        keynotes=4, keynote_women=0, panelists=10, panelist_women=1,
+        session_chairs=20, session_chair_women=0,  # §3.3: zero women
+        double_blind=False, diversity_chair=False, code_of_conduct=False,
+        childcare=False, demographic_reporting=False,
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Geography targets (Table 2, Table 3, Fig. 7)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CountryTarget:
+    """Table 2 / Fig. 7 row: researcher count and % women per country.
+
+    ``total`` counts authors + PC members (role slots); ``pct_women``
+    applies to known-gender researchers of the country.
+    """
+
+    cca2: str
+    total: int
+    pct_women: float
+
+
+# Table 2 (top ten) verbatim, then Fig. 7's remaining countries with
+# ≥10 authors (totals/percentages derived: Fig. 7 prints only a chart, so
+# we chose plausible magnitudes that respect the regional sums of Table 3).
+COUNTRY_TARGETS: tuple[CountryTarget, ...] = (
+    CountryTarget("US", 1408, 15.38),
+    CountryTarget("CN", 200, 10.43),
+    CountryTarget("FR", 147, 13.61),
+    CountryTarget("DE", 139, 8.63),
+    CountryTarget("ES", 123, 8.94),
+    CountryTarget("IN", 72, 5.63),
+    CountryTarget("CH", 64, 14.06),
+    CountryTarget("JP", 63, 1.59),
+    CountryTarget("GB", 52, 7.69),
+    CountryTarget("CA", 44, 6.82),
+    # Fig. 7 tail (derived)
+    CountryTarget("IT", 40, 7.50),
+    CountryTarget("NL", 34, 8.82),
+    CountryTarget("AU", 30, 6.67),
+    CountryTarget("KR", 28, 7.14),
+    CountryTarget("BR", 26, 11.54),
+    CountryTarget("SE", 22, 9.09),
+    CountryTarget("AT", 20, 10.00),
+    CountryTarget("BE", 18, 11.11),
+    CountryTarget("PL", 16, 6.25),
+    CountryTarget("SG", 15, 6.67),
+    CountryTarget("IL", 14, 14.29),
+    CountryTarget("GR", 13, 7.69),
+    CountryTarget("PT", 12, 8.33),
+    CountryTarget("TR", 12, 16.67),
+    CountryTarget("SA", 10, 20.00),
+)
+
+
+@dataclass(frozen=True)
+class RegionRoleTarget:
+    """Table 3 row: per-region totals and % women for authors and PC."""
+
+    region: str
+    author_pct_women: float
+    author_total: int
+    pc_pct_women: float
+    pc_total: int
+
+
+# Table 3 verbatim.
+REGION_ROLE_TARGETS: tuple[RegionRoleTarget, ...] = (
+    RegionRoleTarget("Northern America", 9.78, 930, 24.47, 523),
+    RegionRoleTarget("Western Europe", 8.98, 256, 16.35, 159),
+    RegionRoleTarget("Eastern Asia", 11.94, 201, 2.90, 69),
+    RegionRoleTarget("Southern Europe", 6.60, 106, 12.50, 80),
+    RegionRoleTarget("Northern Europe", 7.69, 65, 8.00, 50),
+    RegionRoleTarget("Southern Asia", 6.35, 63, 5.00, 20),
+    RegionRoleTarget("South America", 8.33, 36, 27.27, 11),
+    RegionRoleTarget("Australia and New Zealand", 8.33, 24, 0.00, 14),
+    RegionRoleTarget("Western Asia", 27.27, 22, 12.50, 24),
+    RegionRoleTarget("South-Eastern Asia", 5.00, 20, 0.00, 4),
+    RegionRoleTarget("Eastern Europe", 0.00, 12, 11.76, 17),
+    RegionRoleTarget("Western Africa", 50.00, 2, 0.00, 0),
+    RegionRoleTarget("Central America", 100.00, 1, 0.00, 0),
+    RegionRoleTarget("Central Asia", 0.00, 1, 0.00, 0),
+    RegionRoleTarget("Northern Africa", 0.00, 1, 0.00, 0),
+)
+
+
+# --------------------------------------------------------------------------
+# Sector targets (§2, §5.3, Fig. 8)
+# --------------------------------------------------------------------------
+
+#: Work sector distribution over unique researchers (§2).
+SECTOR_SHARES: dict[str, float] = {"COM": 0.086, "EDU": 0.728, "GOV": 0.186}
+
+#: Women share per (role, sector) — Fig. 8 prints a chart only; values
+#: are derived to respect the χ² statistics of §5.3 (PC: GOV/EDU above
+#: COM, nonsignificant χ²=0.522; authors near-flat, χ²=1.629).
+SECTOR_WOMEN_SHARE: dict[tuple[str, str], float] = {
+    ("author", "COM"): 0.088,
+    ("author", "EDU"): 0.100,
+    ("author", "GOV"): 0.108,
+    ("pc_member", "COM"): 0.155,
+    ("pc_member", "EDU"): 0.185,
+    ("pc_member", "GOV"): 0.200,
+}
+
+
+# --------------------------------------------------------------------------
+# Experience targets (§5.1, Figs. 3–6)
+# --------------------------------------------------------------------------
+
+#: Hirsch's stratification as used by Fig. 6: novice h < 13,
+#: mid-career 13 ≤ h ≤ 18, experienced h > 18.
+EXPERIENCE_BANDS: dict[str, tuple[float, float]] = {
+    "novice": (0.0, 13.0),        # h < 13
+    "mid-career": (13.0, 19.0),   # 13 <= h <= 18
+    "experienced": (19.0, float("inf")),
+}
+
+#: Novice share targets among authors by gender (Fig. 6 / §5.1 text).
+NOVICE_SHARE = {"F": 0.448, "M": 0.364}
+
+
+# --------------------------------------------------------------------------
+# Global totals and coverage (§2, §3.1, §5)
+# --------------------------------------------------------------------------
+
+TOTALS: dict[str, float] = {
+    "papers": 518,                 # Table 1 sum
+    "author_positions": 2236,      # §3.1 "all 2236 authors" (positions)
+    "conference_unique_authors": 2111,  # Table 1 sum (unique per conference)
+    "unique_coauthors": 1885,      # §2 "1885 unique coauthors"
+    "pc_memberships": 1220,        # §3.2 (with repeats)
+    "unique_pc_members": 908,      # §2 "PC members ... (908 total)"
+    "pc_chairs": 36,
+    "keynotes": 30,
+    "panelists": 106,
+    "session_chairs": 158,
+    "far_overall": 0.099,          # §3.1
+    "pc_far": 0.1846,              # §3.2
+    "manual_coverage": 0.9518,     # §2
+    "genderize_coverage": 0.0179,  # §2
+    "unknown_rate": 0.0303,        # §2 (144 researchers in the paper)
+    "gs_coverage_known_gender": 0.6965,  # §5.1
+    "gs_coverage_overall": 0.683,  # §2
+    "hpc_papers": 178,             # §4.1
+    "hpc_author_far": 0.101,       # §4.1
+    "sector_COM": 0.086,
+    "sector_EDU": 0.728,
+    "sector_GOV": 0.186,
+}
+
+
+# --------------------------------------------------------------------------
+# SC/ISC 2016–2020 case study (§3.4)
+# --------------------------------------------------------------------------
+
+#: (year -> FAR target). SC stays near its 2017 value; ISC ranges 5–9%.
+#: SC's published attendance (not authorship) was 13–14%; SC shared a FAR
+#: of 12% for 2018 only, which we use verbatim.
+SC_ISC_TIMELINE: dict[str, dict[int, float]] = {
+    "SC": {2016: 0.095, 2017: 0.0812, 2018: 0.12, 2019: 0.10, 2020: 0.105},
+    "ISC": {2016: 0.05, 2017: 0.0577, 2018: 0.07, 2019: 0.09, 2020: 0.08},
+}
+
+#: SC attendance (not authorship) women share, §3.4.
+SC_ATTENDANCE_WOMEN: dict[int, float] = {
+    2016: 0.135, 2017: 0.14, 2018: 0.13, 2019: 0.14, 2020: 0.135,
+}
+
+
+# --------------------------------------------------------------------------
+# PAPER_STATS — headline values for the paper-vs-measured report only.
+# Keys are experiment ids from DESIGN.md §4.
+# --------------------------------------------------------------------------
+
+PAPER_STATS: dict[str, dict[str, float]] = {
+    "S3.1": {
+        "far_overall": 9.9,                 # % women among all authors
+        "far_sc": 8.12,
+        "far_isc": 5.77,
+        "far_double_blind": 7.57,           # SC+ISC pooled
+        "far_single_blind": 10.52,
+        "blind_chi2": 3.133,
+        "blind_p": 0.0767,
+        "lead_far_single": 11.79,
+        "lead_far_double": 6.17,
+        "lead_chi2": 1.662,
+        "lead_p": 0.197,
+        "last_far": 8.4,
+        "last_chi2": 0.724,
+        "last_p": 0.395,
+    },
+    "S3.2": {
+        "pc_far": 18.46,
+        "pc_memberships": 1220,
+        "sc_pc_far": 29.6,
+        "pc_far_excl_sc": 16.1,
+        "zero_women_chair_confs": 4,
+    },
+    "S3.3": {
+        "zero_women_keynote_confs": 4,
+        "zero_women_session_chair_confs": 3,
+        "zero_session_chair_seats": 45,
+    },
+    "S4.1": {
+        "hpc_papers": 178,
+        "all_papers": 518,
+        "hpc_author_far": 10.1,
+        "hpc_chi2": 4.656,
+        "hpc_p": 0.031,
+        "hpc_lead_far": 11.05,
+        "hpc_lead_n": 172,
+        "hpc_lead_women": 19,
+        "overall_lead_far": 10.86,
+        "hpc_lead_chi2": 0.0547,
+        "hpc_lead_p": 0.8151,
+    },
+    "F2": {
+        "papers_female_lead": 53,
+        "papers_male_lead": 435,
+        "mean_cites_female": 13.04,
+        "mean_cites_male": 10.55,
+        "mean_cites_female_no_outlier": 7.63,
+        "welch_t": -2.18,
+        "welch_df": 86,
+        "welch_p": 0.032,
+        "i10_share_female": 23.0,
+        "i10_share_male": 38.0,
+        "i10_chi2": 3.69,
+        "i10_p": 0.055,
+    },
+    "F5": {
+        "gs_s2_r": 0.334,
+    },
+    "F6": {
+        "novice_female_authors": 44.8,
+        "novice_male_authors": 36.4,
+        "novice_chi2": 7.419,
+        "novice_p": 0.00645,
+    },
+    "F8": {
+        "pc_sector_chi2": 0.522,
+        "pc_sector_p": 0.77,
+        "author_sector_chi2": 1.629,
+        "author_sector_p": 0.443,
+    },
+    "COVERAGE": {
+        "manual_pct": 95.18,
+        "genderize_pct": 1.79,
+        "unknown_pct": 3.03,
+        "gs_coverage_known": 69.65,
+        "gs_coverage_overall": 68.3,
+        "gs_s2_r": 0.334,
+    },
+}
+
+
+def validate_targets() -> None:
+    """Cross-check the target tables against the paper's totals.
+
+    Raises AssertionError when an internal inconsistency sneaks in; run
+    by the test suite and at world-build time.
+    """
+    confs = CONFERENCES_2017
+    assert sum(c.papers for c in confs) == TOTALS["papers"]
+    assert sum(c.unique_authors for c in confs) == TOTALS["conference_unique_authors"]
+    assert sum(c.author_positions for c in confs) == TOTALS["author_positions"]
+    assert sum(c.pc_size for c in confs) == TOTALS["pc_memberships"]
+    assert sum(c.pc_chairs for c in confs) == TOTALS["pc_chairs"]
+    assert sum(c.keynotes for c in confs) == TOTALS["keynotes"]
+    assert sum(c.panelists for c in confs) == TOTALS["panelists"]
+    assert sum(c.session_chairs for c in confs) == TOTALS["session_chairs"]
+    # §3.2: 18.46% of PC memberships are women
+    pc_women = sum(c.pc_women for c in confs)
+    assert abs(pc_women / TOTALS["pc_memberships"] - TOTALS["pc_far"]) < 0.005, pc_women
+    # §3.2: excluding SC, 16.1%
+    non_sc = [c for c in confs if c.name != "SC"]
+    rate = sum(c.pc_women for c in non_sc) / sum(c.pc_size for c in non_sc)
+    assert abs(rate - 0.161) < 0.005, rate
+    # §3.3: zero-women counts
+    assert sum(1 for c in confs if c.keynote_women == 0) == 4
+    assert sum(1 for c in confs if c.pc_chair_women == 0) == 4
+    zero_sc = [c for c in confs if c.session_chair_women == 0]
+    assert {c.name for c in zero_sc} == {"HPDC", "HiPC", "HPCC"}
+    assert sum(c.session_chairs for c in zero_sc) == 45
+    # Table 3 totals are consistent with the region list
+    assert len(REGION_ROLE_TARGETS) == 15

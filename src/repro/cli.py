@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run                    # pipeline + headline summary
+    python -m repro experiment T2 F2       # print specific artifacts
+    python -m repro compare                # paper-vs-measured table
+    python -m repro export out/            # full artifact bundle
+    python -m repro universe               # §6: 56-conference expansion
+
+Common options: ``--seed`` (default 7), ``--scale`` (default 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Representation of Women in HPC Conferences' (SC '21)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="population scale (default 1.0)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("run", help="run the pipeline and print the headline summary")
+
+    p_exp = sub.add_parser("experiment", help="print specific tables/figures")
+    p_exp.add_argument("ids", nargs="+", help="experiment ids (T1..T3, F1..F8, S3.1, ...)")
+
+    sub.add_parser("compare", help="print the paper-vs-measured comparison")
+
+    p_export = sub.add_parser("export", help="write the full artifact bundle")
+    p_export.add_argument("out_dir", help="output directory")
+
+    sub.add_parser("universe", help="run the 56-conference systems expansion (§6)")
+
+    p_report = sub.add_parser("report", help="render the full markdown run report")
+    p_report.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+    return parser
+
+
+def _result(args):
+    return run_pipeline(WorldConfig(seed=args.seed, scale=args.scale))
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis import far_report, pc_report
+
+    result = _result(args)
+    far = far_report(result.dataset)
+    pc = pc_report(result.dataset)
+    cov = result.coverage
+    print(result.timer.report())
+    print()
+    print(f"researchers: {result.dataset.researchers.num_rows}  "
+          f"papers: {result.dataset.papers.num_rows}")
+    print(f"FAR: {far.overall}  (paper: 9.9%)")
+    print(f"PC:  {pc.memberships}  (paper: 18.46%)")
+    print(f"coverage: manual {100*cov['manual']:.2f}% / genderize "
+          f"{100*cov['genderize']:.2f}% / none {100*cov['none']:.2f}%")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.report import EXPERIMENTS, run_experiment
+
+    unknown = [i for i in args.ids if i not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = _result(args)
+    for exp_id in args.ids:
+        _, text = run_experiment(exp_id, result)
+        print(f"===== {exp_id} =====")
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.report import compare_headlines
+    from repro.report.compare import render_comparison
+
+    result = _result(args)
+    rows = compare_headlines(result)
+    print(render_comparison(rows))
+    close = sum(1 for r in rows if r.rel_error < 0.25)
+    print(f"\n{close}/{len(rows)} statistics within 25% of the paper")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.report.export import export_artifact
+
+    result = _result(args)
+    out = export_artifact(result, args.out_dir)
+    print(f"artifact written to {out}")
+    return 0
+
+
+def _cmd_universe(args) -> int:
+    from repro.pipeline import run_pipeline as _rp
+    from repro.synth import build_world
+    from repro.universe import systems_universe, universe_report
+
+    targets = systems_universe(56)
+    world = build_world(
+        WorldConfig(seed=args.seed, scale=args.scale, include_timeline=False),
+        targets=targets,
+    )
+    result = _rp(world=world)
+    rep = universe_report(result.dataset, targets)
+    print(f"{'subfield':<14s} {'confs':>5s}  women among authors")
+    for r in rep.rows:
+        print(f"{r.field:<14s} {r.conferences:>5d}  {r.authors}")
+    print(f"\noverall: {rep.overall}")
+    print(
+        f"subfield heterogeneity: chi2={rep.heterogeneity.statistic:.1f} "
+        f"(df={rep.heterogeneity.df}) p={rep.heterogeneity.p_value:.2g}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.report.textreport import full_report
+
+    result = _result(args)
+    text = full_report(result)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "compare": _cmd_compare,
+    "export": _cmd_export,
+    "universe": _cmd_universe,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

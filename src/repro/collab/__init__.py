@@ -1,0 +1,22 @@
+"""Collaboration-pattern analysis (the paper's §6 future work).
+
+"We also plan to address deeper gender questions that emerge from the
+data, such as the differences in collaboration patterns between women
+and men."  This package implements that follow-up study over the same
+analysis dataset:
+
+- :mod:`repro.collab.network`  — the coauthorship graph (networkx) with
+  gender attributes.
+- :mod:`repro.collab.metrics`  — per-gender degree/collaborator counts,
+  team sizes, gender homophily (assortativity), solo-authorship rates,
+  and mixed-team statistics.
+"""
+
+from repro.collab.network import build_coauthorship_graph
+from repro.collab.metrics import collaboration_report, CollaborationReport
+
+__all__ = [
+    "build_coauthorship_graph",
+    "collaboration_report",
+    "CollaborationReport",
+]

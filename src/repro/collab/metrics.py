@@ -1,0 +1,136 @@
+"""Collaboration metrics by gender.
+
+The questions the paper's future-work section poses, made concrete:
+
+- do women and men differ in number of distinct collaborators (degree)?
+- in team size of the papers they appear on?
+- do researchers collaborate preferentially within gender (homophily)?
+- how common are solo papers, all-male teams, teams with no women?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.pipeline.dataset import AnalysisDataset
+from repro.stats.descriptive import Summary, describe
+from repro.stats.ttest import TTestResult, welch_ttest
+
+__all__ = ["CollaborationReport", "collaboration_report"]
+
+
+@dataclass(frozen=True)
+class CollaborationReport:
+    """Collaboration-pattern statistics by gender."""
+
+    degree_women: Summary            # distinct coauthors per woman
+    degree_men: Summary
+    degree_test: TTestResult
+    team_size_women: Summary         # sizes of papers women appear on
+    team_size_men: Summary
+    team_size_test: TTestResult
+    assortativity: float             # gender assortativity of the graph
+    share_mixed_edges: float         # F–M edges / all known-gender edges
+    expected_mixed_edges: float      # under random mixing at observed FAR
+    solo_rate_women: float           # share of women's positions on solo papers
+    solo_rate_men: float
+    all_male_paper_share: float      # papers with no known-gender woman
+    components: int
+    largest_component: int
+
+
+def _gender_of(g: nx.Graph, node) -> str | None:
+    return g.nodes[node].get("gender")
+
+
+def collaboration_report(ds: AnalysisDataset) -> CollaborationReport:
+    """Compute collaboration patterns over the coauthorship graph."""
+    from repro.collab.network import build_coauthorship_graph
+
+    g = build_coauthorship_graph(ds)
+
+    deg_f = np.array(
+        [d for n, d in g.degree() if _gender_of(g, n) == "F"], dtype=float
+    )
+    deg_m = np.array(
+        [d for n, d in g.degree() if _gender_of(g, n) == "M"], dtype=float
+    )
+
+    # team sizes per position, by the position-holder's gender
+    pos = ds.author_positions
+    sizes_by_paper = {
+        pid: n
+        for pid, n in zip(ds.papers["paper_id"], ds.papers["num_authors"])
+    }
+    team_f, team_m = [], []
+    solo_f = solo_m = 0
+    for pid, gender in zip(pos["paper_id"], pos["gender"]):
+        size = sizes_by_paper.get(pid)
+        if size is None or gender is None:
+            continue
+        if gender == "F":
+            team_f.append(size)
+            solo_f += size == 1
+        else:
+            team_m.append(size)
+            solo_m += size == 1
+
+    # homophily
+    known_edges = [
+        (u, v)
+        for u, v in g.edges()
+        if _gender_of(g, u) in ("F", "M") and _gender_of(g, v) in ("F", "M")
+    ]
+    mixed = sum(1 for u, v in known_edges if _gender_of(g, u) != _gender_of(g, v))
+    share_mixed = mixed / len(known_edges) if known_edges else float("nan")
+    known_nodes = [n for n in g.nodes if _gender_of(g, n) in ("F", "M")]
+    p_f = (
+        sum(1 for n in known_nodes if _gender_of(g, n) == "F") / len(known_nodes)
+        if known_nodes
+        else float("nan")
+    )
+    expected_mixed = 2 * p_f * (1 - p_f)
+    try:
+        assort = float(
+            nx.attribute_assortativity_coefficient(
+                g.subgraph(known_nodes), "gender"
+            )
+        )
+    except (ZeroDivisionError, ValueError):  # degenerate graphs
+        assort = float("nan")
+
+    # papers with no known-gender women
+    women_on_paper: dict[str, int] = {}
+    known_on_paper: dict[str, int] = {}
+    for pid, gender in zip(pos["paper_id"], pos["gender"]):
+        if gender is None:
+            continue
+        known_on_paper[pid] = known_on_paper.get(pid, 0) + 1
+        if gender == "F":
+            women_on_paper[pid] = women_on_paper.get(pid, 0) + 1
+    papers_known = [pid for pid, k in known_on_paper.items() if k > 0]
+    all_male = sum(1 for pid in papers_known if women_on_paper.get(pid, 0) == 0)
+
+    components = list(nx.connected_components(g))
+
+    return CollaborationReport(
+        degree_women=describe(deg_f),
+        degree_men=describe(deg_m),
+        degree_test=welch_ttest(deg_f, deg_m),
+        team_size_women=describe(np.array(team_f, dtype=float)),
+        team_size_men=describe(np.array(team_m, dtype=float)),
+        team_size_test=welch_ttest(
+            np.array(team_f, dtype=float), np.array(team_m, dtype=float)
+        ),
+        assortativity=assort,
+        share_mixed_edges=share_mixed,
+        expected_mixed_edges=expected_mixed,
+        solo_rate_women=solo_f / len(team_f) if team_f else float("nan"),
+        solo_rate_men=solo_m / len(team_m) if team_m else float("nan"),
+        all_male_paper_share=all_male / len(papers_known) if papers_known else float("nan"),
+        components=len(components),
+        largest_component=max((len(c) for c in components), default=0),
+    )

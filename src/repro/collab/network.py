@@ -1,0 +1,44 @@
+"""Coauthorship graph construction."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.pipeline.dataset import AnalysisDataset
+
+__all__ = ["build_coauthorship_graph"]
+
+
+def build_coauthorship_graph(ds: AnalysisDataset) -> nx.Graph:
+    """Build the researcher coauthorship graph from an analysis dataset.
+
+    Nodes are researchers with ``gender`` ('F'/'M'/None), ``country``,
+    and ``sector`` attributes; an edge connects two researchers who share
+    at least one paper, weighted by the number of shared papers.  Nodes
+    include solo authors (degree 0).
+    """
+    g = nx.Graph()
+    r = ds.researchers
+    for rid, gender, country, sector, is_author in zip(
+        r["researcher_id"], r["gender"], r["country"], r["sector"], r["is_author"]
+    ):
+        if bool(is_author):
+            g.add_node(rid, gender=gender, country=country, sector=sector)
+
+    # group author positions by paper
+    by_paper: dict[str, list[str]] = {}
+    pos = ds.author_positions
+    for pid, rid in zip(pos["paper_id"], pos["researcher_id"]):
+        by_paper.setdefault(pid, []).append(rid)
+
+    for authors in by_paper.values():
+        for i in range(len(authors)):
+            for j in range(i + 1, len(authors)):
+                a, b = authors[i], authors[j]
+                if a == b:
+                    continue
+                if g.has_edge(a, b):
+                    g[a][b]["weight"] += 1
+                else:
+                    g.add_edge(a, b, weight=1)
+    return g

@@ -1,0 +1,30 @@
+"""Domain model: conferences, papers, people, roles, policies.
+
+This is the ground-truth object model that both the synthetic world
+generator writes and the harvesting layer serializes/re-parses.  It
+deliberately mirrors the paper's data dictionary (§2): per conference —
+date, paper count, author count, acceptance rate, country, review policy,
+diversity policies; per paper — title, author list with positions, topic
+tag, citations; per person — name, country, sector, experience, gender
+(ground truth, which the pipeline is *not* allowed to read).
+"""
+
+from repro.confmodel.entities import Person, Paper, Authorship
+from repro.confmodel.roles import Role, RoleAssignment, ROLE_ORDER
+from repro.confmodel.policies import ReviewPolicy, DiversityPolicy
+from repro.confmodel.conference import Conference, ConferenceEdition
+from repro.confmodel.registry import WorldRegistry
+
+__all__ = [
+    "Person",
+    "Paper",
+    "Authorship",
+    "Role",
+    "RoleAssignment",
+    "ROLE_ORDER",
+    "ReviewPolicy",
+    "DiversityPolicy",
+    "Conference",
+    "ConferenceEdition",
+    "WorldRegistry",
+]

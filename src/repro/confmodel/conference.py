@@ -1,0 +1,47 @@
+"""Conference and edition records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confmodel.policies import DiversityPolicy, ReviewPolicy
+
+__all__ = ["Conference", "ConferenceEdition"]
+
+
+@dataclass(frozen=True)
+class Conference:
+    """Static facts about a conference series (Table 1 + §2)."""
+
+    name: str                 # e.g. "SC"
+    country_code: str         # host country of the 2017 edition
+    review_policy: ReviewPolicy
+    diversity: DiversityPolicy
+
+    @property
+    def is_double_blind(self) -> bool:
+        return self.review_policy is ReviewPolicy.DOUBLE_BLIND
+
+
+@dataclass
+class ConferenceEdition:
+    """One year of one conference, with its participant structure."""
+
+    conference: Conference
+    year: int
+    date: str                 # ISO date of the first day
+    acceptance_rate: float
+    submitted: int            # derived: accepted / acceptance_rate
+    paper_ids: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.conference.name
+
+    @property
+    def key(self) -> str:
+        return f"{self.conference.name}-{self.year}"
+
+    @property
+    def accepted(self) -> int:
+        return len(self.paper_ids)

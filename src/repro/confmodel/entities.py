@@ -1,0 +1,107 @@
+"""People, papers, and authorships."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gender.model import Gender
+from repro.gender.webevidence import EvidenceKind
+
+__all__ = ["Person", "Authorship", "Paper"]
+
+
+@dataclass
+class Person:
+    """A researcher in the ground-truth world.
+
+    ``true_gender`` and ``web_evidence`` exist only in the ground truth;
+    the analysis pipeline must reconstruct gender through the inference
+    cascade and never reads these fields directly (tests enforce this by
+    comparing pipeline output against truth, not by sharing it).
+
+    Attributes
+    ----------
+    person_id:
+        Stable unique id ("p000123").
+    full_name:
+        Display name as it appears in proceedings.
+    country_code:
+        ISO alpha-2 of the residence country.
+    sector:
+        'COM' | 'EDU' | 'GOV'.
+    true_gender:
+        Ground-truth binary gender.
+    web_evidence:
+        What a manual web search would find for this person.
+    past_publications:
+        True number of publications before the conference year.
+    career_citations:
+        Citation counts of those past publications (drives h-index).
+    email:
+        Email address included in papers (may be None; §2 says many,
+        not all, authors include one).
+    affiliation:
+        Free-text affiliation string (as GS would display).
+    """
+
+    person_id: str
+    full_name: str
+    country_code: str
+    sector: str
+    true_gender: Gender
+    web_evidence: EvidenceKind
+    past_publications: int
+    career_citations: list[int] = field(default_factory=list)
+    email: str | None = None
+    affiliation: str = ""
+
+
+@dataclass(frozen=True)
+class Authorship:
+    """One author slot on one paper. Position is 0-based."""
+
+    person_id: str
+    position: int
+    num_authors: int
+
+    @property
+    def is_first(self) -> bool:
+        return self.position == 0
+
+    @property
+    def is_last(self) -> bool:
+        """Last author: the senior position in systems papers (§3.1).
+
+        Single-author papers count as first, not last, mirroring the
+        convention that "last author" is only meaningful with coauthors.
+        """
+        return self.num_authors > 1 and self.position == self.num_authors - 1
+
+
+@dataclass
+class Paper:
+    """A published paper at one conference edition."""
+
+    paper_id: str
+    conference: str
+    year: int
+    title: str
+    authorships: list[Authorship]
+    is_hpc: bool
+    citations_36mo: int = 0
+    citation_monthly: list[int] = field(default_factory=list)
+
+    @property
+    def num_authors(self) -> int:
+        return len(self.authorships)
+
+    @property
+    def first_author(self) -> str:
+        return self.authorships[0].person_id
+
+    @property
+    def last_author(self) -> str:
+        return self.authorships[-1].person_id
+
+    def author_ids(self) -> list[str]:
+        return [a.person_id for a in self.authorships]

@@ -1,0 +1,38 @@
+"""Review and diversity policies per conference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["ReviewPolicy", "DiversityPolicy"]
+
+
+class ReviewPolicy(str, Enum):
+    """Whether author identities are hidden from reviewers.
+
+    SC and ISC are the only double-blind conferences in the dataset
+    (§3.1); the others are single-blind.
+    """
+
+    SINGLE_BLIND = "single"
+    DOUBLE_BLIND = "double"
+
+
+@dataclass(frozen=True)
+class DiversityPolicy:
+    """Explicit diversity policies a conference advertises (§2, §3.4)."""
+
+    diversity_chair: bool = False
+    code_of_conduct: bool = False
+    childcare: bool = False
+    demographic_reporting: bool = False
+
+    @property
+    def any_policy(self) -> bool:
+        return (
+            self.diversity_chair
+            or self.code_of_conduct
+            or self.childcare
+            or self.demographic_reporting
+        )

@@ -1,0 +1,111 @@
+"""The ground-truth world container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confmodel.conference import ConferenceEdition
+from repro.confmodel.entities import Paper, Person
+from repro.confmodel.roles import Role, RoleAssignment
+
+__all__ = ["WorldRegistry"]
+
+
+@dataclass
+class WorldRegistry:
+    """Everything the synthetic world contains.
+
+    The harvest layer serializes this into "websites" and "proceedings";
+    the pipeline then reconstructs an analysis dataset from those
+    artifacts alone.  Tests compare the reconstruction against this
+    registry to quantify pipeline fidelity.
+    """
+
+    editions: dict[str, ConferenceEdition] = field(default_factory=dict)
+    papers: dict[str, Paper] = field(default_factory=dict)
+    people: dict[str, Person] = field(default_factory=dict)
+    roles: list[RoleAssignment] = field(default_factory=list)
+
+    # ------------------------------------------------------------ mutation
+
+    def add_edition(self, edition: ConferenceEdition) -> None:
+        if edition.key in self.editions:
+            raise ValueError(f"duplicate edition {edition.key}")
+        self.editions[edition.key] = edition
+
+    def add_person(self, person: Person) -> None:
+        if person.person_id in self.people:
+            raise ValueError(f"duplicate person {person.person_id}")
+        self.people[person.person_id] = person
+
+    def add_paper(self, paper: Paper) -> None:
+        if paper.paper_id in self.papers:
+            raise ValueError(f"duplicate paper {paper.paper_id}")
+        self.papers[paper.paper_id] = paper
+        self.editions[f"{paper.conference}-{paper.year}"].paper_ids.append(
+            paper.paper_id
+        )
+        for a in paper.authorships:
+            self.roles.append(
+                RoleAssignment(a.person_id, paper.conference, paper.year, Role.AUTHOR)
+            )
+
+    def add_role(self, assignment: RoleAssignment) -> None:
+        if assignment.role is Role.AUTHOR:
+            raise ValueError("author roles are derived from papers")
+        self.roles.append(assignment)
+
+    # ------------------------------------------------------------- queries
+
+    def editions_of_year(self, year: int) -> list[ConferenceEdition]:
+        return [e for e in self.editions.values() if e.year == year]
+
+    def papers_of(self, conference: str, year: int) -> list[Paper]:
+        key = f"{conference}-{year}"
+        ed = self.editions.get(key)
+        if ed is None:
+            return []
+        return [self.papers[pid] for pid in ed.paper_ids]
+
+    def roles_of(
+        self, conference: str | None = None, year: int | None = None, role: Role | None = None
+    ) -> list[RoleAssignment]:
+        out = self.roles
+        if conference is not None:
+            out = [r for r in out if r.conference == conference]
+        if year is not None:
+            out = [r for r in out if r.year == year]
+        if role is not None:
+            out = [r for r in out if r.role == role]
+        return list(out)
+
+    def unique_author_ids(self, year: int | None = None) -> set[str]:
+        return {
+            r.person_id
+            for r in self.roles
+            if r.role is Role.AUTHOR and (year is None or r.year == year)
+        }
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises ValueError on breakage."""
+        for paper in self.papers.values():
+            key = f"{paper.conference}-{paper.year}"
+            if key not in self.editions:
+                raise ValueError(f"paper {paper.paper_id} references missing edition {key}")
+            positions = sorted(a.position for a in paper.authorships)
+            if positions != list(range(len(positions))):
+                raise ValueError(f"paper {paper.paper_id} has gapped author positions")
+            for a in paper.authorships:
+                if a.person_id not in self.people:
+                    raise ValueError(
+                        f"paper {paper.paper_id} references missing person {a.person_id}"
+                    )
+                if a.num_authors != len(paper.authorships):
+                    raise ValueError(
+                        f"paper {paper.paper_id} authorship num_authors mismatch"
+                    )
+        for r in self.roles:
+            if r.person_id not in self.people:
+                raise ValueError(f"role {r} references missing person")
+            if f"{r.conference}-{r.year}" not in self.editions:
+                raise ValueError(f"role {r} references missing edition")

@@ -1,0 +1,56 @@
+"""Conference roles tracked by the study (§2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Role", "RoleAssignment", "ROLE_ORDER"]
+
+
+class Role(str, Enum):
+    """The conference roles whose gender composition the paper measures."""
+
+    AUTHOR = "author"
+    PC_CHAIR = "pc_chair"
+    PC_MEMBER = "pc_member"
+    KEYNOTE = "keynote"
+    PANELIST = "panelist"
+    SESSION_CHAIR = "session_chair"
+
+    @property
+    def is_visible(self) -> bool:
+        """Visible "face of the conference" roles (§3.3)."""
+        return self in (Role.KEYNOTE, Role.PANELIST, Role.SESSION_CHAIR)
+
+    @property
+    def is_elected(self) -> bool:
+        """Roles appointed by the conference rather than peer-reviewed."""
+        return self is not Role.AUTHOR
+
+
+#: Fig. 1's role ordering.
+ROLE_ORDER: tuple[Role, ...] = (
+    Role.AUTHOR,
+    Role.PC_CHAIR,
+    Role.PC_MEMBER,
+    Role.KEYNOTE,
+    Role.PANELIST,
+    Role.SESSION_CHAIR,
+)
+
+
+@dataclass(frozen=True)
+class RoleAssignment:
+    """A person holding a role at one conference edition.
+
+    The same person may hold several roles and the same role at several
+    conferences; the paper's PC statistics count such repeats ("with
+    repeats, meaning that the same person is counted multiple times if
+    they serve on more than one PC").
+    """
+
+    person_id: str
+    conference: str
+    year: int
+    role: Role

@@ -1,0 +1,31 @@
+"""Longitudinal projection: "how long until women are equally represented?"
+
+§6: "We plan to follow up and collect additional statistics at regular
+intervals to evaluate this hypothesis."  The paper also cites Holman,
+Stuart-Fox & Hauser (2018), whose title asks the question directly.
+This package provides the follow-up machinery:
+
+- :mod:`repro.forecast.cohort` — a cohort flow model of the researcher
+  population (entry, attrition, seniority progression) with per-gender
+  rates, projected year by year.
+- :mod:`repro.forecast.scenarios` — scenario presets (status quo,
+  parity-entry, retention-fix) and the years-to-X% computation.
+"""
+
+from repro.forecast.cohort import CohortModel, CohortState, CohortRates
+from repro.forecast.scenarios import (
+    SCENARIOS,
+    project_scenario,
+    years_to_share,
+    ScenarioProjection,
+)
+
+__all__ = [
+    "CohortModel",
+    "CohortState",
+    "CohortRates",
+    "SCENARIOS",
+    "project_scenario",
+    "years_to_share",
+    "ScenarioProjection",
+]

@@ -1,0 +1,139 @@
+"""Deterministic cohort flow model of the authoring population.
+
+State: counts by (gender, seniority band).  Each simulated year:
+
+1. a fraction of each band leaves (attrition; the paper's observation
+   that "women do not continue to senior research positions at the same
+   rate as men" is a higher female attrition at the junior→mid step);
+2. survivors advance bands at a progression rate;
+3. a new cohort of entrants arrives in the novice band, with a
+   configurable female share (the policy lever diversity programs act on).
+
+The model is linear and deterministic, so projections are exactly
+reproducible and fixed points can be reasoned about: the steady-state
+female share equals the entry share when attrition is gender-neutral —
+one of the property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CohortRates", "CohortState", "CohortModel"]
+
+_BANDS = ("novice", "mid-career", "experienced")
+
+
+@dataclass(frozen=True)
+class CohortRates:
+    """Annual flow rates for one gender.
+
+    ``attrition[band]`` — fraction leaving the field from that band;
+    ``progression[band]`` — fraction of survivors advancing to the next
+    band (experienced researchers only retire, they do not advance).
+    """
+
+    attrition: dict[str, float]
+    progression: dict[str, float]
+
+    def __post_init__(self) -> None:
+        for band in _BANDS:
+            a = self.attrition.get(band)
+            if a is None or not 0.0 <= a <= 1.0:
+                raise ValueError(f"attrition[{band!r}] must be in [0,1], got {a}")
+        for band in _BANDS[:-1]:
+            p = self.progression.get(band)
+            if p is None or not 0.0 <= p <= 1.0:
+                raise ValueError(f"progression[{band!r}] must be in [0,1], got {p}")
+
+
+@dataclass
+class CohortState:
+    """Population counts by (gender, band)."""
+
+    counts: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @classmethod
+    def from_shares(
+        cls, total: float, female_share: float, band_shares: dict[str, dict[str, float]]
+    ) -> "CohortState":
+        """Build a state from a total and per-gender band distributions."""
+        counts = {}
+        for gender, share in (("F", female_share), ("M", 1 - female_share)):
+            for band in _BANDS:
+                counts[(gender, band)] = total * share * band_shares[gender][band]
+        return cls(counts)
+
+    def total(self, gender: str | None = None) -> float:
+        return sum(
+            v for (g, _), v in self.counts.items() if gender is None or g == gender
+        )
+
+    def female_share(self) -> float:
+        t = self.total()
+        return self.total("F") / t if t else float("nan")
+
+    def band_total(self, band: str) -> float:
+        return sum(v for (_, b), v in self.counts.items() if b == band)
+
+    def female_share_in_band(self, band: str) -> float:
+        t = self.band_total(band)
+        return self.counts.get(("F", band), 0.0) / t if t else float("nan")
+
+    def copy(self) -> "CohortState":
+        return CohortState(dict(self.counts))
+
+
+class CohortModel:
+    """Advances a :class:`CohortState` year by year."""
+
+    def __init__(
+        self,
+        rates: dict[str, CohortRates],      # per gender
+        entry_size: float,                   # new researchers per year
+        entry_female_share: float,
+    ) -> None:
+        if set(rates) != {"F", "M"}:
+            raise ValueError("rates must be given for exactly 'F' and 'M'")
+        if entry_size < 0:
+            raise ValueError("entry_size must be nonnegative")
+        if not 0.0 <= entry_female_share <= 1.0:
+            raise ValueError("entry_female_share must be in [0,1]")
+        self.rates = rates
+        self.entry_size = float(entry_size)
+        self.entry_female_share = float(entry_female_share)
+
+    def step(self, state: CohortState) -> CohortState:
+        """One simulated year."""
+        new = {key: 0.0 for key in state.counts}
+        for gender in ("F", "M"):
+            r = self.rates[gender]
+            survivors = {
+                band: state.counts.get((gender, band), 0.0)
+                * (1.0 - r.attrition[band])
+                for band in _BANDS
+            }
+            stay_novice = survivors["novice"] * (1 - r.progression["novice"])
+            to_mid = survivors["novice"] * r.progression["novice"]
+            stay_mid = survivors["mid-career"] * (1 - r.progression["mid-career"])
+            to_exp = survivors["mid-career"] * r.progression["mid-career"]
+            new[(gender, "novice")] = stay_novice
+            new[(gender, "mid-career")] = stay_mid + to_mid
+            new[(gender, "experienced")] = survivors["experienced"] + to_exp
+        entry_f = self.entry_size * self.entry_female_share
+        new[("F", "novice")] = new.get(("F", "novice"), 0.0) + entry_f
+        new[("M", "novice")] = new.get(("M", "novice"), 0.0) + (
+            self.entry_size - entry_f
+        )
+        return CohortState(new)
+
+    def project(self, state: CohortState, years: int) -> list[CohortState]:
+        """States for year 0..years (inclusive of the start)."""
+        if years < 0:
+            raise ValueError("years must be nonnegative")
+        out = [state.copy()]
+        for _ in range(years):
+            out.append(self.step(out[-1]))
+        return out

@@ -1,0 +1,126 @@
+"""Forecast scenarios and the years-to-share computation.
+
+Scenario presets (all start from the paper's measured 2017 state — ~10%
+women with the Fig. 6 band mix):
+
+- ``status_quo``     — entry share stays at the current novice female
+  share (~11%), attrition slightly higher for women at the junior step
+  (the "leaky pipeline" the paper's citations describe);
+- ``parity_entry``   — entry share jumps to 50% (the most optimistic
+  recruiting intervention) with unchanged attrition;
+- ``retention_fix``  — entry unchanged but attrition equalized
+  (the intervention aimed at the paper's seniority-gap finding);
+- ``combined``       — both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.forecast.cohort import CohortModel, CohortRates, CohortState
+
+__all__ = ["SCENARIOS", "ScenarioProjection", "project_scenario", "years_to_share"]
+
+#: Band mix at the 2017 starting point (close to Fig. 6's author mix).
+_START_BANDS = {
+    "F": {"novice": 0.50, "mid-career": 0.30, "experienced": 0.20},
+    "M": {"novice": 0.40, "mid-career": 0.31, "experienced": 0.29},
+}
+
+_BASE_M = CohortRates(
+    attrition={"novice": 0.10, "mid-career": 0.06, "experienced": 0.08},
+    progression={"novice": 0.18, "mid-career": 0.12},
+)
+#: women's junior attrition elevated (leaky pipeline)
+_BASE_F = CohortRates(
+    attrition={"novice": 0.14, "mid-career": 0.08, "experienced": 0.08},
+    progression={"novice": 0.16, "mid-career": 0.11},
+)
+_EQUAL_F = CohortRates(
+    attrition=dict(_BASE_M.attrition),
+    progression=dict(_BASE_M.progression),
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    rates_f: CohortRates
+    rates_m: CohortRates
+    entry_female_share: float
+    description: str
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "status_quo": Scenario(
+        "status_quo", _BASE_F, _BASE_M, 0.11,
+        "current entry mix, leaky pipeline persists",
+    ),
+    "parity_entry": Scenario(
+        "parity_entry", _BASE_F, _BASE_M, 0.50,
+        "50% women among new entrants, attrition unchanged",
+    ),
+    "retention_fix": Scenario(
+        "retention_fix", _EQUAL_F, _BASE_M, 0.11,
+        "attrition equalized, entry mix unchanged",
+    ),
+    "combined": Scenario(
+        "combined", _EQUAL_F, _BASE_M, 0.50,
+        "parity entry + equalized attrition",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioProjection:
+    """Yearly female shares under one scenario."""
+
+    scenario: str
+    start_year: int
+    shares: tuple[float, ...]          # year 0..N female share
+    novice_shares: tuple[float, ...]
+
+    def share_in(self, years_ahead: int) -> float:
+        return self.shares[min(years_ahead, len(self.shares) - 1)]
+
+
+def project_scenario(
+    name: str,
+    years: int = 60,
+    start_total: float = 1885.0,
+    start_female_share: float = 0.099,
+    start_year: int = 2017,
+    entry_rate: float = 0.12,
+) -> ScenarioProjection:
+    """Project a scenario forward.
+
+    ``entry_rate`` is the annual inflow as a fraction of the starting
+    population (≈ the churn implied by the mostly-student novice band).
+    """
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}")
+    sc = SCENARIOS[name]
+    state = CohortState.from_shares(start_total, start_female_share, _START_BANDS)
+    model = CohortModel(
+        rates={"F": sc.rates_f, "M": sc.rates_m},
+        entry_size=start_total * entry_rate,
+        entry_female_share=sc.entry_female_share,
+    )
+    states = model.project(state, years)
+    return ScenarioProjection(
+        scenario=name,
+        start_year=start_year,
+        shares=tuple(s.female_share() for s in states),
+        novice_shares=tuple(s.female_share_in_band("novice") for s in states),
+    )
+
+
+def years_to_share(projection: ScenarioProjection, target: float) -> int | None:
+    """First year-offset at which the female share reaches ``target``.
+
+    None when the horizon never reaches it (e.g. status quo vs parity).
+    """
+    for i, share in enumerate(projection.shares):
+        if share >= target:
+            return i
+    return None

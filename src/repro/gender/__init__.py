@@ -1,0 +1,46 @@
+"""Perceived-gender inference (the paper's central measurement).
+
+The paper assigns binary perceived gender through a cascade (§2):
+
+1. **Manual web evidence** — an unambiguous personal page with a gendered
+   pronoun, or failing that a photo (95.18% of researchers);
+2. **genderize.io** — automated forename inference, accepted only at
+   ≥70% reported confidence (1.79%);
+3. **unassigned** — the remaining 144 researchers (3.03%), excluded from
+   denominators, with a sensitivity analysis flipping them all to women
+   and then all to men.
+
+This package implements the full cascade against simulated evidence
+sources (there is no network here):
+
+- :mod:`repro.gender.model`       — types: ``Gender``, ``GenderAssignment``.
+- :mod:`repro.gender.genderize`   — a deterministic genderize.io stand-in
+  backed by the name banks.
+- :mod:`repro.gender.webevidence` — the simulated manual lookup.
+- :mod:`repro.gender.resolver`    — the cascade itself.
+- :mod:`repro.gender.accuracy`    — evaluation against ground truth
+  (reproduces the "manual beats automated, especially for women" claim).
+- :mod:`repro.gender.sensitivity` — the unknowns-flipping reassignment.
+"""
+
+from repro.gender.model import Gender, InferenceMethod, GenderAssignment
+from repro.gender.genderize import GenderizeClient, GenderizeResponse
+from repro.gender.webevidence import WebEvidenceSource, Evidence
+from repro.gender.resolver import GenderResolver, ResolverPolicy
+from repro.gender.accuracy import evaluate_inference, AccuracyReport
+from repro.gender.sensitivity import reassign_unknowns
+
+__all__ = [
+    "Gender",
+    "InferenceMethod",
+    "GenderAssignment",
+    "GenderizeClient",
+    "GenderizeResponse",
+    "WebEvidenceSource",
+    "Evidence",
+    "GenderResolver",
+    "ResolverPolicy",
+    "evaluate_inference",
+    "AccuracyReport",
+    "reassign_unknowns",
+]

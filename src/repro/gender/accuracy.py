@@ -1,0 +1,80 @@
+"""Evaluation of inference methods against ground truth.
+
+The paper argues its manual approach "provided more gender data and
+higher accuracy than automated approaches based on forename and country,
+especially for women" (§2).  Because the synthetic world knows every
+researcher's true gender, we can measure that claim directly: run any
+assignment method over a population and score coverage, accuracy, and the
+per-gender error asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gender.model import Gender, GenderAssignment
+
+__all__ = ["AccuracyReport", "evaluate_inference"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Coverage/accuracy of a gender-assignment run.
+
+    ``accuracy_women``/``accuracy_men`` are computed over researchers of
+    that true gender who received *some* assignment, exposing the
+    asymmetry automated methods exhibit.
+    """
+
+    n: int
+    coverage: float          # fraction assigned (non-UNKNOWN)
+    accuracy: float          # correct / assigned
+    accuracy_women: float
+    accuracy_men: float
+    coverage_women: float
+    coverage_men: float
+
+    def error_asymmetry(self) -> float:
+        """Men-minus-women accuracy gap (positive = worse for women)."""
+        return self.accuracy_men - self.accuracy_women
+
+
+def evaluate_inference(
+    assignments: dict[str, GenderAssignment],
+    truth: dict[str, Gender],
+) -> AccuracyReport:
+    """Score assignments against true genders.
+
+    Researchers whose truth is UNKNOWN are skipped (nothing to score).
+    """
+    n = 0
+    assigned = correct = 0
+    counts = {Gender.F: [0, 0, 0], Gender.M: [0, 0, 0]}  # total, assigned, correct
+    for pid, true_g in truth.items():
+        if true_g is Gender.UNKNOWN:
+            continue
+        n += 1
+        counts[true_g][0] += 1
+        a = assignments.get(pid)
+        if a is None or not a.known:
+            continue
+        assigned += 1
+        counts[true_g][1] += 1
+        if a.gender is true_g:
+            correct += 1
+            counts[true_g][2] += 1
+
+    def safe(num: int, den: int) -> float:
+        return num / den if den else float("nan")
+
+    fw = counts[Gender.F]
+    mw = counts[Gender.M]
+    return AccuracyReport(
+        n=n,
+        coverage=safe(assigned, n),
+        accuracy=safe(correct, assigned),
+        accuracy_women=safe(fw[2], fw[1]),
+        accuracy_men=safe(mw[2], mw[1]),
+        coverage_women=safe(fw[1], fw[0]),
+        coverage_men=safe(mw[1], mw[0]),
+    )

@@ -1,0 +1,81 @@
+"""A deterministic genderize.io stand-in.
+
+The real service returns, for a forename (optionally a country), a gender
+guess, a probability, and the count of records behind it.  Our stand-in
+computes those from the synthetic name banks: the reported probability is
+the name's true female share perturbed by binomial sampling noise at the
+name's (scaled) bearer count — small-count ambiguous names therefore get
+unstable, low-confidence answers, reproducing the service's documented
+weakness on Asian-origin and female names [Santamaria & Mihaljevic 2018].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.names.bank import NameBank, default_bank
+from repro.names.parsing import forename_of
+from repro.gender.model import Gender
+from repro.util.rng import derive_seed
+
+__all__ = ["GenderizeResponse", "GenderizeClient"]
+
+
+@dataclass(frozen=True)
+class GenderizeResponse:
+    """What the service returns for one query.
+
+    ``gender`` is None when the name is absent from the service's data —
+    exactly how genderize.io signals an unknown name.
+    """
+
+    name: str
+    gender: Gender | None
+    probability: float
+    count: int
+
+
+class GenderizeClient:
+    """Simulated remote gender-inference service.
+
+    The client is deterministic for a given ``service_seed``: querying the
+    same name always yields the same response (the real service's data is
+    also fixed at query time).  It also counts queries, letting tests and
+    benchmarks assert the pipeline's call volume (the paper used the
+    service for only 1.79% of researchers).
+    """
+
+    #: scale from corpus weight to pretend record count
+    COUNT_SCALE = 120
+
+    def __init__(self, service_seed: int = 2017, bank: NameBank | None = None) -> None:
+        self._seed = int(service_seed)
+        self._bank = bank or default_bank()
+        self.queries = 0
+
+    def query(self, full_name: str) -> GenderizeResponse:
+        """Query the service with a full name (forename is extracted)."""
+        self.queries += 1
+        forename = forename_of(full_name)
+        if forename is None:
+            return GenderizeResponse(full_name, None, 0.0, 0)
+        entry = self._bank.lookup(forename)
+        if entry is None:
+            return GenderizeResponse(forename, None, 0.0, 0)
+        count = max(1, entry.weight * self.COUNT_SCALE)
+        rng = np.random.default_rng(derive_seed(self._seed, "genderize", forename.lower()))
+        observed_female = int(rng.binomial(count, entry.female_share))
+        p_female = observed_female / count
+        if p_female >= 0.5:
+            gender: Gender = Gender.F
+            prob = p_female
+        else:
+            gender = Gender.M
+            prob = 1.0 - p_female
+        return GenderizeResponse(forename, gender, float(prob), int(count))
+
+    def batch(self, names: list[str]) -> list[GenderizeResponse]:
+        """Query many names (the real API supports batches of 10)."""
+        return [self.query(n) for n in names]

@@ -1,0 +1,30 @@
+"""The unknowns-flipping sensitivity reassignment (§2 Limitations).
+
+"We first artificially set the gender of all 144 unassigned researchers
+to women, and then to men, and recomputed all statistical analyses."
+"""
+
+from __future__ import annotations
+
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+
+__all__ = ["reassign_unknowns"]
+
+
+def reassign_unknowns(
+    assignments: dict[str, GenderAssignment], to: Gender
+) -> dict[str, GenderAssignment]:
+    """Return a copy with every UNKNOWN forced to ``to``.
+
+    The forced assignments are tagged ``InferenceMethod.SENSITIVITY`` so
+    they remain distinguishable downstream.
+    """
+    if to is Gender.UNKNOWN:
+        raise ValueError("sensitivity target must be F or M")
+    out: dict[str, GenderAssignment] = {}
+    for pid, a in assignments.items():
+        if a.known:
+            out[pid] = a
+        else:
+            out[pid] = GenderAssignment(to, InferenceMethod.SENSITIVITY, 0.0)
+    return out

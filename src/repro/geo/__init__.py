@@ -1,0 +1,55 @@
+"""Geography: countries, UN M49 regions, email domains, affiliations.
+
+The paper resolves each researcher's country from email domains and
+Google Scholar affiliations, then aggregates to UN M49 subregions using
+the https://github.com/mledoze/countries dataset.  There is no network in
+this environment, so :mod:`repro.geo.countries` embeds the subset of that
+dataset the paper's tables touch (every country that can appear in
+Table 2, Table 3, or Fig. 7, plus enough others to exercise the unknown
+paths).
+
+Submodules:
+
+- :mod:`repro.geo.countries` — country records and lookups.
+- :mod:`repro.geo.regions`   — subregion constants and ordering used by
+  Table 3.
+- :mod:`repro.geo.domains`   — email address → country.
+- :mod:`repro.geo.sectors`   — COM/EDU/GOV taxonomy.
+- :mod:`repro.geo.affiliations` — hand-coded regex classification of
+  affiliation strings into (country, sector), mirroring the paper's
+  methodology ("using hand-coded regular expressions").
+"""
+
+from repro.geo.countries import (
+    Country,
+    all_countries,
+    country_by_code,
+    country_by_name,
+    country_by_tld,
+)
+from repro.geo.regions import (
+    REGION_ORDER,
+    region_of_country,
+    regions_present,
+)
+from repro.geo.domains import email_country, split_email, academic_tlds
+from repro.geo.sectors import Sector, SECTORS
+from repro.geo.affiliations import classify_affiliation, AffiliationGuess
+
+__all__ = [
+    "Country",
+    "all_countries",
+    "country_by_code",
+    "country_by_name",
+    "country_by_tld",
+    "REGION_ORDER",
+    "region_of_country",
+    "regions_present",
+    "email_country",
+    "split_email",
+    "academic_tlds",
+    "Sector",
+    "SECTORS",
+    "classify_affiliation",
+    "AffiliationGuess",
+]

@@ -1,0 +1,184 @@
+"""Embedded country dataset (subset of mledoze/countries).
+
+Each record carries the fields the paper's pipeline uses: common name,
+ISO 3166-1 alpha-2 code (``cca2``), country-code TLD, UN M49 region and
+subregion.  Subregion strings follow the M49 names exactly as they appear
+in the paper's Table 3 ("Northern America", "Western Europe", ...), with
+the paper's one deviation: it groups Australia and New Zealand as
+"Australia and New Zealand" (the M49 subregion) rather than Oceania.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Country",
+    "all_countries",
+    "country_by_code",
+    "country_by_name",
+    "country_by_tld",
+]
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country record.
+
+    Attributes
+    ----------
+    name:
+        Common English name, e.g. "United States".
+    cca2:
+        ISO 3166-1 alpha-2, e.g. "US".
+    tld:
+        Country-code top-level domain without the dot, e.g. "us".
+    region:
+        M49 region, e.g. "Americas".
+    subregion:
+        M49 subregion as used by Table 3, e.g. "Northern America".
+    """
+
+    name: str
+    cca2: str
+    tld: str
+    region: str
+    subregion: str
+
+
+# name, cca2, tld, region, subregion
+_RAW: list[tuple[str, str, str, str, str]] = [
+    # Northern America
+    ("United States", "US", "us", "Americas", "Northern America"),
+    ("Canada", "CA", "ca", "Americas", "Northern America"),
+    # Western Europe
+    ("France", "FR", "fr", "Europe", "Western Europe"),
+    ("Germany", "DE", "de", "Europe", "Western Europe"),
+    ("Switzerland", "CH", "ch", "Europe", "Western Europe"),
+    ("Netherlands", "NL", "nl", "Europe", "Western Europe"),
+    ("Belgium", "BE", "be", "Europe", "Western Europe"),
+    ("Austria", "AT", "at", "Europe", "Western Europe"),
+    ("Luxembourg", "LU", "lu", "Europe", "Western Europe"),
+    # Eastern Asia
+    ("China", "CN", "cn", "Asia", "Eastern Asia"),
+    ("Japan", "JP", "jp", "Asia", "Eastern Asia"),
+    ("South Korea", "KR", "kr", "Asia", "Eastern Asia"),
+    ("Taiwan", "TW", "tw", "Asia", "Eastern Asia"),
+    ("Hong Kong", "HK", "hk", "Asia", "Eastern Asia"),
+    # Southern Europe
+    ("Spain", "ES", "es", "Europe", "Southern Europe"),
+    ("Italy", "IT", "it", "Europe", "Southern Europe"),
+    ("Greece", "GR", "gr", "Europe", "Southern Europe"),
+    ("Portugal", "PT", "pt", "Europe", "Southern Europe"),
+    ("Slovenia", "SI", "si", "Europe", "Southern Europe"),
+    ("Croatia", "HR", "hr", "Europe", "Southern Europe"),
+    # Northern Europe
+    ("United Kingdom", "GB", "uk", "Europe", "Northern Europe"),
+    ("Sweden", "SE", "se", "Europe", "Northern Europe"),
+    ("Norway", "NO", "no", "Europe", "Northern Europe"),
+    ("Denmark", "DK", "dk", "Europe", "Northern Europe"),
+    ("Finland", "FI", "fi", "Europe", "Northern Europe"),
+    ("Ireland", "IE", "ie", "Europe", "Northern Europe"),
+    ("Iceland", "IS", "is", "Europe", "Northern Europe"),
+    ("Estonia", "EE", "ee", "Europe", "Northern Europe"),
+    # Southern Asia
+    ("India", "IN", "in", "Asia", "Southern Asia"),
+    ("Pakistan", "PK", "pk", "Asia", "Southern Asia"),
+    ("Bangladesh", "BD", "bd", "Asia", "Southern Asia"),
+    ("Sri Lanka", "LK", "lk", "Asia", "Southern Asia"),
+    ("Iran", "IR", "ir", "Asia", "Southern Asia"),
+    # South America
+    ("Brazil", "BR", "br", "Americas", "South America"),
+    ("Argentina", "AR", "ar", "Americas", "South America"),
+    ("Chile", "CL", "cl", "Americas", "South America"),
+    ("Colombia", "CO", "co", "Americas", "South America"),
+    # Australia and New Zealand
+    ("Australia", "AU", "au", "Oceania", "Australia and New Zealand"),
+    ("New Zealand", "NZ", "nz", "Oceania", "Australia and New Zealand"),
+    # Western Asia
+    ("Turkey", "TR", "tr", "Asia", "Western Asia"),
+    ("Israel", "IL", "il", "Asia", "Western Asia"),
+    ("Saudi Arabia", "SA", "sa", "Asia", "Western Asia"),
+    ("United Arab Emirates", "AE", "ae", "Asia", "Western Asia"),
+    ("Qatar", "QA", "qa", "Asia", "Western Asia"),
+    # South-Eastern Asia
+    ("Singapore", "SG", "sg", "Asia", "South-Eastern Asia"),
+    ("Thailand", "TH", "th", "Asia", "South-Eastern Asia"),
+    ("Malaysia", "MY", "my", "Asia", "South-Eastern Asia"),
+    ("Vietnam", "VN", "vn", "Asia", "South-Eastern Asia"),
+    ("Indonesia", "ID", "id", "Asia", "South-Eastern Asia"),
+    ("Philippines", "PH", "ph", "Asia", "South-Eastern Asia"),
+    # Eastern Europe
+    ("Poland", "PL", "pl", "Europe", "Eastern Europe"),
+    ("Czechia", "CZ", "cz", "Europe", "Eastern Europe"),
+    ("Russia", "RU", "ru", "Europe", "Eastern Europe"),
+    ("Hungary", "HU", "hu", "Europe", "Eastern Europe"),
+    ("Romania", "RO", "ro", "Europe", "Eastern Europe"),
+    ("Bulgaria", "BG", "bg", "Europe", "Eastern Europe"),
+    ("Slovakia", "SK", "sk", "Europe", "Eastern Europe"),
+    ("Ukraine", "UA", "ua", "Europe", "Eastern Europe"),
+    # Western Africa
+    ("Nigeria", "NG", "ng", "Africa", "Western Africa"),
+    ("Ghana", "GH", "gh", "Africa", "Western Africa"),
+    ("Senegal", "SN", "sn", "Africa", "Western Africa"),
+    # Central America
+    ("Mexico", "MX", "mx", "Americas", "Central America"),
+    ("Costa Rica", "CR", "cr", "Americas", "Central America"),
+    ("Guatemala", "GT", "gt", "Americas", "Central America"),
+    # Central Asia
+    ("Kazakhstan", "KZ", "kz", "Asia", "Central Asia"),
+    ("Uzbekistan", "UZ", "uz", "Asia", "Central Asia"),
+    # Northern Africa
+    ("Egypt", "EG", "eg", "Africa", "Northern Africa"),
+    ("Algeria", "DZ", "dz", "Africa", "Northern Africa"),
+    ("Morocco", "MA", "ma", "Africa", "Northern Africa"),
+    ("Tunisia", "TN", "tn", "Africa", "Northern Africa"),
+    # Southern Africa / Eastern Africa (not in Table 3 but harvestable)
+    ("South Africa", "ZA", "za", "Africa", "Southern Africa"),
+    ("Kenya", "KE", "ke", "Africa", "Eastern Africa"),
+]
+
+_COUNTRIES: tuple[Country, ...] = tuple(Country(*row) for row in _RAW)
+_BY_CODE = {c.cca2: c for c in _COUNTRIES}
+_BY_NAME = {c.name.lower(): c for c in _COUNTRIES}
+_BY_TLD = {c.tld: c for c in _COUNTRIES}
+
+# Aliases seen in affiliation strings and the paper's own tables.
+_NAME_ALIASES = {
+    "usa": "US",
+    "united states of america": "US",
+    "uk": "GB",
+    "great britain": "GB",
+    "england": "GB",
+    "korea": "KR",
+    "republic of korea": "KR",
+    "czech republic": "CZ",
+    "uae": "AE",
+    "viet nam": "VN",
+    "russian federation": "RU",
+    "prc": "CN",
+}
+
+
+def all_countries() -> tuple[Country, ...]:
+    """All embedded country records (immutable)."""
+    return _COUNTRIES
+
+
+def country_by_code(cca2: str) -> Country | None:
+    """Lookup by ISO alpha-2 code (case-insensitive)."""
+    return _BY_CODE.get(cca2.upper())
+
+
+def country_by_name(name: str) -> Country | None:
+    """Lookup by common name or known alias (case-insensitive)."""
+    key = name.strip().lower()
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    alias = _NAME_ALIASES.get(key)
+    return _BY_CODE.get(alias) if alias else None
+
+
+def country_by_tld(tld: str) -> Country | None:
+    """Lookup by country-code TLD (with or without leading dot)."""
+    return _BY_TLD.get(tld.lstrip(".").lower())

@@ -1,0 +1,53 @@
+"""Email-address → country resolution.
+
+"Many authors also included their email address in the full text of the
+paper, from which we inferred more timely affiliation and country
+information" (§2).  Country-code TLDs resolve directly; the generic TLDs
+(.com/.org/.net) yield no country, and .edu/.gov/.mil imply the United
+States (they are US-administered TLDs).
+"""
+
+from __future__ import annotations
+
+from repro.geo.countries import Country, country_by_tld
+
+__all__ = ["split_email", "email_country", "academic_tlds"]
+
+_US_TLDS = frozenset({"edu", "gov", "mil"})
+_GENERIC_TLDS = frozenset({"com", "org", "net", "io", "ai", "info"})
+
+
+def academic_tlds() -> frozenset[str]:
+    """US-administered TLDs that imply a US affiliation."""
+    return _US_TLDS
+
+
+def split_email(address: str) -> tuple[str, str] | None:
+    """Split ``local@domain`` into (local, domain); None if malformed."""
+    addr = address.strip()
+    if addr.count("@") != 1:
+        return None
+    local, domain = addr.split("@")
+    if not local or "." not in domain:
+        return None
+    return local, domain.lower()
+
+
+def email_country(address: str) -> Country | None:
+    """Infer the country from an email address, or None.
+
+    Resolution order: country-code TLD, then US-administered TLDs
+    (.edu/.gov/.mil → US).  Generic TLDs resolve to None — the pipeline
+    then falls back to the scholar-profile affiliation.
+    """
+    parts = split_email(address)
+    if parts is None:
+        return None
+    _, domain = parts
+    tld = domain.rsplit(".", 1)[-1]
+    if tld in _GENERIC_TLDS:
+        return None
+    if tld in _US_TLDS:
+        return country_by_tld("us")
+    # .ac.uk style: the country TLD is still the last label
+    return country_by_tld(tld)

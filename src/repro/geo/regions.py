@@ -1,0 +1,40 @@
+"""UN M49 subregion constants in the paper's Table 3 order."""
+
+from __future__ import annotations
+
+from repro.geo.countries import Country, all_countries, country_by_code
+
+__all__ = ["REGION_ORDER", "region_of_country", "regions_present"]
+
+# Table 3 lists regions sorted by total authors; this is that order.
+REGION_ORDER: tuple[str, ...] = (
+    "Northern America",
+    "Western Europe",
+    "Eastern Asia",
+    "Southern Europe",
+    "Northern Europe",
+    "Southern Asia",
+    "South America",
+    "Australia and New Zealand",
+    "Western Asia",
+    "South-Eastern Asia",
+    "Eastern Europe",
+    "Western Africa",
+    "Central America",
+    "Central Asia",
+    "Northern Africa",
+)
+
+
+def region_of_country(cca2: str) -> str | None:
+    """M49 subregion of a country code, or None if unknown."""
+    c = country_by_code(cca2)
+    return c.subregion if c else None
+
+
+def regions_present() -> tuple[str, ...]:
+    """Every subregion covered by the embedded dataset."""
+    seen: dict[str, None] = {}
+    for c in all_countries():
+        seen.setdefault(c.subregion, None)
+    return tuple(seen.keys())

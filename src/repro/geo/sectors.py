@@ -1,0 +1,29 @@
+"""Work-sector taxonomy (COM / EDU / GOV).
+
+The paper buckets affiliations as "COM" for industry, "EDU" for academia,
+and "GOV" for government and national labs (§2, §5.3).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Sector", "SECTORS"]
+
+
+class Sector(str, Enum):
+    """The paper's three-way work-sector classification."""
+
+    COM = "COM"  # industry
+    EDU = "EDU"  # academia
+    GOV = "GOV"  # government / national labs
+
+    def describe(self) -> str:
+        return {
+            Sector.COM: "industry",
+            Sector.EDU: "academia",
+            Sector.GOV: "government and national labs",
+        }[self]
+
+
+SECTORS: tuple[Sector, ...] = (Sector.COM, Sector.EDU, Sector.GOV)

@@ -1,0 +1,50 @@
+"""Harvesting: synthetic conference websites and their scraping.
+
+The original study scraped conference websites and proceedings.  Without
+a network, we generate the websites *from the ground-truth world* and
+scrape them back, so the parse/extract/reconcile code path is fully
+exercised and testable (round-trip tests + injected malformations).
+
+- :mod:`repro.harvest.html`        — a minimal HTML builder and parser
+  (tokenizer → element tree → class/tag queries).
+- :mod:`repro.harvest.sitegen`     — conference website generator
+  (index, committees, program, papers pages).
+- :mod:`repro.harvest.proceedings` — proceedings records with author
+  emails embedded in the full text.
+- :mod:`repro.harvest.scrape`      — parses the website back into
+  structured records.
+- :mod:`repro.harvest.dblp`        — a DBLP-flavoured XML export/import
+  of the paper records (alternative ingest path).
+- :mod:`repro.harvest.webindex`    — the simulated personal-web lookup
+  used by the manual gender-assignment step (name-keyed, ambiguity-aware).
+"""
+
+from repro.harvest.html import HtmlElement, parse_html, el, render
+from repro.harvest.sitegen import generate_site, ConferenceSite
+from repro.harvest.proceedings import ProceedingsRecord, build_proceedings
+from repro.harvest.scrape import (
+    scrape_site,
+    HarvestedConference,
+    HarvestedPaper,
+    HarvestedRole,
+)
+from repro.harvest.dblp import to_dblp_xml, from_dblp_xml
+from repro.harvest.webindex import build_name_keyed_evidence
+
+__all__ = [
+    "HtmlElement",
+    "parse_html",
+    "el",
+    "render",
+    "generate_site",
+    "ConferenceSite",
+    "ProceedingsRecord",
+    "build_proceedings",
+    "scrape_site",
+    "HarvestedConference",
+    "HarvestedPaper",
+    "HarvestedRole",
+    "to_dblp_xml",
+    "from_dblp_xml",
+    "build_name_keyed_evidence",
+]

@@ -1,0 +1,59 @@
+"""DBLP-flavoured XML export/import of paper records.
+
+A second, independent ingest path: bibliographic databases like DBLP
+publish conference tocs as XML.  Round-tripping through this format
+cross-checks the website scraper (the pipeline tests assert both paths
+agree on authors and titles).
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+from repro.harvest.scrape import HarvestedPaper
+
+__all__ = ["to_dblp_xml", "from_dblp_xml"]
+
+
+def to_dblp_xml(
+    conference: str, year: int, papers: list[HarvestedPaper]
+) -> str:
+    """Serialize papers as a DBLP-like ``<dblp>`` document."""
+    root = ET.Element("dblp")
+    for p in papers:
+        entry = ET.SubElement(
+            root, "inproceedings", {"key": f"conf/{conference.lower()}/{p.paper_id}"}
+        )
+        for name in p.author_names:
+            ET.SubElement(entry, "author").text = name
+        ET.SubElement(entry, "title").text = p.title
+        ET.SubElement(entry, "year").text = str(year)
+        ET.SubElement(entry, "booktitle").text = conference
+    return ET.tostring(root, encoding="unicode")
+
+
+def from_dblp_xml(xml_text: str) -> list[HarvestedPaper]:
+    """Parse a DBLP-like document back into harvested papers.
+
+    Emails/citations are not part of DBLP records and come back empty.
+    """
+    root = ET.fromstring(xml_text)
+    out: list[HarvestedPaper] = []
+    for entry in root.findall("inproceedings"):
+        key = entry.get("key", "")
+        m = re.search(r"/([^/]+)$", key)
+        pid = m.group(1) if m else key
+        names = tuple(a.text or "" for a in entry.findall("author"))
+        title_node = entry.find("title")
+        out.append(
+            HarvestedPaper(
+                paper_id=pid,
+                title=title_node.text or "" if title_node is not None else "",
+                author_names=names,
+                author_emails=tuple(None for _ in names),
+                citations_36mo=None,
+                is_hpc_topic=None,
+            )
+        )
+    return out

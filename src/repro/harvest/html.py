@@ -1,0 +1,167 @@
+"""A minimal HTML subset: builder, tokenizer, element tree, queries.
+
+The generated conference sites use a small, well-formed HTML subset
+(nested elements, double-quoted attributes, text nodes, HTML entities
+for ``& < >``), and this module implements both directions.  The parser
+is a hand-rolled tokenizer + stack builder — not a full HTML5 parser,
+but robust to the malformations the tests inject (unknown tags, extra
+whitespace, missing optional attributes, comments).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["HtmlElement", "el", "render", "parse_html"]
+
+_VOID_TAGS = frozenset({"br", "hr", "img", "meta", "link", "input"})
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;"), ('"', "&quot;")]
+
+
+def escape(text: str) -> str:
+    for raw, enc in _ESCAPES:
+        text = text.replace(raw, enc)
+    return text
+
+
+def unescape(text: str) -> str:
+    for raw, enc in reversed(_ESCAPES):
+        text = text.replace(enc, raw)
+    return text
+
+
+@dataclass
+class HtmlElement:
+    """An element node; children are elements or raw strings."""
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["HtmlElement | str"] = field(default_factory=list)
+
+    # ----------------------------------------------------------- building
+
+    def add(self, *children: "HtmlElement | str") -> "HtmlElement":
+        self.children.extend(children)
+        return self
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def classes(self) -> frozenset[str]:
+        return frozenset(self.attrs.get("class", "").split())
+
+    def text(self) -> str:
+        """Concatenated text of the subtree, whitespace-normalized."""
+        parts: list[str] = []
+
+        def walk(node: "HtmlElement | str") -> None:
+            if isinstance(node, str):
+                parts.append(node)
+            else:
+                for c in node.children:
+                    walk(c)
+
+        walk(self)
+        return re.sub(r"\s+", " ", "".join(parts)).strip()
+
+    def iter(self) -> Iterator["HtmlElement"]:
+        """Depth-first iteration over element nodes (self included)."""
+        yield self
+        for c in self.children:
+            if isinstance(c, HtmlElement):
+                yield from c.iter()
+
+    def find_all(
+        self, tag: str | None = None, cls: str | None = None
+    ) -> list["HtmlElement"]:
+        """All descendants (self included) matching tag and/or class."""
+        out = []
+        for node in self.iter():
+            if tag is not None and node.tag != tag:
+                continue
+            if cls is not None and cls not in node.classes:
+                continue
+            out.append(node)
+        return out
+
+    def find(self, tag: str | None = None, cls: str | None = None) -> "HtmlElement | None":
+        hits = self.find_all(tag, cls)
+        return hits[0] if hits else None
+
+
+def el(tag: str, *children: HtmlElement | str, **attrs: str) -> HtmlElement:
+    """Element constructor: ``el("div", "text", cls="row")``.
+
+    The keyword ``cls`` maps to the ``class`` attribute.
+    """
+    mapped = {("class" if k == "cls" else k): v for k, v in attrs.items()}
+    return HtmlElement(tag, mapped, list(children))
+
+
+def render(node: HtmlElement | str, indent: int = 0) -> str:
+    """Serialize a tree to HTML text."""
+    if isinstance(node, str):
+        return escape(node)
+    attrs = "".join(f' {k}="{escape(v)}"' for k, v in node.attrs.items())
+    if node.tag in _VOID_TAGS:
+        return f"<{node.tag}{attrs}/>"
+    inner = "".join(render(c) for c in node.children)
+    return f"<{node.tag}{attrs}>{inner}</{node.tag}>"
+
+
+# ---------------------------------------------------------------- parsing
+
+_TOKEN = re.compile(
+    r"<!--.*?-->"                 # comments (dropped)
+    r"|<!/?[A-Za-z][^>]*>"        # doctype-ish (dropped)
+    r"|</\s*([A-Za-z][\w-]*)\s*>"  # closing tag
+    r"|<\s*([A-Za-z][\w-]*)((?:\s+[^<>]*?)?)\s*(/?)>"  # opening (attrs lax)
+    r"|([^<]+)",                  # text
+    re.DOTALL,
+)
+_ATTR = re.compile(r'([\w-]+)\s*=\s*"([^"]*)"')
+
+
+class HtmlParseError(ValueError):
+    """Raised on mismatched tags or truncated input."""
+
+
+def parse_html(text: str) -> HtmlElement:
+    """Parse HTML text into a tree rooted at a synthetic ``#root``.
+
+    Raises :class:`HtmlParseError` on mismatched close tags.  Unclosed
+    tags at EOF are tolerated (auto-closed), as real scrapers must.
+    """
+    root = HtmlElement("#root")
+    stack: list[HtmlElement] = [root]
+    pos = 0
+    for m in _TOKEN.finditer(text):
+        if m.start() != pos:
+            # stray '<' that matched nothing — treat as text
+            stack[-1].children.append(text[pos : m.start()])
+        pos = m.end()
+        close_tag, open_tag, attr_text, self_close, raw_text = m.groups()
+        if raw_text is not None:
+            if raw_text.strip():
+                stack[-1].children.append(unescape(raw_text))
+        elif open_tag is not None:
+            attrs = {k: unescape(v) for k, v in _ATTR.findall(attr_text or "")}
+            node = HtmlElement(open_tag.lower(), attrs)
+            stack[-1].children.append(node)
+            if not self_close and open_tag.lower() not in _VOID_TAGS:
+                stack.append(node)
+        elif close_tag is not None:
+            name = close_tag.lower()
+            # pop until match; tolerate interleaving by auto-closing
+            names = [n.tag for n in stack[1:]]
+            if name not in names:
+                raise HtmlParseError(f"unmatched closing tag </{name}>")
+            while stack[-1].tag != name:
+                stack.pop()
+            stack.pop()
+    if pos != len(text) and text[pos:].strip():
+        stack[-1].children.append(text[pos:])
+    return root

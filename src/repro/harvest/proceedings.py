@@ -1,0 +1,75 @@
+"""Proceedings records: the papers' full-text artifacts.
+
+"Many authors also included their email address in the full text of the
+paper" (§2) — the proceedings record therefore embeds a header block
+with author names and (for those who have one) their emails, from which
+the pipeline re-extracts contact information.  Citation counts are
+attached as-of 36 months, standing in for the later citation-index
+query the authors performed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.confmodel.registry import WorldRegistry
+
+__all__ = ["ProceedingsRecord", "build_proceedings", "extract_emails"]
+
+_EMAIL_RE = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
+
+
+@dataclass(frozen=True)
+class ProceedingsRecord:
+    """One paper's archival record."""
+
+    paper_id: str
+    conference: str
+    year: int
+    title: str
+    author_names: tuple[str, ...]
+    fulltext_header: str      # the scanned front page (names + emails)
+    citations_36mo: int
+    is_hpc_topic: bool        # §4.1's manual topic tag
+
+    def emails(self) -> list[str]:
+        """Emails appearing in the full-text header (document order)."""
+        return extract_emails(self.fulltext_header)
+
+
+def extract_emails(text: str) -> list[str]:
+    """All email addresses in free text (simple RFC-ish regex)."""
+    return _EMAIL_RE.findall(text)
+
+
+def build_proceedings(
+    registry: WorldRegistry, conference: str, year: int
+) -> list[ProceedingsRecord]:
+    """Build the proceedings for one conference edition."""
+    records = []
+    for paper in registry.papers_of(conference, year):
+        names = []
+        lines = [paper.title, ""]
+        for a in paper.authorships:
+            person = registry.people[a.person_id]
+            names.append(person.full_name)
+            if person.email:
+                lines.append(f"{person.full_name} <{person.email}>")
+            else:
+                lines.append(person.full_name)
+        lines.append("")
+        lines.append("Abstract - We present a system for high performance computing.")
+        records.append(
+            ProceedingsRecord(
+                paper_id=paper.paper_id,
+                conference=conference,
+                year=year,
+                title=paper.title,
+                author_names=tuple(names),
+                fulltext_header="\n".join(lines),
+                citations_36mo=paper.citations_36mo,
+                is_hpc_topic=paper.is_hpc,
+            )
+        )
+    return records

@@ -1,0 +1,134 @@
+"""Scraping the generated conference websites back into records.
+
+This is the inverse of :mod:`repro.harvest.sitegen` and the entry point
+of the analysis pipeline: from here on, nothing reads the ground truth.
+The scraper is defensive — missing sections yield empty lists, malformed
+numbers yield ``None`` — because the round-trip tests inject exactly
+those malformations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harvest.html import parse_html
+from repro.harvest.proceedings import ProceedingsRecord
+from repro.harvest.sitegen import ConferenceSite
+
+__all__ = ["HarvestedRole", "HarvestedPaper", "HarvestedConference", "scrape_site"]
+
+
+@dataclass(frozen=True)
+class HarvestedRole:
+    """A name observed in a role on a conference page."""
+
+    full_name: str
+    role: str  # sitegen's css class: pc-chair, pc-member, keynote, ...
+
+
+@dataclass(frozen=True)
+class HarvestedPaper:
+    """A paper as observed on the accepted-papers page + proceedings."""
+
+    paper_id: str
+    title: str
+    author_names: tuple[str, ...]
+    author_emails: tuple[str | None, ...]  # aligned with author_names
+    citations_36mo: int | None
+    is_hpc_topic: bool | None
+
+
+@dataclass
+class HarvestedConference:
+    """Everything scraped for one conference edition."""
+
+    conference: str
+    year: int
+    date: str | None = None
+    country: str | None = None
+    accepted: int | None = None
+    submitted: int | None = None
+    review_policy: str | None = None
+    diversity_policies: tuple[str, ...] = ()
+    roles: list[HarvestedRole] = field(default_factory=list)
+    papers: list[HarvestedPaper] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float | None:
+        if self.accepted and self.submitted:
+            return self.accepted / self.submitted
+        return None
+
+
+_ROLE_CLASSES = ("pc-chair", "pc-member", "keynote", "panelist", "session-chair")
+
+
+def _maybe_int(text: str | None) -> int | None:
+    if text is None:
+        return None
+    try:
+        return int(text.strip())
+    except ValueError:
+        return None
+
+
+def _first_text(root, cls: str) -> str | None:
+    node = root.find(cls=cls)
+    return node.text() if node is not None else None
+
+
+def scrape_site(
+    site: ConferenceSite, proceedings: list[ProceedingsRecord] | None = None
+) -> HarvestedConference:
+    """Parse a conference site (+ optional proceedings) into records."""
+    out = HarvestedConference(conference=site.conference, year=site.year)
+
+    # ---- index ------------------------------------------------------------
+    index = parse_html(site.index_html)
+    out.date = _first_text(index, "conf-date")
+    out.country = _first_text(index, "conf-country")
+    out.accepted = _maybe_int(_first_text(index, "conf-accepted"))
+    out.submitted = _maybe_int(_first_text(index, "conf-submitted"))
+    out.review_policy = _first_text(index, "conf-review-policy")
+    out.diversity_policies = tuple(
+        n.text() for n in index.find_all(cls="diversity-policy")
+    )
+
+    # ---- roles --------------------------------------------------------------
+    for page in (site.committees_html, site.program_html):
+        root = parse_html(page)
+        for cls in _ROLE_CLASSES:
+            for node in root.find_all(tag="li", cls=cls):
+                name = node.text()
+                if name:
+                    out.roles.append(HarvestedRole(full_name=name, role=cls))
+
+    # ---- papers ----------------------------------------------------------------
+    papers_root = parse_html(site.papers_html)
+    by_id = {r.paper_id: r for r in (proceedings or [])}
+    for node in papers_root.find_all(cls="paper"):
+        title = _first_text(node, "paper-title") or ""
+        pid = _first_text(node, "paper-id") or ""
+        names = tuple(a.text() for a in node.find_all(tag="li", cls="paper-author"))
+        rec = by_id.get(pid)
+        emails: tuple[str | None, ...]
+        if rec is not None:
+            found = {}
+            for line in rec.fulltext_header.splitlines():
+                for name in names:
+                    if line.startswith(name) and "<" in line and "@" in line:
+                        found[name] = line[line.index("<") + 1 : line.rindex(">")]
+            emails = tuple(found.get(n) for n in names)
+        else:
+            emails = tuple(None for _ in names)
+        out.papers.append(
+            HarvestedPaper(
+                paper_id=pid,
+                title=title,
+                author_names=names,
+                author_emails=emails,
+                citations_36mo=rec.citations_36mo if rec else None,
+                is_hpc_topic=rec.is_hpc_topic if rec else None,
+            )
+        )
+    return out

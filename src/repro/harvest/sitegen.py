@@ -1,0 +1,139 @@
+"""Conference website generation from the ground-truth world.
+
+Each conference edition becomes four pages mirroring the structure the
+original study scraped:
+
+- ``index.html``      — dates, host country, acceptance statistics,
+  review policy, advertised diversity policies;
+- ``committees.html`` — PC chairs and PC members (names only, like real
+  committee pages);
+- ``program.html``    — keynote speakers, panelists, session chairs;
+- ``papers.html``     — accepted papers with ordered author lists.
+
+Emails are *not* on the website — they live in the proceedings full text
+(:mod:`repro.harvest.proceedings`), exactly as in the paper's
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.confmodel.registry import WorldRegistry
+from repro.confmodel.roles import Role
+from repro.harvest.html import HtmlElement, el, render
+
+__all__ = ["ConferenceSite", "generate_site"]
+
+
+@dataclass(frozen=True)
+class ConferenceSite:
+    """The generated pages of one conference edition (rendered HTML)."""
+
+    conference: str
+    year: int
+    index_html: str
+    committees_html: str
+    program_html: str
+    papers_html: str
+
+
+def _page(title: str, *body: HtmlElement) -> str:
+    doc = el(
+        "html",
+        el("head", el("title", title)),
+        el("body", el("h1", title), *body),
+    )
+    return render(doc)
+
+
+def _name_list(cls: str, names: list[str]) -> HtmlElement:
+    return el("ul", *[el("li", n, cls=cls) for n in names], cls=f"{cls}-list")
+
+
+def generate_site(registry: WorldRegistry, conference: str, year: int) -> ConferenceSite:
+    """Render one conference edition's website."""
+    key = f"{conference}-{year}"
+    edition = registry.editions[key]
+    conf = edition.conference
+
+    # ---- index -----------------------------------------------------------
+    policies = []
+    d = conf.diversity
+    if d.diversity_chair:
+        policies.append("Diversity & Inclusivity Chair")
+    if d.code_of_conduct:
+        policies.append("Code of Conduct")
+    if d.childcare:
+        policies.append("On-site childcare")
+    if d.demographic_reporting:
+        policies.append("Demographic reporting")
+    index = _page(
+        f"{conference} {year}",
+        el("p", edition.date, cls="conf-date"),
+        el("p", conf.country_code, cls="conf-country"),
+        el("p", f"{edition.accepted}", cls="conf-accepted"),
+        el("p", f"{edition.submitted}", cls="conf-submitted"),
+        el("p", conf.review_policy.value, cls="conf-review-policy"),
+        el(
+            "div",
+            *[el("span", p, cls="diversity-policy") for p in policies],
+            cls="diversity-policies",
+        ),
+    )
+
+    # ---- committees --------------------------------------------------------
+    def names_for(role: Role) -> list[str]:
+        return [
+            registry.people[r.person_id].full_name
+            for r in registry.roles_of(conference, year, role)
+        ]
+
+    committees = _page(
+        f"{conference} {year} Committees",
+        el("h2", "Program Committee Chairs"),
+        _name_list("pc-chair", names_for(Role.PC_CHAIR)),
+        el("h2", "Program Committee"),
+        _name_list("pc-member", names_for(Role.PC_MEMBER)),
+    )
+
+    # ---- program -------------------------------------------------------------
+    program = _page(
+        f"{conference} {year} Program",
+        el("h2", "Keynote Speakers"),
+        _name_list("keynote", names_for(Role.KEYNOTE)),
+        el("h2", "Panelists"),
+        _name_list("panelist", names_for(Role.PANELIST)),
+        el("h2", "Session Chairs"),
+        _name_list("session-chair", names_for(Role.SESSION_CHAIR)),
+    )
+
+    # ---- papers ----------------------------------------------------------------
+    items = []
+    for paper in registry.papers_of(conference, year):
+        authors = [
+            registry.people[a.person_id].full_name for a in paper.authorships
+        ]
+        items.append(
+            el(
+                "div",
+                el("span", paper.title, cls="paper-title"),
+                el("span", paper.paper_id, cls="paper-id"),
+                el(
+                    "ol",
+                    *[el("li", n, cls="paper-author") for n in authors],
+                    cls="paper-authors",
+                ),
+                cls="paper",
+            )
+        )
+    papers = _page(f"{conference} {year} Accepted Papers", *items)
+
+    return ConferenceSite(
+        conference=conference,
+        year=year,
+        index_html=index,
+        committees_html=committees,
+        program_html=program,
+        papers_html=papers,
+    )

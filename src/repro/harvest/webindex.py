@@ -1,0 +1,46 @@
+"""Name-keyed personal-web evidence (the manual lookup's search step).
+
+The paper's annotators searched researchers *by name* and required "an
+unambiguous web page".  When two researchers share a name, no page is
+unambiguous, so the lookup fails — an inherent limitation the simulation
+must preserve.  This module projects the world's person-keyed evidence
+onto name keys, blanking out collisions.
+"""
+
+from __future__ import annotations
+
+from repro.confmodel.registry import WorldRegistry
+from repro.gender.model import Gender
+from repro.gender.webevidence import EvidenceKind
+from repro.names.parsing import name_key
+
+__all__ = ["build_name_keyed_evidence"]
+
+
+def build_name_keyed_evidence(
+    registry: WorldRegistry,
+    evidence_availability: dict[str, EvidenceKind],
+    true_genders: dict[str, Gender],
+) -> tuple[dict[str, EvidenceKind], dict[str, Gender]]:
+    """Project evidence/truth maps from person ids onto name keys.
+
+    Returns ``(availability, truth)`` keyed by :func:`name_key`.  Names
+    borne by more than one person map to ``EvidenceKind.NONE`` (no
+    unambiguous page exists) with ``Gender.UNKNOWN`` truth — the manual
+    step then fails over to genderize, as it should.
+    """
+    holders: dict[str, list[str]] = {}
+    for pid, person in registry.people.items():
+        holders.setdefault(name_key(person.full_name), []).append(pid)
+
+    availability: dict[str, EvidenceKind] = {}
+    truth: dict[str, Gender] = {}
+    for key, pids in holders.items():
+        if len(pids) == 1:
+            pid = pids[0]
+            availability[key] = evidence_availability.get(pid, EvidenceKind.NONE)
+            truth[key] = true_genders.get(pid, Gender.UNKNOWN)
+        else:
+            availability[key] = EvidenceKind.NONE
+            truth[key] = Gender.UNKNOWN
+    return availability, truth

@@ -1,0 +1,29 @@
+"""Synthetic name corpora with per-name gender statistics.
+
+Gender inference from forenames ("genderize"-style) needs a name
+universe whose statistical texture matches reality in the ways the paper
+cares about (§2): Western forenames are strongly gendered, romanized
+Asian forenames are often ambiguous, and inference is systematically less
+accurate for women and for names of Asian origin.  This package provides
+that universe:
+
+- :mod:`repro.names.corpora` — per-cultural-cluster name banks
+  (forenames with female-share and frequency, surnames).
+- :mod:`repro.names.bank` — the :class:`NameBank` sampling/lookup API.
+- :mod:`repro.names.parsing` — forename extraction and normalization.
+"""
+
+from repro.names.bank import NameBank, ForenameEntry, default_bank
+from repro.names.corpora import CLUSTERS, cluster_for_country
+from repro.names.parsing import forename_of, normalize_name, name_key
+
+__all__ = [
+    "NameBank",
+    "ForenameEntry",
+    "default_bank",
+    "CLUSTERS",
+    "cluster_for_country",
+    "forename_of",
+    "normalize_name",
+    "name_key",
+]

@@ -1,0 +1,48 @@
+"""Name string manipulation: forename extraction and normalization.
+
+The pipeline links records from different sources (proceedings, committee
+pages, scholar profiles) by name; these helpers define the canonical key.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+__all__ = ["forename_of", "normalize_name", "name_key"]
+
+_WS = re.compile(r"\s+")
+_INITIAL = re.compile(r"^[A-Za-z]\.?$")
+
+
+def normalize_name(name: str) -> str:
+    """Collapse whitespace and strip; preserves case and diacritics."""
+    return _WS.sub(" ", name).strip()
+
+
+def forename_of(full_name: str) -> str | None:
+    """First non-initial token of a full name, or None.
+
+    "R. Smith" has no usable forename (an initial cannot be gender-
+    inferred); "Rhody D. Kaner" yields "Rhody".
+    """
+    tokens = normalize_name(full_name).split(" ")
+    for tok in tokens[:-1] or tokens:
+        if not _INITIAL.match(tok):
+            return tok
+    return None
+
+
+def _strip_accents(text: str) -> str:
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def name_key(full_name: str) -> str:
+    """Canonical matching key: accent-folded, lowercase, single spaces.
+
+    Used for identity resolution across harvested sources.  Two people
+    with the same key are treated as the same researcher — the same
+    (documented) failure mode real bibliometric pipelines have.
+    """
+    return _strip_accents(normalize_name(full_name)).lower()

@@ -1,0 +1,264 @@
+"""The tabular analysis dataset.
+
+Everything §3–§5 computes comes off four tables (plus conference
+metadata), mirroring the study's own R data frames:
+
+- ``researchers``       — one row per unique researcher;
+- ``author_positions``  — one row per authorship position (the paper's
+  "2,236 authors" denominates positions);
+- ``conf_authors``      — one row per (conference, researcher): the
+  per-conference unique-author view of Table 1;
+- ``papers``            — one row per paper with lead/last gender and
+  reception metrics;
+- ``conferences``       — per-edition metadata (review policy, diversity
+  policies, acceptance).
+
+Gender columns hold 'F', 'M', or missing (None) — missing researchers
+are excluded from denominators exactly as in the paper.  The dataset can
+be cheaply re-derived under different gender assignments
+(:meth:`AnalysisDataset.with_assignments`), which is how the sensitivity
+analysis re-runs everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.confmodel.roles import Role
+from repro.gender.model import Gender, GenderAssignment
+from repro.pipeline.enrich import Enrichment
+from repro.pipeline.link import LinkedData
+from repro.tabular import Table
+
+__all__ = ["AnalysisDataset"]
+
+
+def _gender_str(a: GenderAssignment | None) -> str | None:
+    if a is None or not a.known:
+        return None
+    return a.gender.value
+
+
+@dataclass
+class AnalysisDataset:
+    """The pipeline's final product; input of every analysis module."""
+
+    researchers: Table
+    author_positions: Table
+    conf_authors: Table
+    papers: Table
+    conferences: Table
+    role_slots: Table            # non-author roles, one row per seat
+    assignments: dict[str, GenderAssignment] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def build(
+        cls,
+        linked: LinkedData,
+        enrichment: dict[str, Enrichment],
+        assignments: dict[str, GenderAssignment],
+    ) -> "AnalysisDataset":
+        gender = {rid: _gender_str(assignments.get(rid)) for rid in linked.researchers}
+
+        # ---- researchers ---------------------------------------------------
+        rows = []
+        for rid, rec in linked.researchers.items():
+            e = enrichment.get(rid)
+            a = assignments.get(rid)
+            rows.append(
+                {
+                    "researcher_id": rid,
+                    "full_name": rec.full_name,
+                    "gender": gender[rid],
+                    "gender_method": (a.method.value if a else "none"),
+                    "country": e.country_code if e else None,
+                    "region": e.region if e else None,
+                    "sector": e.sector if e else None,
+                    "is_author": rec.is_author,
+                    "is_pc": rec.is_pc_member,
+                    "gs_pubs": e.gs_publications if e else None,
+                    "gs_h": e.gs_h_index if e else None,
+                    "gs_i10": e.gs_i10 if e else None,
+                    "gs_citations": e.gs_citations if e else None,
+                    "s2_pubs": e.s2_publications if e else None,
+                    "has_gs": bool(e and e.has_gs),
+                }
+            )
+        researchers = Table.from_records(rows)
+
+        # ---- author positions ------------------------------------------------
+        pos_rows = []
+        conf_author_pairs: dict[tuple[str, str], dict] = {}
+        for paper in linked.papers:
+            n = len(paper.author_ids)
+            for k, rid in enumerate(paper.author_ids):
+                pos_rows.append(
+                    {
+                        "paper_id": paper.paper_id,
+                        "conference": paper.conference,
+                        "year": paper.year,
+                        "researcher_id": rid,
+                        "position": k,
+                        "is_first": k == 0,
+                        "is_last": n > 1 and k == n - 1,
+                        "gender": gender.get(rid),
+                    }
+                )
+                key = (paper.conference, rid)
+                if key not in conf_author_pairs:
+                    e = enrichment.get(rid)
+                    conf_author_pairs[key] = {
+                        "conference": paper.conference,
+                        "year": paper.year,
+                        "researcher_id": rid,
+                        "gender": gender.get(rid),
+                        "country": e.country_code if e else None,
+                        "region": e.region if e else None,
+                        "sector": e.sector if e else None,
+                    }
+        author_positions = Table.from_records(pos_rows)
+        conf_authors = Table.from_records(list(conf_author_pairs.values()))
+
+        # ---- papers ------------------------------------------------------------
+        paper_rows = []
+        for paper in linked.papers:
+            first = paper.author_ids[0] if paper.author_ids else None
+            last = paper.author_ids[-1] if len(paper.author_ids) > 1 else None
+            cites = paper.citations_36mo
+            paper_rows.append(
+                {
+                    "paper_id": paper.paper_id,
+                    "conference": paper.conference,
+                    "year": paper.year,
+                    "num_authors": len(paper.author_ids),
+                    "first_author": first,
+                    "last_author": last,
+                    "first_gender": gender.get(first) if first else None,
+                    "last_gender": gender.get(last) if last else None,
+                    "citations_36mo": cites,
+                    "reaches_i10": (cites >= 10) if cites is not None else None,
+                    "is_hpc": paper.is_hpc_topic,
+                }
+            )
+        papers = Table.from_records(paper_rows)
+
+        # ---- conferences -------------------------------------------------------
+        conf_rows = []
+        for conf in linked.conferences:
+            conf_rows.append(
+                {
+                    "conference": conf.conference,
+                    "year": conf.year,
+                    "date": conf.date,
+                    "country": conf.country,
+                    "accepted": conf.accepted,
+                    "submitted": conf.submitted,
+                    "acceptance_rate": conf.acceptance_rate,
+                    "double_blind": conf.review_policy == "double",
+                    "diversity_chair": any(
+                        "Chair" in p for p in conf.diversity_policies
+                    ),
+                    "code_of_conduct": any(
+                        "Conduct" in p for p in conf.diversity_policies
+                    ),
+                    "childcare": any("childcare" in p for p in conf.diversity_policies),
+                    "demographic_reporting": any(
+                        "Demographic" in p for p in conf.diversity_policies
+                    ),
+                }
+            )
+        conferences = Table.from_records(conf_rows)
+
+        # ---- role slots (non-author seats, repeats included) ----------------
+        slot_rows = []
+        for rid, rec in linked.researchers.items():
+            e = enrichment.get(rid)
+            for conf_name, year, role in rec.roles:
+                if role is Role.AUTHOR:
+                    continue
+                slot_rows.append(
+                    {
+                        "researcher_id": rid,
+                        "conference": conf_name,
+                        "year": year,
+                        "role": role.value,
+                        "gender": gender[rid],
+                        "country": e.country_code if e else None,
+                        "region": e.region if e else None,
+                        "sector": e.sector if e else None,
+                    }
+                )
+        role_slots = Table.from_records(
+            slot_rows,
+            columns=[
+                "researcher_id", "conference", "year", "role",
+                "gender", "country", "region", "sector",
+            ],
+        )
+
+        return cls(
+            researchers=researchers,
+            author_positions=author_positions,
+            conf_authors=conf_authors,
+            papers=papers,
+            conferences=conferences,
+            role_slots=role_slots,
+            assignments=dict(assignments),
+        )
+
+    # ---------------------------------------------------------- re-derivation
+
+    def with_assignments(
+        self, assignments: dict[str, GenderAssignment]
+    ) -> "AnalysisDataset":
+        """Rebuild all gender columns under different assignments.
+
+        Used by the §2 sensitivity analysis (force unknowns to F, then M)
+        — everything except the gender columns is reused as-is.
+        """
+        gender = {
+            rid: _gender_str(assignments.get(rid))
+            for rid in self.researchers["researcher_id"]
+        }
+
+        def regender(table: Table, id_col: str, out_col: str) -> Table:
+            vals = [gender.get(rid) for rid in table[id_col]]
+            return table.with_column(out_col, vals)
+
+        researchers = regender(self.researchers, "researcher_id", "gender")
+        methods = [
+            assignments[rid].method.value if rid in assignments else "none"
+            for rid in self.researchers["researcher_id"]
+        ]
+        researchers = researchers.with_column("gender_method", methods)
+        author_positions = regender(self.author_positions, "researcher_id", "gender")
+        conf_authors = regender(self.conf_authors, "researcher_id", "gender")
+        papers = self.papers
+        papers = papers.with_column(
+            "first_gender",
+            [gender.get(rid) if rid else None for rid in papers["first_author"]],
+        )
+        papers = papers.with_column(
+            "last_gender",
+            [gender.get(rid) if rid else None for rid in papers["last_author"]],
+        )
+        role_slots = regender(self.role_slots, "researcher_id", "gender")
+        return AnalysisDataset(
+            researchers=researchers,
+            author_positions=author_positions,
+            conf_authors=conf_authors,
+            papers=papers,
+            conferences=self.conferences,
+            role_slots=role_slots,
+            assignments=dict(assignments),
+        )
+
+    # ------------------------------------------------------------- shortcuts
+
+    def known_gender_researchers(self) -> Table:
+        return self.researchers.filter(lambda t: ~t.col("gender").is_missing())
+
+    def unknown_count(self) -> int:
+        return int(self.researchers.col("gender").is_missing().sum())

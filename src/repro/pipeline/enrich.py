@@ -1,0 +1,109 @@
+"""Enrichment: scholar profiles, country, sector.
+
+Resolution order follows §2:
+
+- **country** — email domains first ("more timely"), then the GS
+  affiliation string; unresolvable stays None.
+- **sector**  — affiliation regexes, then email-domain heuristics
+  (.edu/.ac.* → EDU, .gov/gov.* → GOV, corporate .com → COM).
+- **Google Scholar** — link iff the name matches exactly one profile.
+- **Semantic Scholar** — name search; first record (S2 has full author
+  coverage, matching the paper's Fig. 5 source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.affiliations import classify_affiliation
+from repro.geo.countries import Country
+from repro.geo.domains import email_country, split_email
+from repro.geo.regions import region_of_country
+from repro.pipeline.link import LinkedData, ResearcherRecord
+from repro.scholar.gscholar import GoogleScholarStore
+from repro.scholar.semanticscholar import SemanticScholarStore
+
+__all__ = ["Enrichment", "enrich_researchers", "sector_from_email"]
+
+
+@dataclass
+class Enrichment:
+    """Per-researcher enrichment outcome."""
+
+    researcher_id: str
+    country_code: str | None
+    region: str | None
+    sector: str | None
+    gs_publications: int | None
+    gs_h_index: int | None
+    gs_i10: int | None
+    gs_citations: int | None
+    s2_publications: int | None
+
+    @property
+    def has_gs(self) -> bool:
+        return self.gs_publications is not None
+
+
+def sector_from_email(address: str) -> str | None:
+    """Heuristic sector from an email domain."""
+    parts = split_email(address)
+    if parts is None:
+        return None
+    _, domain = parts
+    labels = domain.split(".")
+    if "edu" in labels or "ac" in labels:
+        return "EDU"
+    if "gov" in labels or "mil" in labels:
+        return "GOV"
+    if labels[-1] == "com":
+        return "COM"
+    return None
+
+
+def enrich_researchers(
+    linked: LinkedData,
+    gs_store: GoogleScholarStore,
+    s2_store: SemanticScholarStore,
+) -> dict[str, Enrichment]:
+    """Enrich every linked researcher."""
+    out: dict[str, Enrichment] = {}
+    for rid, rec in linked.researchers.items():
+        profile = gs_store.unique_match(rec.full_name)
+        affiliation_guess = (
+            classify_affiliation(profile.affiliation) if profile else None
+        )
+
+        country: Country | None = None
+        for email in rec.emails:
+            country = email_country(email)
+            if country is not None:
+                break
+        if country is None and affiliation_guess is not None:
+            country = affiliation_guess.country
+
+        sector: str | None = None
+        if affiliation_guess is not None and affiliation_guess.sector is not None:
+            sector = affiliation_guess.sector.value
+        if sector is None:
+            for email in rec.emails:
+                sector = sector_from_email(email)
+                if sector is not None:
+                    break
+
+        s2_hits = s2_store.search_name(rec.full_name)
+        s2_pubs = s2_hits[0].publications if s2_hits else None
+
+        code = country.cca2 if country else None
+        out[rid] = Enrichment(
+            researcher_id=rid,
+            country_code=code,
+            region=region_of_country(code) if code else None,
+            sector=sector,
+            gs_publications=profile.publications if profile else None,
+            gs_h_index=profile.h_index if profile else None,
+            gs_i10=profile.i10_index if profile else None,
+            gs_citations=profile.citations if profile else None,
+            s2_publications=s2_pubs,
+        )
+    return out

@@ -1,0 +1,39 @@
+"""Ingest: generate each conference's site and scrape it back.
+
+One task per conference edition — the natural decomposition for the
+deterministic parallel map (results are ordered by the edition list, and
+site generation is a pure function of the registry, so worker count
+cannot change the output).
+"""
+
+from __future__ import annotations
+
+from repro.harvest.proceedings import build_proceedings
+from repro.harvest.scrape import HarvestedConference, scrape_site
+from repro.harvest.sitegen import generate_site
+from repro.synth.world import SyntheticWorld
+from repro.util.parallel import ParallelConfig, parallel_map
+
+__all__ = ["ingest_world", "harvest_one"]
+
+
+def harvest_one(args: tuple[SyntheticWorld, str, int]) -> HarvestedConference:
+    """Generate + scrape one conference edition (module-level: picklable)."""
+    world, conference, year = args
+    site = generate_site(world.registry, conference, year)
+    proceedings = build_proceedings(world.registry, conference, year)
+    return scrape_site(site, proceedings)
+
+
+def ingest_world(
+    world: SyntheticWorld,
+    year: int = 2017,
+    parallel: ParallelConfig | None = None,
+) -> list[HarvestedConference]:
+    """Scrape every conference edition of ``year``."""
+    editions = sorted(
+        (e for e in world.registry.editions.values() if e.year == year),
+        key=lambda e: e.date,
+    )
+    tasks = [(world, e.name, e.year) for e in editions]
+    return parallel_map(harvest_one, tasks, parallel)

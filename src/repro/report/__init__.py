@@ -1,0 +1,47 @@
+"""Regeneration of every table and figure in the paper.
+
+- :mod:`repro.report.tables`      — Table 1, Table 2, Table 3.
+- :mod:`repro.report.figures`     — Figures 1–8 (data series + ASCII).
+- :mod:`repro.report.compare`     — paper-vs-measured comparison rows.
+- :mod:`repro.report.experiments` — the experiment registry keyed by
+  DESIGN.md ids (T1, F1, S3.1, ... SENS), used by the benchmark harness
+  and by ``examples/regenerate_paper.py``.
+"""
+
+from repro.report.tables import build_table1, build_table2, build_table3
+from repro.report.figures import (
+    build_fig1,
+    build_fig2,
+    build_fig3,
+    build_fig4,
+    build_fig5,
+    build_fig6,
+    build_fig7,
+    build_fig8,
+)
+from repro.report.compare import ComparisonRow, compare_headlines
+from repro.report.experiments import EXPERIMENTS, run_experiment
+from repro.report.export import export_artifact
+from repro.report.textreport import full_report
+from repro.report.stability import stability_report
+
+__all__ = [
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_fig1",
+    "build_fig2",
+    "build_fig3",
+    "build_fig4",
+    "build_fig5",
+    "build_fig6",
+    "build_fig7",
+    "build_fig8",
+    "ComparisonRow",
+    "compare_headlines",
+    "EXPERIMENTS",
+    "run_experiment",
+    "export_artifact",
+    "full_report",
+    "stability_report",
+]

@@ -1,0 +1,85 @@
+"""Artifact export: dump every dataset table and artifact to disk.
+
+The original paper ships a data artifact (CSV + analysis source); this
+module produces the equivalent bundle from a pipeline run::
+
+    out/
+      tables/      researchers.csv, author_positions.csv, ...
+      artifacts/   T1.txt ... SENS.txt (rendered tables/figures)
+      comparison.csv                   (paper vs measured)
+      MANIFEST.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.pipeline.runner import PipelineResult
+from repro.report.compare import compare_headlines
+from repro.report.experiments import EXPERIMENTS, run_experiment
+from repro.tabular import Table, table_to_csv
+from repro.version import __version__
+
+__all__ = ["export_artifact"]
+
+
+def export_artifact(result: PipelineResult, out_dir: str | Path) -> Path:
+    """Write the full artifact bundle; returns the output directory."""
+    out = Path(out_dir)
+    tables_dir = out / "tables"
+    artifacts_dir = out / "artifacts"
+    tables_dir.mkdir(parents=True, exist_ok=True)
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+
+    ds = result.dataset
+    table_files = {}
+    for name in (
+        "researchers",
+        "author_positions",
+        "conf_authors",
+        "papers",
+        "conferences",
+        "role_slots",
+    ):
+        path = tables_dir / f"{name}.csv"
+        table_to_csv(getattr(ds, name), path)
+        table_files[name] = str(path.relative_to(out))
+
+    artifact_files = {}
+    for exp_id in EXPERIMENTS:
+        _, text = run_experiment(exp_id, result)
+        path = artifacts_dir / f"{exp_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        artifact_files[exp_id] = str(path.relative_to(out))
+
+    rows = compare_headlines(result)
+    comparison = Table.from_records(
+        [
+            {
+                "experiment": r.experiment,
+                "statistic": r.statistic,
+                "paper": r.paper,
+                "measured": r.measured,
+                "abs_error": r.abs_error,
+            }
+            for r in rows
+        ]
+    )
+    table_to_csv(comparison, out / "comparison.csv")
+
+    manifest = {
+        "version": __version__,
+        "seed": result.world.seed,
+        "scale": result.world.config.scale,
+        "researchers": ds.researchers.num_rows,
+        "papers": ds.papers.num_rows,
+        "coverage": result.coverage,
+        "tables": table_files,
+        "artifacts": artifact_files,
+        "comparison": "comparison.csv",
+    }
+    (out / "MANIFEST.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return out

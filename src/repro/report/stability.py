@@ -1,0 +1,90 @@
+"""Seed-stability analysis of the reproduction.
+
+The synthetic world is random; a reviewer's first question is "how much
+do the measured headline numbers move across seeds?"  This module runs
+the pipeline under several seeds and reports mean ± sd for each headline
+statistic, so EXPERIMENTS.md's single-seed values can be read with the
+right error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import blind_report, far_report, pc_report
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig
+from repro.util.parallel import ParallelConfig, parallel_map
+
+__all__ = ["StatSummary", "StabilityReport", "stability_report"]
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """One statistic across seeds."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def sd(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    def interval(self) -> tuple[float, float]:
+        return (self.mean - 2 * self.sd, self.mean + 2 * self.sd)
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    seeds: tuple[int, ...]
+    scale: float
+    stats: tuple[StatSummary, ...]
+
+    def stat(self, name: str) -> StatSummary:
+        for s in self.stats:
+            if s.name == name:
+                return s
+        raise KeyError(f"no statistic {name!r}")
+
+
+def _headlines_for_seed(args: tuple[int, float]) -> dict[str, float]:
+    """Module-level worker: one seed's headline statistics."""
+    seed, scale = args
+    result = run_pipeline(WorldConfig(seed=seed, scale=scale, include_timeline=False))
+    ds = result.dataset
+    far = far_report(ds)
+    pc = pc_report(ds)
+    blind = blind_report(ds)
+    return {
+        "far_overall_pct": far.overall.pct,
+        "far_sc_pct": far.conference("SC").authors.pct,
+        "lead_far_pct": far.lead_overall.pct,
+        "last_far_pct": far.last_overall.pct,
+        "pc_far_pct": pc.memberships.pct,
+        "blind_gap_pct": blind.authors_single.pct - blind.authors_double.pct,
+        "unknown_pct": 100
+        * ds.unknown_count()
+        / max(1, ds.researchers.num_rows),
+    }
+
+
+def stability_report(
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    scale: float = 0.5,
+    parallel: ParallelConfig | None = None,
+) -> StabilityReport:
+    """Run the pipeline per seed and summarize the headline spread."""
+    if len(seeds) < 2:
+        raise ValueError("stability needs at least two seeds")
+    rows = parallel_map(_headlines_for_seed, [(s, scale) for s in seeds], parallel)
+    names = list(rows[0].keys())
+    stats = tuple(
+        StatSummary(name=n, values=tuple(r[n] for r in rows)) for n in names
+    )
+    return StabilityReport(seeds=tuple(seeds), scale=scale, stats=stats)

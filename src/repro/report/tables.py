@@ -1,0 +1,88 @@
+"""Builders for the paper's three tables.
+
+Each builder returns ``(table, text)``: a :class:`repro.tabular.Table`
+with exactly the paper's columns, and its ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.geography import geography_report
+from repro.pipeline.dataset import AnalysisDataset
+from repro.tabular import Table
+from repro.viz.tableprint import format_table
+
+__all__ = ["build_table1", "build_table2", "build_table3"]
+
+
+def build_table1(ds: AnalysisDataset) -> tuple[Table, str]:
+    """Table 1: conference, date, papers, authors, acceptance, country.
+
+    "Authors" counts each conference's unique authors, as in the paper.
+    """
+    uniq_by_conf: dict[str, int] = {}
+    for conf in ds.conf_authors["conference"]:
+        uniq_by_conf[conf] = uniq_by_conf.get(conf, 0) + 1
+    rows = []
+    confs = ds.conferences.sort_by("date")
+    for rec in confs.to_records():
+        name = rec["conference"]
+        papers = int(
+            np.sum(np.array([c == name for c in ds.papers["conference"]]))
+        )
+        rows.append(
+            {
+                "Conference": name,
+                "Date": rec["date"],
+                "Papers": papers,
+                "Authors": uniq_by_conf.get(name, 0),
+                "Acceptance": round(rec["acceptance_rate"], 3)
+                if rec["acceptance_rate"] is not None
+                else None,
+                "Country": rec["country"],
+            }
+        )
+    table = Table.from_records(rows)
+    return table, format_table(table, "Table 1: HPC-related conferences")
+
+
+def build_table2(ds: AnalysisDataset, top: int = 10) -> tuple[Table, str]:
+    """Table 2: top countries by researcher count with % women."""
+    geo = geography_report(ds)
+    rows = [
+        {
+            "Country": c.country_name,
+            "% Women": round(c.women.pct, 2),
+            "Total": c.total,
+        }
+        for c in geo.countries[:top]
+    ]
+    table = Table.from_records(rows)
+    return table, format_table(
+        table, f"Table 2: Top {top} countries by number of researchers"
+    )
+
+
+def build_table3(ds: AnalysisDataset) -> tuple[Table, str]:
+    """Table 3: representation of women by region and role."""
+    geo = geography_report(ds)
+    rows = []
+    for r in geo.regions:
+        rows.append(
+            {
+                "Region": r.region,
+                "Authors % Women": round(r.authors.pct, 2)
+                if r.authors.n
+                else None,
+                "Authors Total": r.authors.n,
+                "PC % Women": round(r.pc.pct, 2) if r.pc.n else None,
+                "PC Total": r.pc.n,
+            }
+        )
+    # Table 3 sorts by total authors, descending
+    rows.sort(key=lambda x: -x["Authors Total"])
+    table = Table.from_records(rows)
+    return table, format_table(
+        table, "Table 3: Representation of women by region and role"
+    )

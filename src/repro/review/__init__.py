@@ -1,0 +1,27 @@
+"""Peer-review process simulation (§2 Limitations / §3.1).
+
+The paper measures *accepted* papers only and reasons carefully about
+what review bias could do to FAR: "FAR may undercount women if men are
+more likely to submit papers or have them accepted", and §3.1 compares
+double- vs single-blind conferences to probe for such bias.  This
+package makes those arguments quantitative:
+
+- :mod:`repro.review.process` — a submission/review simulator with
+  explicit knobs: submission-pool FAR, per-reviewer identity-visible
+  bias, review-policy (single/double blind), paper-quality model.
+- :mod:`repro.review.inference` — inverse analysis: how much visible-
+  identity bias would be needed to produce an observed accepted-FAR
+  difference, and what the §3.1 contrast can/cannot detect.
+"""
+
+from repro.review.process import ReviewProcess, ReviewConfig, ReviewOutcome
+from repro.review.inference import bias_sweep, detectable_bias, BiasSweepResult
+
+__all__ = [
+    "ReviewProcess",
+    "ReviewConfig",
+    "ReviewOutcome",
+    "bias_sweep",
+    "detectable_bias",
+    "BiasSweepResult",
+]

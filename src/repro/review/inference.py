@@ -1,0 +1,85 @@
+"""Inverse analysis: what bias magnitudes produce an observed FAR gap.
+
+§3.1 observes single-blind lead FAR ≈ 11.8% vs double-blind ≈ 6.2% and
+notes the contrast is not significant, so review bias "cannot be
+completely ruled out without additional information on rejected
+papers."  These tools quantify that statement: sweep the visible-
+identity bias knob, map bias → accepted-FAR suppression, and compute the
+smallest bias the paper's sample sizes could actually have detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.review.process import ReviewConfig, ReviewProcess
+from repro.stats.chisquare import chi2_two_proportions
+
+__all__ = ["BiasSweepResult", "bias_sweep", "detectable_bias"]
+
+
+@dataclass(frozen=True)
+class BiasSweepResult:
+    """Accepted FAR as a function of review bias."""
+
+    biases: tuple[float, ...]
+    accepted_far: tuple[float, ...]       # mean accepted FAR per bias
+    submission_far: float
+
+    def suppression(self) -> tuple[float, ...]:
+        """Submitted-minus-accepted FAR per bias level."""
+        return tuple(self.submission_far - a for a in self.accepted_far)
+
+    def bias_for_gap(self, gap: float) -> float:
+        """Interpolate the bias that produces a given FAR suppression."""
+        sup = np.asarray(self.suppression())
+        b = np.asarray(self.biases)
+        order = np.argsort(sup)
+        return float(np.interp(gap, sup[order], b[order]))
+
+
+def bias_sweep(
+    base: ReviewConfig,
+    biases: tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0),
+    cycles: int = 150,
+    seed: int = 0,
+) -> BiasSweepResult:
+    """Monte-Carlo accepted FAR across bias levels (single-blind)."""
+    fars = []
+    for i, bias in enumerate(biases):
+        cfg = replace(base, bias=float(bias), double_blind=False)
+        rng = np.random.default_rng(seed + 1000 * i)
+        fars.append(ReviewProcess(cfg).expected_accepted_far(rng, cycles))
+    return BiasSweepResult(
+        biases=tuple(float(b) for b in biases),
+        accepted_far=tuple(fars),
+        submission_far=base.submission_far,
+    )
+
+
+def detectable_bias(
+    sweep: BiasSweepResult,
+    n_single: int,
+    n_double: int,
+    alpha: float = 0.05,
+) -> float:
+    """Smallest bias whose accepted-FAR shift a χ² contrast detects.
+
+    Compares the single-blind accepted FAR under each bias level against
+    the unbiased rate with the study's actual sample sizes; returns the
+    smallest bias reaching significance (infinity if none does).  This is
+    the §3.1 caveat in numbers: with ~500 leads split 417/83, only fairly
+    large penalties are detectable.
+    """
+    unbiased = sweep.accepted_far[0]
+    for bias, far in zip(sweep.biases, sweep.accepted_far):
+        if bias == 0.0:
+            continue
+        hits1 = int(round(far * n_single))
+        hits2 = int(round(unbiased * n_double))
+        test = chi2_two_proportions(hits1, n_single, hits2, n_double)
+        if not np.isnan(test.p_value) and test.p_value < alpha:
+            return float(bias)
+    return float("inf")

@@ -1,0 +1,37 @@
+"""Bibliometric substrates: metrics, profile stores, citation accrual.
+
+The paper enriches researchers with Google Scholar profiles (h-index,
+total publications, i10; ~68% coverage) and Semantic Scholar
+past-publication counts (100% author coverage), and tracks paper
+citations 36 months after publication (Fig. 2).  This package implements
+those pieces:
+
+- :mod:`repro.scholar.metrics`   — h-index, i10-index, g-index from
+  citation vectors (vectorized definitions + reference implementations).
+- :mod:`repro.scholar.citations` — the 36-month citation accrual model.
+- :mod:`repro.scholar.gscholar`  — the simulated Google Scholar store
+  (partial coverage, disambiguation noise).
+- :mod:`repro.scholar.semanticscholar` — the simulated Semantic Scholar
+  store (full coverage, different counting → low GS↔S2 correlation).
+- :mod:`repro.scholar.linking`   — researcher↔profile linking.
+"""
+
+from repro.scholar.metrics import h_index, i10_index, g_index
+from repro.scholar.citations import CitationAccrual, accrue_citations
+from repro.scholar.gscholar import GoogleScholarStore, GSProfile
+from repro.scholar.semanticscholar import SemanticScholarStore, S2Record
+from repro.scholar.linking import link_profiles, LinkResult
+
+__all__ = [
+    "h_index",
+    "i10_index",
+    "g_index",
+    "CitationAccrual",
+    "accrue_citations",
+    "GoogleScholarStore",
+    "GSProfile",
+    "SemanticScholarStore",
+    "S2Record",
+    "link_profiles",
+    "LinkResult",
+]

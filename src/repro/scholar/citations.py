@@ -1,0 +1,83 @@
+"""Citation accrual over the 36 months after publication.
+
+Fig. 2 plots paper citations exactly 36 months post-publication.  We
+model accrual as a nonhomogeneous Poisson process whose monthly rate
+ramps up over the first year and then decays slowly — the standard
+empirical shape for CS conference papers.  Each paper carries a latent
+attractiveness λ (drawn by the world generator from a calibrated
+lognormal, with one deliberate >450-citation outlier); this module turns
+λ into a month-by-month citation history, so any horizon (12, 24, 36
+months) can be queried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CitationAccrual", "accrue_citations", "monthly_shape"]
+
+
+def monthly_shape(months: int = 36, normalize_months: int | None = None) -> np.ndarray:
+    """Relative citation intensity per month since publication.
+
+    Ramps linearly to a peak at month 12, then decays geometrically at
+    2%/month.  Normalized so the first ``normalize_months`` entries sum
+    to 1 (default: all of them) — with ``months=48,
+    normalize_months=36`` a paper's λ is its expected *36-month* total
+    while the history still extends to 4 years.
+    """
+    if months < 1:
+        raise ValueError("months must be >= 1")
+    norm = months if normalize_months is None else int(normalize_months)
+    if not 1 <= norm <= months:
+        raise ValueError("normalize_months must be in [1, months]")
+    m = np.arange(1, months + 1, dtype=np.float64)
+    ramp = np.minimum(m / 12.0, 1.0)
+    decay = np.where(m > 12, 0.98 ** (m - 12), 1.0)
+    shape = ramp * decay
+    return shape / shape[:norm].sum()
+
+
+@dataclass(frozen=True)
+class CitationAccrual:
+    """A paper's citation history.
+
+    ``monthly`` holds citations earned in each month (length = horizon).
+    """
+
+    monthly: np.ndarray
+
+    def total_at(self, month: int) -> int:
+        """Cumulative citations ``month`` months after publication."""
+        if month < 0:
+            raise ValueError("month must be >= 0")
+        m = min(month, self.monthly.size)
+        return int(self.monthly[:m].sum())
+
+    @property
+    def total(self) -> int:
+        return int(self.monthly.sum())
+
+
+def accrue_citations(
+    attractiveness: np.ndarray,
+    rng: np.random.Generator,
+    months: int = 36,
+    normalize_months: int | None = None,
+) -> list[CitationAccrual]:
+    """Draw citation histories for papers with the given λ values.
+
+    ``attractiveness`` is the expected citation total over the first
+    ``normalize_months`` months (default: the full horizon); monthly
+    counts are Poisson with the shared :func:`monthly_shape` profile.
+    Vectorized: one (P, M) Poisson draw.
+    """
+    lam = np.asarray(attractiveness, dtype=np.float64)
+    if np.any(lam < 0):
+        raise ValueError("attractiveness must be nonnegative")
+    shape = monthly_shape(months, normalize_months)
+    rates = lam[:, None] * shape[None, :]
+    draws = rng.poisson(rates)
+    return [CitationAccrual(monthly=draws[i]) for i in range(lam.size)]

@@ -1,0 +1,62 @@
+"""Statistical toolkit used throughout the paper's analyses.
+
+The paper reports three families of tests (Methodology §2, "Statistics"):
+
+- Welch's two-sample t-test for group mean comparisons
+  (:mod:`repro.stats.ttest`),
+- the χ² test for differences between distributions of categorical
+  variables (:mod:`repro.stats.chisquare`),
+- Pearson's product-moment correlation for pairs of numeric variables
+  (:mod:`repro.stats.correlation`).
+
+All three are implemented here from first principles (vectorized NumPy,
+SciPy only for special functions) and cross-validated against
+``scipy.stats`` in the test suite.  The package also provides the
+supporting machinery the figures need: Gaussian KDE for the density plots
+(Figs. 2–5), bootstrap confidence intervals, and descriptive summaries.
+"""
+
+from repro.stats.descriptive import describe, Summary
+from repro.stats.ttest import welch_ttest, TTestResult
+from repro.stats.chisquare import (
+    chi2_contingency,
+    chi2_two_proportions,
+    chi2_gof,
+    Chi2Result,
+)
+from repro.stats.correlation import pearson, CorrelationResult
+from repro.stats.kde import gaussian_kde, silverman_bandwidth, KdeResult
+from repro.stats.bootstrap import bootstrap_ci, BootstrapResult
+from repro.stats.proportions import proportion, proportion_diff, Proportion
+from repro.stats.power import two_proportion_power, minimum_detectable_diff
+from repro.stats.multiple import (
+    bonferroni,
+    holm_bonferroni,
+    significant_after_correction,
+)
+
+__all__ = [
+    "describe",
+    "Summary",
+    "welch_ttest",
+    "TTestResult",
+    "chi2_contingency",
+    "chi2_two_proportions",
+    "chi2_gof",
+    "Chi2Result",
+    "pearson",
+    "CorrelationResult",
+    "gaussian_kde",
+    "silverman_bandwidth",
+    "KdeResult",
+    "bootstrap_ci",
+    "BootstrapResult",
+    "proportion",
+    "proportion_diff",
+    "Proportion",
+    "two_proportion_power",
+    "minimum_detectable_diff",
+    "bonferroni",
+    "holm_bonferroni",
+    "significant_after_correction",
+]

@@ -1,0 +1,73 @@
+"""Descriptive summaries of numeric samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Summary", "describe"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample (NaN entries excluded)."""
+
+    n: int
+    mean: float
+    std: float  # sample standard deviation (ddof=1); NaN when n < 2
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    skewness: float  # Fisher-Pearson adjusted; NaN when n < 3
+
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "skewness": self.skewness,
+        }
+
+
+def describe(values) -> Summary:
+    """Summarize a numeric sample, ignoring NaN.
+
+    An empty (or all-NaN) sample yields ``n=0`` with NaN statistics.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = v[~np.isnan(v)]
+    n = int(v.size)
+    if n == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    mean = float(np.mean(v))
+    std = float(np.std(v, ddof=1)) if n >= 2 else float("nan")
+    q1, med, q3 = (float(x) for x in np.percentile(v, [25, 50, 75]))
+    if n >= 3 and std and not np.isnan(std) and std > 0:
+        m3 = float(np.mean((v - mean) ** 3))
+        g1 = m3 / (np.std(v, ddof=0) ** 3)
+        skew = float(np.sqrt(n * (n - 1)) / (n - 2) * g1)
+    else:
+        skew = float("nan")
+    return Summary(
+        n=n,
+        mean=mean,
+        std=std,
+        minimum=float(np.min(v)),
+        q1=q1,
+        median=med,
+        q3=q3,
+        maximum=float(np.max(v)),
+        skewness=skew,
+    )

@@ -1,0 +1,106 @@
+"""Gaussian kernel density estimation for the paper's density figures.
+
+Figures 2–5 are density plots (citations; past publications; h-index).
+This module provides a vectorized Gaussian KDE with Silverman's rule of
+thumb, evaluated on an explicit grid — the same construction R's
+``geom_density`` uses by default (Silverman there is ``bw.nrd0``).
+
+The evaluation is a single broadcasted NumPy expression (grid × sample),
+which for the paper's sample sizes (hundreds to low thousands) is far
+faster than per-point Python loops; see the project's optimization notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["silverman_bandwidth", "gaussian_kde", "KdeResult"]
+
+_SQRT_2PI = float(np.sqrt(2.0 * np.pi))
+
+
+def silverman_bandwidth(sample: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth (R's ``bw.nrd0``).
+
+    ``0.9 * min(sd, IQR/1.34) * n^{-1/5}``, with fallbacks when the IQR
+    or sd degenerate to zero.
+    """
+    v = np.asarray(sample, dtype=np.float64)
+    v = v[~np.isnan(v)]
+    n = v.size
+    if n < 2:
+        raise ValueError("bandwidth requires at least 2 observations")
+    sd = float(np.std(v, ddof=1))
+    q1, q3 = np.percentile(v, [25, 75])
+    iqr = float(q3 - q1)
+    spread = min(sd, iqr / 1.34) if iqr > 0 else sd
+    if spread <= 0:
+        spread = max(abs(float(v[0])), 1.0)
+    return 0.9 * spread * n ** (-0.2)
+
+
+@dataclass(frozen=True)
+class KdeResult:
+    """A density estimate evaluated on a grid."""
+
+    grid: np.ndarray
+    density: np.ndarray
+    bandwidth: float
+    n: int
+
+    def integral(self) -> float:
+        """Trapezoid integral of the density over the grid (≈1)."""
+        return float(np.trapezoid(self.density, self.grid))
+
+    def mode(self) -> float:
+        """Grid point of maximum density."""
+        return float(self.grid[int(np.argmax(self.density))])
+
+
+def gaussian_kde(
+    sample,
+    grid=None,
+    bandwidth: float | None = None,
+    num_points: int = 256,
+    cut: float = 3.0,
+    log_scale: bool = False,
+) -> KdeResult:
+    """Estimate a Gaussian KDE of ``sample`` on ``grid``.
+
+    Parameters
+    ----------
+    sample:
+        Numeric observations (NaN dropped).
+    grid:
+        Evaluation points; default spans
+        ``[min - cut*bw, max + cut*bw]`` with ``num_points`` points.
+    bandwidth:
+        Kernel bandwidth; default Silverman.
+    log_scale:
+        Estimate the density of ``log10(1 + x)`` instead (the paper's
+        experience figures use log-scaled axes for right-skewed counts).
+        The returned grid is in the transformed coordinates.
+    """
+    v = np.asarray(sample, dtype=np.float64)
+    v = v[~np.isnan(v)]
+    if v.size < 2:
+        raise ValueError("KDE requires at least 2 observations")
+    if log_scale:
+        if np.any(v < 0):
+            raise ValueError("log_scale requires nonnegative data")
+        v = np.log10(1.0 + v)
+    bw = silverman_bandwidth(v) if bandwidth is None else float(bandwidth)
+    if bw <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bw}")
+    if grid is None:
+        lo = float(v.min()) - cut * bw
+        hi = float(v.max()) + cut * bw
+        grid = np.linspace(lo, hi, num_points)
+    else:
+        grid = np.asarray(grid, dtype=np.float64)
+    # (G, 1) - (1, N) broadcast: one pass, no Python loop.
+    z = (grid[:, None] - v[None, :]) / bw
+    dens = np.exp(-0.5 * z * z).sum(axis=1) / (v.size * bw * _SQRT_2PI)
+    return KdeResult(grid=grid, density=dens, bandwidth=bw, n=int(v.size))

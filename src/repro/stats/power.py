@@ -1,0 +1,79 @@
+"""Statistical power for two-proportion contrasts.
+
+The paper repeatedly hedges on nonsignificant differences ("the sample
+size may be too small to establish a clear difference").  These helpers
+quantify that: the power of the χ²/z two-proportion test at the study's
+actual sample sizes, and the minimum detectable effect — so every
+"nonsignificant" in the reproduction can be annotated with what it could
+have detected.
+
+Uses the standard normal-approximation power formula for the two-sample
+proportion z-test (equivalent to the uncorrected χ² at df=1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+__all__ = ["two_proportion_power", "minimum_detectable_diff"]
+
+
+def _z_of(p: float) -> float:
+    """Upper-tail z quantile."""
+    return float(np.sqrt(2.0) * special.erfinv(1.0 - 2.0 * p))
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return float(0.5 * (1.0 + special.erf(z / np.sqrt(2.0))))
+
+
+def two_proportion_power(
+    p1: float, p2: float, n1: int, n2: int, alpha: float = 0.05
+) -> float:
+    """Power of the two-sided two-proportion z-test.
+
+    Probability of rejecting H0: p1 == p2 when the true proportions are
+    (p1, p2) with samples (n1, n2).
+    """
+    for name, p in (("p1", p1), ("p2", p2)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0,1], got {p}")
+    if n1 < 1 or n2 < 1:
+        raise ValueError("sample sizes must be >= 1")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError("alpha must be in (0,1)")
+    if p1 == p2:
+        return alpha  # the test's size
+    pbar = (p1 * n1 + p2 * n2) / (n1 + n2)
+    se0 = np.sqrt(pbar * (1 - pbar) * (1 / n1 + 1 / n2))
+    se1 = np.sqrt(p1 * (1 - p1) / n1 + p2 * (1 - p2) / n2)
+    if se1 == 0:
+        return 1.0
+    z_alpha = _z_of(alpha / 2.0)
+    delta = abs(p1 - p2)
+    power = 1.0 - _phi((z_alpha * se0 - delta) / se1) + _phi(
+        (-z_alpha * se0 - delta) / se1
+    )
+    return float(min(1.0, max(0.0, power)))
+
+
+def minimum_detectable_diff(
+    p_base: float, n1: int, n2: int, alpha: float = 0.05, power: float = 0.8
+) -> float:
+    """Smallest |p2 − p_base| detectable with the given power.
+
+    Solved by bisection on :func:`two_proportion_power` (increasing
+    direction only, p2 > p_base).
+    """
+    if not 0.0 <= p_base < 1.0:
+        raise ValueError("p_base must be in [0,1)")
+    lo, hi = 0.0, 1.0 - p_base
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if two_proportion_power(p_base, p_base + mid, n1, n2, alpha) >= power:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,76 @@
+"""Proportion containers used by every representation metric.
+
+Everything in the paper ultimately reduces to "k women out of n known",
+so we give that pair a first-class type with safe division, Wilson
+intervals, and the χ² contrast the paper reports between two groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.chisquare import Chi2Result, chi2_two_proportions
+
+__all__ = ["Proportion", "proportion", "proportion_diff"]
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """``hits`` successes out of ``n`` trials.
+
+    ``value`` is NaN when ``n == 0`` — mirroring the paper's practice of
+    excluding unknown-gender researchers from denominators.
+    """
+
+    hits: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hits <= self.n:
+            raise ValueError(f"hits {self.hits} outside [0, {self.n}]")
+
+    @property
+    def value(self) -> float:
+        return self.hits / self.n if self.n else float("nan")
+
+    @property
+    def pct(self) -> float:
+        """The percentage (0–100), NaN for empty denominators."""
+        return 100.0 * self.value if self.n else float("nan")
+
+    def wilson_interval(self, level: float = 0.95) -> tuple[float, float]:
+        """Wilson score interval for the underlying probability."""
+        if self.n == 0:
+            return (float("nan"), float("nan"))
+        from scipy import special
+
+        # z for the two-sided level via inverse error function
+        z = float(np.sqrt(2.0) * special.erfinv(level))
+        p = self.value
+        n = self.n
+        denom = 1.0 + z * z / n
+        center = (p + z * z / (2 * n)) / denom
+        half = z * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n)) / denom
+        lo = max(0.0, min(float(center - half), p))  # fp-safe: always covers p̂
+        hi = min(1.0, max(float(center + half), p))
+        return (lo, hi)
+
+    def combine(self, other: "Proportion") -> "Proportion":
+        """Pooled proportion of two disjoint groups."""
+        return Proportion(self.hits + other.hits, self.n + other.n)
+
+    def __str__(self) -> str:
+        return f"{self.hits}/{self.n} ({self.pct:.2f}%)" if self.n else f"0/0 (n/a)"
+
+
+def proportion(flags) -> Proportion:
+    """Build a Proportion from a boolean array (NaN-free)."""
+    f = np.asarray(flags, dtype=bool)
+    return Proportion(int(f.sum()), int(f.size))
+
+
+def proportion_diff(a: Proportion, b: Proportion, correction: bool = True) -> Chi2Result:
+    """χ² contrast of two proportions (the paper's standard comparison)."""
+    return chi2_two_proportions(a.hits, a.n, b.hits, b.n, correction=correction)

@@ -1,0 +1,24 @@
+"""The author survey substrate (§2's validation instrument).
+
+"...based on a separate author survey we conducted where we found no
+discrepancies between assigned gender and self-selected gender, we
+believe such errors to be limited."  (The survey itself is published as
+Frachtenberg & Koster, PeerJ CS 2020 [17].)
+
+This package simulates that instrument: a survey is sent to a sample of
+authors, a response model decides who answers (response rates differ by
+seniority, as in the real survey), respondents self-identify, and the
+validation compares self-identified gender against the pipeline's
+assignments — reproducing the "no discrepancies among respondents"
+check and quantifying what it can and cannot rule out.
+"""
+
+from repro.survey.instrument import AuthorSurvey, SurveyResponse
+from repro.survey.validation import validate_assignments, SurveyValidation
+
+__all__ = [
+    "AuthorSurvey",
+    "SurveyResponse",
+    "validate_assignments",
+    "SurveyValidation",
+]

@@ -1,0 +1,75 @@
+"""Comparing pipeline assignments against survey self-identification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gender.model import GenderAssignment
+from repro.survey.instrument import SurveyResponse
+
+__all__ = ["SurveyValidation", "validate_assignments"]
+
+
+@dataclass(frozen=True)
+class SurveyValidation:
+    """Outcome of the §2 validation check.
+
+    ``discrepancies`` lists respondent ids whose assigned gender differs
+    from their self-identified gender — the paper found zero.
+    ``power_note`` quantifies the check's sensitivity: with ``n_checked``
+    respondents, error rates below ``detectable_rate`` would likely be
+    missed (the limitation the paper acknowledges implicitly).
+    """
+
+    n_responses: int
+    n_checked: int             # responded, answered the gender Q, and assigned
+    n_agree: int
+    discrepancies: tuple[str, ...]
+    agreement_rate: float
+    detectable_rate: float     # 3/n rule-of-thumb upper bound at ~95%
+
+    @property
+    def no_discrepancies(self) -> bool:
+        return not self.discrepancies
+
+
+def validate_assignments(
+    responses: list[SurveyResponse],
+    assignments: dict[str, GenderAssignment],
+    id_mapping: dict[str, str] | None = None,
+) -> SurveyValidation:
+    """Run the validation.
+
+    Parameters
+    ----------
+    responses:
+        Survey responses (person ids are ground-truth ids).
+    assignments:
+        Pipeline assignments keyed by pipeline researcher id.
+    id_mapping:
+        Ground-truth person id → pipeline researcher id.  Identity when
+        omitted.
+    """
+    mapping = id_mapping or {}
+    checked = agree = 0
+    discrepancies: list[str] = []
+    for resp in responses:
+        if resp.declined_gender_question or not resp.self_identified.known:
+            continue
+        rid = mapping.get(resp.person_id, resp.person_id)
+        a = assignments.get(rid)
+        if a is None or not a.known:
+            continue
+        checked += 1
+        if a.gender is resp.self_identified:
+            agree += 1
+        else:
+            discrepancies.append(resp.person_id)
+    return SurveyValidation(
+        n_responses=len(responses),
+        n_checked=checked,
+        n_agree=agree,
+        discrepancies=tuple(discrepancies),
+        agreement_rate=agree / checked if checked else float("nan"),
+        detectable_rate=3.0 / checked if checked else float("nan"),
+    )

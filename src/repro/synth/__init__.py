@@ -1,0 +1,27 @@
+"""Synthetic world generation.
+
+Builds the ground-truth researcher population, conference editions,
+papers, committees, careers, and citation histories — all calibrated to
+the published marginals in :mod:`repro.calibration.targets` and all
+driven by named RNG streams so the world is a pure function of the seed.
+
+Submodules (build order):
+
+- :mod:`repro.synth.config`      — :class:`WorldConfig` (seed, scale).
+- :mod:`repro.synth.careers`     — experience bands, publication counts,
+  career citation vectors with exact target h-index.
+- :mod:`repro.synth.citegen`     — per-paper citation attractiveness.
+- :mod:`repro.synth.population`  — the people pools (gender, country,
+  sector, names, web evidence, emails, affiliations).
+- :mod:`repro.synth.papers`      — paper/authorship construction with
+  first/last-position gender quotas.
+- :mod:`repro.synth.committees`  — PC and visible-role staffing.
+- :mod:`repro.synth.timeline`    — SC/ISC 2016–2020 mini-editions.
+- :mod:`repro.synth.world`       — the orchestrator producing a
+  :class:`~repro.synth.world.SyntheticWorld`.
+"""
+
+from repro.synth.config import WorldConfig
+from repro.synth.world import SyntheticWorld, build_world
+
+__all__ = ["WorldConfig", "SyntheticWorld", "build_world"]

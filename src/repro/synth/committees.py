@@ -1,0 +1,119 @@
+"""PC and visible-role staffing with exact women quotas.
+
+§3.2/§3.3's statistics are about exact small counts (four conferences
+with zero female PC chairs, 45 session-chair seats with zero women at
+three conferences, SC's 29.6%-female PC), so staffing is quota-exact:
+each conference role draws its women and men counts straight from the
+calibration targets.  PC membership uses the coverage-guaranteeing
+dealer (:mod:`repro.synth.dealing`) so every unique PC-pool member
+serves somewhere; the small visible roles draw from the PC pool (they
+go to established researchers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calibration.targets import ConferenceTargets
+from repro.confmodel.roles import Role, RoleAssignment
+from repro.synth.dealing import deal
+from repro.synth.population import PersonSpec
+
+__all__ = ["staff_committees"]
+
+
+def _scaled_women(size: int, raw_size: int, raw_women: int, scale_fn) -> int:
+    """Women quota for a role under scaling, preserving exact zeros."""
+    if raw_women == 0:
+        return 0
+    return min(size, max(1, scale_fn(raw_women)))
+
+
+def staff_committees(
+    targets: list[ConferenceTargets],
+    pc_pool: list[PersonSpec],
+    year: int,
+    scale_fn,
+    rng: np.random.Generator,
+) -> list[RoleAssignment]:
+    """Staff every non-author role for every conference."""
+    women = [p for p in pc_pool if p.gender == "F"]
+    men = [p for p in pc_pool if p.gender == "M"]
+    out: list[RoleAssignment] = []
+    key = lambda p: p.person_id
+
+    # ---- PC memberships: full-coverage dealing --------------------------
+    women_quota: dict[str, int] = {}
+    men_quota: dict[str, int] = {}
+    for t in targets:
+        size = scale_fn(t.pc_size)
+        w = min(_scaled_women(size, t.pc_size, t.pc_women, scale_fn), len(women))
+        women_quota[t.name] = w
+        men_quota[t.name] = size - w
+
+    def top_up(quota: dict[str, int], pool_size: int) -> None:
+        deficit = pool_size - sum(quota.values())
+        names = sorted(quota, key=lambda k: -quota[k])
+        i = 0
+        while deficit > 0:
+            name = names[i % len(names)]
+            if quota[name] < pool_size:
+                quota[name] += 1
+                deficit -= 1
+            i += 1
+
+    top_up(women_quota, len(women))
+    top_up(men_quota, len(men))
+    women_deal = deal(women, women_quota, rng, key=key)
+    men_deal = deal(men, men_quota, rng, key=key)
+    for t in targets:
+        for p in women_deal[t.name] + men_deal[t.name]:
+            out.append(RoleAssignment(p.person_id, t.name, year, Role.PC_MEMBER))
+
+    # ---- visible roles: small exact draws ---------------------------------
+    role_plan = [
+        (Role.PC_CHAIR, lambda t: t.pc_chairs, lambda t: t.pc_chair_women),
+        (Role.KEYNOTE, lambda t: t.keynotes, lambda t: t.keynote_women),
+        (Role.PANELIST, lambda t: t.panelists, lambda t: t.panelist_women),
+        (Role.SESSION_CHAIR, lambda t: t.session_chairs, lambda t: t.session_chair_women),
+    ]
+    # Visible-role holders are public figures: they essentially always
+    # have an identifiable web page, so prefer pool members with manual
+    # evidence.  This keeps §3.3's exact zero/nonzero counts from being
+    # blurred by unknown-gender appointees.
+    from repro.gender.webevidence import EvidenceKind
+
+    def prefer_visible(pool: list[PersonSpec]) -> list[PersonSpec]:
+        withpage = [p for p in pool if p.evidence is not EvidenceKind.NONE]
+        return withpage if withpage else pool
+
+    vis_women = prefer_visible(women)
+    vis_men = prefer_visible(men)
+
+    for t in targets:
+        for role, size_of, women_of in role_plan:
+            raw = size_of(t)
+            if raw <= 0:
+                continue
+            size = scale_fn(raw)
+            w = min(_scaled_women(size, raw, women_of(t), scale_fn), size, len(vis_women))
+            taken: set[str] = set()
+            picked: list[PersonSpec] = []
+            for pool, k in ((vis_women, w), (vis_men, size - w)):
+                order = rng.permutation(len(pool))
+                need = k
+                for idx in order:
+                    if need == 0:
+                        break
+                    p = pool[int(idx)]
+                    if p.person_id not in taken:
+                        picked.append(p)
+                        taken.add(p.person_id)
+                        need -= 1
+                if need:
+                    raise ValueError(
+                        f"pool exhausted staffing {role} at {t.name}: short {need}"
+                    )
+            for p in picked:
+                out.append(RoleAssignment(p.person_id, t.name, year, role))
+    return out

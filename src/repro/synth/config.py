@@ -1,0 +1,55 @@
+"""World-build configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorldConfig"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Parameters of a synthetic world build.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; every random decision derives from it.
+    scale:
+        Linear scale factor on all population sizes.  ``1.0`` reproduces
+        the paper's sizes exactly; smaller values (e.g. ``0.25``) build
+        proportionally smaller worlds for fast tests.  Quota counts are
+        rescaled with largest-remainder rounding so that rates are
+        preserved as closely as integer arithmetic allows.
+    include_timeline:
+        Whether to also build the SC/ISC 2016–2020 mini-editions (§3.4).
+    photo_error_rate:
+        Error rate of photo-based manual gender judgments.
+    email_rate:
+        Fraction of authors whose papers include an email address.
+    pc_author_overlap:
+        Fraction of PC members who are also authors in the dataset.
+    """
+
+    seed: int = 2017
+    scale: float = 1.0
+    include_timeline: bool = True
+    photo_error_rate: float = 0.01
+    email_rate: float = 0.8
+    pc_author_overlap: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not 0.01 <= self.scale <= 10.0:
+            raise ValueError("scale must be in [0.01, 10]")
+        if not 0.0 <= self.photo_error_rate <= 1.0:
+            raise ValueError("photo_error_rate must be in [0,1]")
+        if not 0.0 <= self.email_rate <= 1.0:
+            raise ValueError("email_rate must be in [0,1]")
+        if not 0.0 <= self.pc_author_overlap <= 0.9:
+            raise ValueError("pc_author_overlap must be in [0, 0.9]")
+
+    def scaled(self, n: int | float) -> int:
+        """Scale a population count, keeping at least 1 when n >= 1."""
+        if n <= 0:
+            return 0
+        return max(1, int(round(n * self.scale)))

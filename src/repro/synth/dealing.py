@@ -1,0 +1,128 @@
+"""Dealing pool members to per-conference quotas with full coverage.
+
+Both the author slates and the PC staffing face the same combinatorial
+problem: a pool of N unique people must fill sum-of-quotas ≥ N seats
+across conferences such that
+
+- every pool member serves at least once (the pool *is* the set of
+  unique participants, by construction),
+- nobody serves twice at the same conference,
+- each conference's quota is met exactly.
+
+``deal`` builds a pick multiset (everyone once, plus random repeats up
+to the seat total), shuffles it, and deals greedily with conflict
+push-back; a final repair pass swaps in any still-unused pool member.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["deal"]
+
+T = TypeVar("T")
+
+
+def deal(
+    pool: Sequence[T],
+    quotas: dict[str, int],
+    rng: np.random.Generator,
+    key=lambda x: x,
+) -> dict[str, list[T]]:
+    """Assign pool members to named quota buckets.
+
+    Parameters
+    ----------
+    pool:
+        Unique members (e.g. the women of the author pool).
+    quotas:
+        Bucket name → seats.  ``sum(quotas.values())`` must be ≥
+        ``len(pool)`` (everyone must fit) and each quota must be ≤
+        ``len(pool)`` (no bucket can need the same person twice).
+    rng:
+        Random stream.
+    key:
+        Identity function for conflict detection.
+
+    Returns
+    -------
+    dict bucket → members, with every pool member appearing in at least
+    one bucket and no member twice in the same bucket.
+    """
+    n = len(pool)
+    total = sum(quotas.values())
+    if total < n:
+        raise ValueError(f"quotas ({total}) cannot cover the pool ({n})")
+    for name, q in quotas.items():
+        if q > n:
+            raise ValueError(f"bucket {name!r} needs {q} > pool size {n}")
+        if q < 0:
+            raise ValueError(f"bucket {name!r} has negative quota")
+
+    picks: list[T] = list(pool)
+    extra = total - n
+    if extra > 0:
+        picks.extend(pool[int(i)] for i in rng.integers(0, n, size=extra))
+    order = rng.permutation(len(picks))
+    queue = [picks[int(i)] for i in order]
+
+    result: dict[str, list[T]] = {}
+    # Largest quotas first: they are the hardest to fill without clashes.
+    for name in sorted(quotas, key=lambda k: -quotas[k]):
+        q = quotas[name]
+        chosen: list[T] = []
+        chosen_keys: set = set()
+        deferred: list[T] = []
+        while len(chosen) < q and queue:
+            cand = queue.pop()
+            if key(cand) in chosen_keys:
+                deferred.append(cand)
+            else:
+                chosen.append(cand)
+                chosen_keys.add(key(cand))
+        queue.extend(reversed(deferred))
+        if len(chosen) < q:
+            # repair: draw unused pool members directly
+            for cand in pool:
+                if len(chosen) == q:
+                    break
+                if key(cand) not in chosen_keys:
+                    chosen.append(cand)
+                    chosen_keys.add(key(cand))
+        if len(chosen) < q:
+            raise ValueError(f"could not fill bucket {name!r}")
+        result[name] = chosen
+
+    # Coverage repair: anyone never dealt swaps into a random bucket for
+    # one of a member that serves elsewhere too.
+    served: dict = {}
+    for name, members in result.items():
+        for m in members:
+            served.setdefault(key(m), 0)
+            served[key(m)] += 1
+    missing = [p for p in pool if key(p) not in served]
+    if missing:
+        bucket_names = list(result.keys())
+        for p in missing:
+            placed = False
+            for bi in rng.permutation(len(bucket_names)):
+                name = bucket_names[int(bi)]
+                members = result[name]
+                keys_here = {key(m) for m in members}
+                if key(p) in keys_here:
+                    continue
+                # find a member with multiplicity > 1 to displace
+                for j, m in enumerate(members):
+                    if served[key(m)] > 1:
+                        served[key(m)] -= 1
+                        members[j] = p
+                        served[key(p)] = 1
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                raise ValueError("coverage repair failed; quotas too tight")
+    return result

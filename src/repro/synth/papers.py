@@ -1,0 +1,334 @@
+"""Paper and authorship construction.
+
+For each conference the generator must hit, simultaneously:
+
+- the Table 1 paper count and unique-author count,
+- the share of the 2,236 total authorship positions (repeat authors),
+- the per-conference FAR among known-gender authors (§3.1),
+- the first-author and last-author female quotas (§3.1's lead/last
+  contrasts),
+- the §4.1 HPC-topic tagging (≈178/518 papers, with HPC papers' author
+  FAR a touch *above* the overall rate).
+
+The construction is quota-first: author slates per conference are drawn
+from the pools with exact gender counts, papers get sizes that sum to
+the position count exactly (largest-remainder over a lognormal size
+draw), every unique author gets at least one slot, and first/last
+positions are fixed up by swap passes until the lead/last quotas hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.targets import ConferenceTargets
+from repro.confmodel.entities import Authorship, Paper
+from repro.synth.population import PersonSpec
+from repro.util.rounding import largest_remainder
+
+__all__ = ["ConferenceSlate", "draw_conference_slates", "build_papers"]
+
+
+@dataclass
+class ConferenceSlate:
+    """The unique authors chosen for one conference, by gender."""
+
+    conference: str
+    women: list[PersonSpec]
+    men: list[PersonSpec]
+
+    @property
+    def all_authors(self) -> list[PersonSpec]:
+        return self.women + self.men
+
+    @property
+    def size(self) -> int:
+        return len(self.women) + len(self.men)
+
+
+def draw_conference_slates(
+    targets: list[ConferenceTargets],
+    authors: list[PersonSpec],
+    scale_fn,
+    rng: np.random.Generator,
+) -> dict[str, ConferenceSlate]:
+    """Assign unique authors to conferences with exact gender quotas.
+
+    People may serve several conferences (the global pool is smaller
+    than the sum of per-conference unique counts — that overlap is the
+    paper's 1,885 unique vs 2,111 conference-unique authors), but never
+    twice within one conference.  Assignment walks a shuffled multiset
+    of picks per gender; when the pool runs short, re-picks are allowed
+    (more overlap), keeping quotas exact.
+    """
+    from repro.synth.dealing import deal
+
+    women_pool = [p for p in authors if p.gender == "F"]
+    men_pool = [p for p in authors if p.gender == "M"]
+    if not women_pool or not men_pool:
+        raise ValueError("author pool must contain both genders")
+
+    women_quota: dict[str, int] = {}
+    men_quota: dict[str, int] = {}
+    for t in targets:
+        uniq = scale_fn(t.unique_authors)
+        n_women = min(int(round(uniq * t.far)), uniq, len(women_pool))
+        women_quota[t.name] = n_women
+        men_quota[t.name] = uniq - n_women
+
+    # Every pool member must fit somewhere; when scaled quotas undershoot
+    # the pool (tiny scale factors), top up the largest conferences.
+    def top_up(quota: dict[str, int], pool_size: int, cap: dict[str, int]) -> None:
+        deficit = pool_size - sum(quota.values())
+        names = sorted(quota, key=lambda k: -quota[k])
+        i = 0
+        while deficit > 0:
+            name = names[i % len(names)]
+            if quota[name] < cap[name]:
+                quota[name] += 1
+                deficit -= 1
+            i += 1
+            if i > 100 * len(names):  # pragma: no cover - defensive
+                raise ValueError("cannot cover pool with conference quotas")
+
+    caps = {t.name: len(women_pool) for t in targets}
+    top_up(women_quota, len(women_pool), caps)
+    caps = {t.name: len(men_pool) for t in targets}
+    top_up(men_quota, len(men_pool), caps)
+
+    key = lambda p: p.person_id
+    women_deal = deal(women_pool, women_quota, rng, key=key)
+    men_deal = deal(men_pool, men_quota, rng, key=key)
+    return {
+        t.name: ConferenceSlate(t.name, women_deal[t.name], men_deal[t.name])
+        for t in targets
+    }
+
+
+def _paper_sizes(positions: int, papers: int, rng: np.random.Generator) -> np.ndarray:
+    """Author-list sizes for ``papers`` papers summing to ``positions``.
+
+    Draws lognormal size propensities (systems papers average ≈4.3
+    authors, long tail to ~12) and integerizes with largest remainder,
+    then enforces a minimum of one author per paper.
+    """
+    if papers <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if positions < papers:
+        raise ValueError("fewer author positions than papers")
+    prop = rng.lognormal(mean=0.0, sigma=0.35, size=papers)
+    sizes = largest_remainder(prop, positions)
+    # enforce minimum 1: move slots from the largest papers
+    for i in np.where(sizes == 0)[0]:
+        j = int(np.argmax(sizes))
+        sizes[j] -= 1
+        sizes[i] += 1
+    assert sizes.sum() == positions and (sizes >= 1).all()
+    return sizes
+
+
+def build_papers(
+    target: ConferenceTargets,
+    slate: ConferenceSlate,
+    year: int,
+    scale_fn,
+    rng: np.random.Generator,
+    paper_id_start: int,
+) -> list[Paper]:
+    """Construct one conference's papers from its author slate."""
+    n_papers = scale_fn(target.papers)
+    n_positions = max(scale_fn(target.author_positions), slate.size)
+    sizes = _paper_sizes(n_positions, n_papers, rng)
+
+    # Fill slots: each unique author once, then repeats.
+    base = list(slate.all_authors)
+    rng.shuffle(base)
+    extra_n = n_positions - len(base)
+    if extra_n < 0:
+        raise ValueError("more unique authors than positions")
+    extras = [base[int(i)] for i in rng.choice(len(base), size=extra_n)] if extra_n else []
+    slots = base + extras
+    rng.shuffle(slots)
+
+    # Deal slots to papers avoiding duplicate authors within one paper.
+    papers_authors: list[list[PersonSpec]] = [[] for _ in range(n_papers)]
+    leftovers: list[PersonSpec] = []
+    cursor = 0
+    for pi, size in enumerate(sizes):
+        seen: set[str] = set()
+        while len(papers_authors[pi]) < size and cursor < len(slots):
+            cand = slots[cursor]
+            cursor += 1
+            if cand.person_id in seen:
+                leftovers.append(cand)
+            else:
+                papers_authors[pi].append(cand)
+                seen.add(cand.person_id)
+        # backfill from leftovers when the stream ran dry
+        li = 0
+        while len(papers_authors[pi]) < size and li < len(leftovers):
+            cand = leftovers[li]
+            if cand.person_id not in seen:
+                papers_authors[pi].append(cand)
+                seen.add(cand.person_id)
+                leftovers.pop(li)
+            else:
+                li += 1
+        # As a last resort substitute an unused slate member (keeps the
+        # position count exact; slightly raises that member's slot count).
+        while len(papers_authors[pi]) < size:
+            cand = slate.all_authors[int(rng.integers(0, slate.size))]
+            if cand.person_id not in seen:
+                papers_authors[pi].append(cand)
+                seen.add(cand.person_id)
+
+    _fix_position_quotas(papers_authors, target, n_papers, rng)
+
+    papers: list[Paper] = []
+    for pi, members in enumerate(papers_authors):
+        pid = f"{target.name}-{year}-{paper_id_start + pi:04d}"
+        authorships = [
+            Authorship(person_id=m.person_id, position=k, num_authors=len(members))
+            for k, m in enumerate(members)
+        ]
+        papers.append(
+            Paper(
+                paper_id=pid,
+                conference=target.name,
+                year=year,
+                title=_title(rng),
+                authorships=authorships,
+                is_hpc=False,  # tagged globally afterwards (§4.1 quota)
+            )
+        )
+    return papers
+
+
+def _fix_position_quotas(
+    papers_authors: list[list[PersonSpec]],
+    target: ConferenceTargets,
+    n_papers: int,
+    rng: np.random.Generator,
+) -> None:
+    """Swap authors within papers until lead/last female quotas hold."""
+    want_lead = int(round(n_papers * target.lead_far))
+    multi = [m for m in papers_authors if len(m) > 1]
+    want_last = int(round(len(multi) * target.last_far))
+
+    def female_lead_count() -> int:
+        return sum(1 for m in papers_authors if m and m[0].gender == "F")
+
+    def female_last_count() -> int:
+        return sum(1 for m in papers_authors if len(m) > 1 and m[-1].gender == "F")
+
+    # Lead pass: promote/demote women at position 0 by intra-paper swaps.
+    for _ in range(4 * n_papers):
+        have = female_lead_count()
+        if have == want_lead:
+            break
+        order = rng.permutation(len(papers_authors))
+        changed = False
+        for i in order:
+            m = papers_authors[int(i)]
+            if len(m) < 2:
+                continue
+            if have < want_lead and m[0].gender == "M":
+                # prefer promoting a middle female so the last position
+                # (its own quota) is disturbed as little as possible
+                j = next((k for k in range(1, len(m) - 1) if m[k].gender == "F"), None)
+                if j is None and m[-1].gender == "F":
+                    j = len(m) - 1
+                if j is not None:
+                    m[0], m[j] = m[j], m[0]
+                    changed = True
+                    break
+            elif have > want_lead and m[0].gender == "F":
+                j = next((k for k in range(1, len(m)) if m[k].gender == "M"), None)
+                if j is not None:
+                    m[0], m[j] = m[j], m[0]
+                    changed = True
+                    break
+        if not changed:
+            break
+
+    # Last pass: same idea for the senior position, avoiding position 0.
+    for _ in range(4 * n_papers):
+        have = female_last_count()
+        if have == want_last:
+            break
+        order = rng.permutation(len(papers_authors))
+        changed = False
+        for i in order:
+            m = papers_authors[int(i)]
+            if len(m) < 3:  # need a middle author to swap with
+                continue
+            last = len(m) - 1
+            if have < want_last and m[last].gender == "M":
+                j = next((k for k in range(1, last) if m[k].gender == "F"), None)
+                if j is not None:
+                    m[last], m[j] = m[j], m[last]
+                    changed = True
+                    break
+            elif have > want_last and m[last].gender == "F":
+                j = next((k for k in range(1, last) if m[k].gender == "M"), None)
+                if j is not None:
+                    m[last], m[j] = m[j], m[last]
+                    changed = True
+                    break
+        if not changed:
+            break
+
+
+_TOPICS = (
+    "Scalable", "Adaptive", "Energy-Aware", "Fault-Tolerant", "Distributed",
+    "Hierarchical", "Asynchronous", "Locality-Aware", "Elastic", "Hybrid",
+)
+_OBJECTS = (
+    "Graph Processing", "Stencil Computation", "MPI Collectives",
+    "Task Scheduling", "Checkpointing", "Tensor Contraction",
+    "Sparse Solvers", "Data Staging", "Load Balancing", "Burst Buffers",
+    "Molecular Dynamics", "In-Situ Analysis", "Key-Value Stores",
+    "Memory Management", "Interconnect Routing", "Stream Processing",
+)
+_PLATFORMS = (
+    "on Many-Core Systems", "for Exascale Platforms", "on GPU Clusters",
+    "in Cloud Environments", "on Heterogeneous Architectures",
+    "for Deep Memory Hierarchies", "at Extreme Scale", "on HPC Systems",
+)
+
+
+def _title(rng: np.random.Generator) -> str:
+    """A plausible systems-paper title (used by the harvest pages)."""
+    return (
+        f"{_TOPICS[int(rng.integers(len(_TOPICS)))]} "
+        f"{_OBJECTS[int(rng.integers(len(_OBJECTS)))]} "
+        f"{_PLATFORMS[int(rng.integers(len(_PLATFORMS)))]}"
+    )
+
+
+def tag_hpc_papers(
+    papers: list[Paper],
+    people: dict[str, PersonSpec],
+    hpc_total: int,
+    rng: np.random.Generator,
+) -> None:
+    """Tag ``hpc_total`` papers as strictly-HPC (§4.1).
+
+    Weighted toward papers with more women so the HPC-subset FAR lands
+    slightly above the overall FAR (10.1% vs 9.9% in the paper).
+    """
+    if hpc_total > len(papers):
+        raise ValueError("hpc_total exceeds paper count")
+    weights = np.array(
+        [
+            1.0
+            + 0.1 * sum(1 for a in p.authorships if people[a.person_id].gender == "F")
+            for p in papers
+        ]
+    )
+    probs = weights / weights.sum()
+    chosen = rng.choice(len(papers), size=hpc_total, replace=False, p=probs)
+    for i in chosen:
+        papers[int(i)].is_hpc = True

@@ -1,0 +1,65 @@
+"""SC/ISC 2016–2020 mini-editions for the §3.4 case study.
+
+The case study needs only author gender composition per year, so these
+editions carry papers and authors (drawn from dedicated small pools with
+the year's FAR target) but no committees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.targets import (
+    CONFERENCES_2017,
+    SC_ATTENDANCE_WOMEN,
+    SC_ISC_TIMELINE,
+)
+
+__all__ = ["TimelineEdition", "build_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineEdition:
+    """Author-only snapshot of one conference-year (§3.4)."""
+
+    conference: str
+    year: int
+    papers: int
+    authors: int
+    women_authors: int
+    attendance_women_share: float | None  # SC publishes attendance splits
+
+    @property
+    def far(self) -> float:
+        return self.women_authors / self.authors if self.authors else float("nan")
+
+
+def build_timeline(scale_fn, rng: np.random.Generator) -> list[TimelineEdition]:
+    """Build the ten SC/ISC editions (2016–2020).
+
+    Sizes track each conference's 2017 edition with mild year-to-year
+    variation; FAR follows the §3.4 calibration series.
+    """
+    base = {c.name: c for c in CONFERENCES_2017}
+    out: list[TimelineEdition] = []
+    for conf, series in SC_ISC_TIMELINE.items():
+        t = base[conf]
+        for year, far in sorted(series.items()):
+            drift = 1.0 + 0.08 * float(rng.standard_normal())
+            papers = max(5, int(round(scale_fn(t.papers) * drift)))
+            authors = max(papers, int(round(scale_fn(t.unique_authors) * drift)))
+            women = int(round(authors * far))
+            attendance = SC_ATTENDANCE_WOMEN.get(year) if conf == "SC" else None
+            out.append(
+                TimelineEdition(
+                    conference=conf,
+                    year=year,
+                    papers=papers,
+                    authors=authors,
+                    women_authors=women,
+                    attendance_women_share=attendance,
+                )
+            )
+    return out

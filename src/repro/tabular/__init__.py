@@ -1,0 +1,58 @@
+"""A small NumPy-backed column-store table.
+
+pandas is not available in this environment, so the analysis layer is
+written against this minimal tabular engine instead.  It supports exactly
+what the reproduction needs:
+
+- typed columns backed by NumPy arrays (:mod:`repro.tabular.column`),
+- an immutable-ish :class:`~repro.tabular.table.Table` with row filtering,
+  column selection/derivation, and sorting,
+- split-apply-combine grouping (:mod:`repro.tabular.groupby`),
+- hash joins (:mod:`repro.tabular.join`),
+- aggregation helpers (:mod:`repro.tabular.agg`),
+- CSV/JSON round-tripping (:mod:`repro.tabular.io`).
+
+Design notes: string columns use NumPy object arrays rather than fixed-
+width ``U`` dtypes so that filtering never truncates, and all row
+operations are vectorized mask/fancy-index operations — no Python-level
+per-row loops on the hot paths (per the scientific-Python optimization
+guidance this project follows).
+"""
+
+from repro.tabular.column import Column, infer_dtype
+from repro.tabular.table import Table
+from repro.tabular.groupby import GroupBy
+from repro.tabular.join import inner_join, left_join
+from repro.tabular.agg import (
+    count,
+    mean,
+    total,
+    share,
+    nan_mean,
+    rate,
+)
+from repro.tabular.io import (
+    table_to_csv,
+    table_from_csv,
+    table_to_json,
+    table_from_json,
+)
+
+__all__ = [
+    "Column",
+    "infer_dtype",
+    "Table",
+    "GroupBy",
+    "inner_join",
+    "left_join",
+    "count",
+    "mean",
+    "total",
+    "share",
+    "nan_mean",
+    "rate",
+    "table_to_csv",
+    "table_from_csv",
+    "table_to_json",
+    "table_from_json",
+]

@@ -1,0 +1,73 @@
+"""Ready-made aggregation callables for ``GroupBy.agg``."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+__all__ = ["count", "total", "mean", "nan_mean", "share", "rate"]
+
+
+def count() -> Callable[[Table], int]:
+    """Number of rows in the group."""
+    return lambda g: g.num_rows
+
+
+def total(name: str) -> Callable[[Table], float]:
+    """Sum of a numeric column (NaN-aware)."""
+    return lambda g: float(np.nansum(g[name].astype(np.float64)))
+
+
+def mean(name: str) -> Callable[[Table], float]:
+    """Mean of a numeric column; NaN if the group is empty."""
+
+    def _mean(g: Table) -> float:
+        v = g[name].astype(np.float64)
+        return float(np.mean(v)) if v.size else float("nan")
+
+    return _mean
+
+
+def nan_mean(name: str) -> Callable[[Table], float]:
+    """Mean ignoring NaN entries; NaN if no observed values."""
+
+    def _mean(g: Table) -> float:
+        v = g[name].astype(np.float64)
+        obs = v[~np.isnan(v)]
+        return float(np.mean(obs)) if obs.size else float("nan")
+
+    return _mean
+
+
+def share(name: str, value) -> Callable[[Table], float]:
+    """Fraction of rows whose column equals ``value`` (missing excluded).
+
+    This is the workhorse of the reproduction: ``share("gender", "F")``
+    computes the female ratio of a group among rows with known gender.
+    """
+
+    def _share(g: Table) -> float:
+        col = g.col(name)
+        miss = col.is_missing()
+        denom = int((~miss).sum())
+        if denom == 0:
+            return float("nan")
+        hits = int(np.sum((col.values == value) & ~miss))
+        return hits / denom
+
+    return _share
+
+
+def rate(numerator: Callable[[Table], float], denominator: Callable[[Table], float]):
+    """Ratio of two aggregations; NaN when the denominator is zero."""
+
+    def _rate(g: Table) -> float:
+        d = denominator(g)
+        if not d:
+            return float("nan")
+        return numerator(g) / d
+
+    return _rate

@@ -1,0 +1,97 @@
+"""Split-apply-combine for :class:`repro.tabular.table.Table`."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.table import Table
+
+__all__ = ["GroupBy"]
+
+
+class GroupBy:
+    """Grouping of a table by one or more key columns.
+
+    Group order is first-appearance order of each key tuple, which keeps
+    reports deterministic without a separate sort.
+    """
+
+    def __init__(self, table: Table, keys: Sequence[str]) -> None:
+        if not keys:
+            raise ValueError("groupby requires at least one key column")
+        self._table = table
+        self._keys = tuple(keys)
+        self._index = self._build_index()
+
+    def _build_index(self) -> dict[tuple, np.ndarray]:
+        cols = [self._table.col(k) for k in self._keys]
+        buckets: dict[tuple, list[int]] = {}
+        # Materialize key tuples once; object-array iteration is the cost.
+        columns = [c.values for c in cols]
+        for i in range(self._table.num_rows):
+            key = tuple(col[i] for col in columns)
+            buckets.setdefault(key, []).append(i)
+        return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return self._keys
+
+    def groups(self) -> dict[tuple, Table]:
+        """Materialize each group as a sub-table."""
+        return {k: self._table.take(idx) for k, idx in self._index.items()}
+
+    def group(self, *key: Any) -> Table:
+        """The sub-table for one key tuple (raises KeyError if absent)."""
+        k = tuple(key)
+        if k not in self._index:
+            raise KeyError(f"no group {k!r}")
+        return self._table.take(self._index[k])
+
+    def size(self) -> Table:
+        """Table of group sizes with one row per group."""
+        rows = []
+        for k, idx in self._index.items():
+            row = dict(zip(self._keys, k))
+            row["count"] = int(idx.size)
+            rows.append(row)
+        return Table.from_records(rows, columns=list(self._keys) + ["count"])
+
+    def agg(self, **aggregations: Callable[[Table], Any]) -> Table:
+        """Apply named aggregation functions to each group.
+
+        Each aggregation receives the group's sub-table and returns a
+        scalar::
+
+            t.groupby("conference").agg(
+                far=lambda g: far_of(g),
+                n=lambda g: g.num_rows,
+            )
+        """
+        rows = []
+        for k, idx in self._index.items():
+            sub = self._table.take(idx)
+            row = dict(zip(self._keys, k))
+            for name, fn in aggregations.items():
+                row[name] = fn(sub)
+            rows.append(row)
+        return Table.from_records(
+            rows, columns=list(self._keys) + list(aggregations.keys())
+        )
+
+    def apply(self, fn: Callable[[tuple, Table], Mapping[str, Any]]) -> Table:
+        """Apply ``fn(key, subtable) -> row dict`` to each group."""
+        rows = []
+        for k, idx in self._index.items():
+            sub = self._table.take(idx)
+            rows.append(dict(fn(k, sub)))
+        return Table.from_records(rows)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self):
+        for k, idx in self._index.items():
+            yield k, self._table.take(idx)

@@ -1,0 +1,101 @@
+"""CSV/JSON serialization for tables.
+
+The artifact companion of the original paper ships CSVs; these helpers let
+users export every reproduced table in the same spirit and reload them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.tabular.table import Table
+
+__all__ = ["table_to_csv", "table_from_csv", "table_to_json", "table_from_json"]
+
+_MISSING = ""
+
+
+def table_to_csv(table: Table, path: str | Path | None = None) -> str:
+    """Serialize to CSV text; also write to ``path`` when given.
+
+    Missing values serialize to empty fields.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(table.columns)
+    for rec in table.to_records():
+        writer.writerow(
+            [
+                _MISSING if v is None or (isinstance(v, float) and v != v) else v
+                for v in rec.values()
+            ]
+        )
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def _parse_cell(s: str):
+    if s == _MISSING:
+        return None
+    try:
+        return int(s)
+    except ValueError:
+        pass
+    try:
+        return float(s)
+    except ValueError:
+        pass
+    if s == "True":
+        return True
+    if s == "False":
+        return False
+    return s
+
+
+def table_from_csv(source: str | Path, columns: Sequence[str] | None = None) -> Table:
+    """Parse CSV text or a file path back into a Table.
+
+    Cell types are re-inferred (int, then float, then bool, then str).
+    """
+    p = Path(source) if not isinstance(source, str) or "\n" not in source else None
+    text = p.read_text(encoding="utf-8") if p is not None and p.exists() else str(source)
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        return Table({})
+    header = rows[0]
+    records = [
+        {h: _parse_cell(cell) for h, cell in zip(header, row)} for row in rows[1:]
+    ]
+    return Table.from_records(records, columns=columns or header)
+
+
+def table_to_json(table: Table, path: str | Path | None = None) -> str:
+    """Serialize to a JSON array of row objects (NaN → null)."""
+
+    def clean(v):
+        if isinstance(v, float) and v != v:
+            return None
+        return v
+
+    records = [
+        {k: clean(v) for k, v in rec.items()} for rec in table.to_records()
+    ]
+    text = json.dumps(records, indent=2, sort_keys=False)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def table_from_json(source: str | Path) -> Table:
+    """Load a Table from JSON text or a JSON file path."""
+    p = Path(source) if not isinstance(source, str) or not source.lstrip().startswith("[") else None
+    text = p.read_text(encoding="utf-8") if p is not None and p.exists() else str(source)
+    records = json.loads(text)
+    return Table.from_records(records)

@@ -1,0 +1,113 @@
+"""Hash joins for the tabular engine."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+
+__all__ = ["inner_join", "left_join"]
+
+
+def _key_rows(table: Table, keys: Sequence[str]) -> list[tuple]:
+    cols = [table.col(k).values for k in keys]
+    return [tuple(col[i] for col in cols) for i in range(table.num_rows)]
+
+
+def _suffix_conflicts(left: Table, right: Table, keys: Sequence[str], suffix: str) -> Table:
+    renames = {
+        n: n + suffix
+        for n in right.columns
+        if n in left.columns and n not in keys
+    }
+    return right.rename(renames) if renames else right
+
+
+def inner_join(
+    left: Table, right: Table, on: Sequence[str] | str, suffix: str = "_right"
+) -> Table:
+    """Inner join on equality of key columns.
+
+    Matches every pair of rows with equal keys (many-to-many).  Non-key
+    columns of ``right`` that clash with ``left`` get ``suffix``.
+    Output row order: left order, then right match order — deterministic.
+    """
+    keys = [on] if isinstance(on, str) else list(on)
+    right = _suffix_conflicts(left, right, keys, suffix)
+    index: dict[tuple, list[int]] = {}
+    for j, key in enumerate(_key_rows(right, keys)):
+        index.setdefault(key, []).append(j)
+    li: list[int] = []
+    ri: list[int] = []
+    for i, key in enumerate(_key_rows(left, keys)):
+        for j in index.get(key, ()):
+            li.append(i)
+            ri.append(j)
+    lidx = np.array(li, dtype=np.int64)
+    ridx = np.array(ri, dtype=np.int64)
+    out = left.take(lidx)
+    rtaken = right.take(ridx)
+    for n in rtaken.columns:
+        if n not in keys:
+            out = out.with_column(n, rtaken.col(n))
+    return out
+
+
+def left_join(
+    left: Table, right: Table, on: Sequence[str] | str, suffix: str = "_right"
+) -> Table:
+    """Left join; unmatched left rows get missing values on right columns.
+
+    ``right`` must be unique on the key columns (one-to-at-most-one);
+    duplicate right keys raise to avoid silent row multiplication.
+    """
+    keys = [on] if isinstance(on, str) else list(on)
+    right = _suffix_conflicts(left, right, keys, suffix)
+    index: dict[tuple, int] = {}
+    for j, key in enumerate(_key_rows(right, keys)):
+        if key in index:
+            raise ValueError(f"left_join right side has duplicate key {key!r}")
+        index[key] = j
+    match = np.array(
+        [index.get(key, -1) for key in _key_rows(left, keys)], dtype=np.int64
+    )
+    out = left
+    matched = match >= 0
+    safe = np.where(matched, match, 0)
+    for n in right.columns:
+        if n in keys:
+            continue
+        col = right.col(n)
+        if len(col) == 0:
+            # empty right side: every left row is unmatched
+            if col.kind == "str":
+                empty = np.empty(len(left), dtype=object)
+                out = out.with_column(n, Column(n, empty, kind="str"))
+            else:
+                out = out.with_column(
+                    n, Column(n, np.full(len(left), np.nan), kind="float")
+                )
+            continue
+        vals = col.values[safe]
+        if col.kind == "str":
+            merged = np.empty(len(left), dtype=object)
+            merged[:] = vals
+            merged[~matched] = None
+            out = out.with_column(n, Column(n, merged, kind="str"))
+        elif col.kind == "float":
+            merged = vals.astype(np.float64).copy()
+            merged[~matched] = np.nan
+            out = out.with_column(n, Column(n, merged, kind="float"))
+        else:
+            # int/bool cannot hold missing: promote to float with NaN when
+            # there are unmatched rows, else keep native kind.
+            if matched.all():
+                out = out.with_column(n, Column(n, vals, kind=col.kind))
+            else:
+                merged = vals.astype(np.float64)
+                merged[~matched] = np.nan
+                out = out.with_column(n, Column(n, merged, kind="float"))
+    return out

@@ -1,0 +1,238 @@
+"""The Table container: an ordered set of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A column-store table.
+
+    Construction::
+
+        Table({"name": ["a", "b"], "n": [1, 2]})
+        Table.from_records([{"name": "a", "n": 1}, {"name": "b", "n": 2}])
+
+    All row-level operations return new tables; columns are shared (they
+    are read-only arrays) so derivation is cheap.
+    """
+
+    __slots__ = ("_cols", "_order")
+
+    def __init__(self, columns: Mapping[str, Any] | Sequence[Column] = ()) -> None:
+        self._cols: dict[str, Column] = {}
+        self._order: list[str] = []
+        if isinstance(columns, Mapping):
+            items: Iterable[tuple[str, Any]] = columns.items()
+        else:
+            items = ((c.name, c) for c in columns)
+        n = None
+        for name, values in items:
+            col = values if isinstance(values, Column) else Column(name, values)
+            if col.name != name:
+                col = col.rename(name)
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise ValueError(
+                    f"column {name!r} has length {len(col)}, expected {n}"
+                )
+            self._cols[name] = col
+            self._order.append(name)
+
+    # ---------------------------------------------------------------- basic
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._order)
+
+    @property
+    def num_rows(self) -> int:
+        if not self._order:
+            return 0
+        return len(self._cols[self._order[0]])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def col(self, name: str) -> Column:
+        try:
+            return self._cols[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self._order)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """The raw array of a column (read-only)."""
+        return self.col(name).values
+
+    def row(self, i: int) -> dict[str, Any]:
+        return {name: self._cols[name].values[i] for name in self._order}
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------ derivation
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+    ) -> "Table":
+        """Build a table from dict rows.
+
+        ``columns`` fixes the column set/order; otherwise it is the union
+        of keys in first-seen order.  Missing keys become missing values.
+        """
+        if columns is None:
+            cols: list[str] = []
+            seen: set[str] = set()
+            for r in records:
+                for k in r:
+                    if k not in seen:
+                        seen.add(k)
+                        cols.append(k)
+        else:
+            cols = list(columns)
+        data = {c: [r.get(c) for r in records] for c in cols}
+        return cls(data)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        names = self._order
+        lists = [self._cols[n].to_list() for n in names]
+        return [dict(zip(names, vals)) for vals in zip(*lists)] if names else []
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto ``names`` in the given order."""
+        return Table([self.col(n) for n in names])
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        keep = [n for n in self._order if n not in set(names)]
+        return self.select(keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        cols = []
+        for n in self._order:
+            new = mapping.get(n, n)
+            cols.append(self._cols[n].rename(new))
+        return Table(cols)
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Add or replace a column (computed arrays welcome)."""
+        col = values if isinstance(values, Column) else Column(name, values)
+        if col.name != name:
+            col = col.rename(name)
+        if len(col) != self.num_rows and self._order:
+            raise ValueError(
+                f"new column {name!r} has length {len(col)}, table has {self.num_rows} rows"
+            )
+        cols = [self._cols[n] for n in self._order if n != name]
+        cols.append(col)
+        return Table(cols)
+
+    def with_derived(self, name: str, fn: Callable[["Table"], Any]) -> "Table":
+        """Add a column computed from the whole table (vectorized)."""
+        return self.with_column(name, fn(self))
+
+    # -------------------------------------------------------------- row ops
+
+    def filter(self, mask: Any) -> "Table":
+        """Keep rows where ``mask`` (bool array or predicate on Table) holds."""
+        if callable(mask):
+            mask = mask(self)
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self.num_rows,):
+            raise ValueError(
+                f"mask shape {m.shape} does not match row count {self.num_rows}"
+            )
+        return Table([self._cols[n].mask(m) for n in self._order])
+
+    def take(self, indices: Any) -> "Table":
+        idx = np.asarray(indices, dtype=np.int64)
+        return Table([self._cols[n].take(idx) for n in self._order])
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def sort_by(self, *names: str, descending: bool | Sequence[bool] = False) -> "Table":
+        """Stable multi-key sort. ``descending`` may be per-key."""
+        if not names:
+            return self
+        if isinstance(descending, bool):
+            desc = [descending] * len(names)
+        else:
+            desc = list(descending)
+            if len(desc) != len(names):
+                raise ValueError("descending must match number of keys")
+        idx = np.arange(self.num_rows)
+        # Sort by least-significant key first (stable sorts compose).
+        for name, d in reversed(list(zip(names, desc))):
+            col = self.col(name)
+            vals = col.values[idx]
+            if col.kind == "str":
+                keys = np.array(["" if v is None else str(v) for v in vals])
+            else:
+                keys = vals
+            if d:
+                # Stable descending: rank values ascending, then stably
+                # sort by negated rank (plain reversal would break ties).
+                _, inv = np.unique(keys, return_inverse=True)
+                order = np.argsort(-inv, kind="stable")
+            else:
+                order = np.argsort(keys, kind="stable")
+            idx = idx[order]
+        return self.take(idx)
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack rows of two tables with identical column sets."""
+        if self._order != other._order:
+            raise ValueError(
+                f"column mismatch: {self._order} vs {other._order}"
+            )
+        cols = []
+        for n in self._order:
+            a, b = self._cols[n], other._cols[n]
+            kind = a.kind if a.kind == b.kind else "str" if "str" in (a.kind, b.kind) else "float"
+            merged = np.concatenate([a.values, b.values]) if kind != "str" else np.concatenate(
+                [a.values.astype(object), b.values.astype(object)]
+            )
+            cols.append(Column(n, merged, kind=kind))
+        return Table(cols)
+
+    # ------------------------------------------------------------- analysis
+
+    def groupby(self, *keys: str):
+        from repro.tabular.groupby import GroupBy
+
+        return GroupBy(self, keys)
+
+    def value_counts(self, name: str) -> "Table":
+        """Counts of distinct values of a column, descending by count."""
+        col = self.col(name)
+        counts: dict = {}
+        for v in col.values:
+            if col.kind == "float" and np.isnan(v):
+                continue
+            if v is None:
+                continue
+            counts[v] = counts.get(v, 0) + 1
+        items = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return Table({name: [k for k, _ in items], "count": [c for _, c in items]})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.num_rows} rows x {len(self._order)} cols: {', '.join(self._order)})"
+
+    def equals(self, other: "Table") -> bool:
+        if self._order != other._order or self.num_rows != other.num_rows:
+            return False
+        return all(self._cols[n] == other._cols[n] for n in self._order)

@@ -1,0 +1,28 @@
+"""The 56-conference systems universe (the paper's §6 future work).
+
+"Other future work includes expanding this analysis to the larger set of
+56 conferences we have collected from all subfields of computer
+systems."  This package builds that expansion: a generator of synthetic
+conference-target sets spanning the systems subfields, a world/pipeline
+run over all of them, and a cross-subfield representation comparison.
+
+- :mod:`repro.universe.catalog`  — subfield profiles and the 56-conference
+  target generator.
+- :mod:`repro.universe.analysis` — FAR by subfield with pairwise χ²
+  contrasts against the HPC baseline.
+"""
+
+from repro.universe.catalog import (
+    SUBFIELD_PROFILES,
+    SubfieldProfile,
+    systems_universe,
+)
+from repro.universe.analysis import universe_report, UniverseReport
+
+__all__ = [
+    "SUBFIELD_PROFILES",
+    "SubfieldProfile",
+    "systems_universe",
+    "universe_report",
+    "UniverseReport",
+]

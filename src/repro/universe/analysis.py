@@ -1,0 +1,96 @@
+"""Cross-subfield representation analysis over the universe."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.common import mask_eq, women_share
+from repro.calibration.targets import ConferenceTargets
+from repro.pipeline.dataset import AnalysisDataset
+from repro.stats.chisquare import Chi2Result, chi2_contingency
+from repro.stats.proportions import Proportion, proportion_diff
+
+__all__ = ["SubfieldRow", "UniverseReport", "universe_report"]
+
+
+@dataclass(frozen=True)
+class SubfieldRow:
+    """One subfield's author representation."""
+
+    field: str
+    conferences: int
+    authors: Proportion
+    vs_hpc: Chi2Result | None    # contrast against the HPC subfield
+
+
+@dataclass(frozen=True)
+class UniverseReport:
+    """FAR by systems subfield (the §6 expansion)."""
+
+    rows: tuple[SubfieldRow, ...]     # sorted by FAR descending
+    overall: Proportion
+    heterogeneity: Chi2Result         # K×2 test that subfields differ
+
+    def field(self, name: str) -> SubfieldRow:
+        for r in self.rows:
+            if r.field == name:
+                return r
+        raise KeyError(f"no subfield {name!r}")
+
+
+def universe_report(
+    ds: AnalysisDataset, targets: list[ConferenceTargets]
+) -> UniverseReport:
+    """Compute per-subfield author representation.
+
+    ``targets`` supplies the conference→subfield mapping (the dataset
+    itself only knows conference names, as a real pipeline would).
+    """
+    field_of = {t.name: t.field for t in targets}
+    positions = ds.author_positions
+    fields = sorted({t.field for t in targets})
+
+    shares: dict[str, Proportion] = {}
+    conf_counts: dict[str, int] = {}
+    for f in fields:
+        confs = {t.name for t in targets if t.field == f}
+        sub = positions.filter(
+            lambda t: np.array([c in confs for c in t["conference"]], dtype=bool)
+        )
+        shares[f] = women_share(sub)
+        conf_counts[f] = len(confs)
+
+    hpc = shares.get("HPC")
+    rows = []
+    for f in fields:
+        vs = (
+            proportion_diff(shares[f], hpc)
+            if hpc is not None and f != "HPC" and shares[f].n and hpc.n
+            else None
+        )
+        rows.append(
+            SubfieldRow(
+                field=f,
+                conferences=conf_counts[f],
+                authors=shares[f],
+                vs_hpc=vs,
+            )
+        )
+    rows.sort(key=lambda r: -(r.authors.value if r.authors.n else 0.0))
+
+    matrix = np.array(
+        [[shares[f].hits, shares[f].n - shares[f].hits] for f in fields],
+        dtype=float,
+    )
+    het = (
+        chi2_contingency(matrix)
+        if (matrix.sum(axis=1) > 0).all()
+        else Chi2Result(float("nan"), len(fields) - 1, float("nan"), ())
+    )
+    return UniverseReport(
+        rows=tuple(rows),
+        overall=women_share(positions),
+        heterogeneity=het,
+    )

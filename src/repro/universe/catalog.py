@@ -1,0 +1,109 @@
+"""Subfield profiles and the 56-conference generator.
+
+Per-subfield female-author rates follow the published literature the
+paper cites (Cohoon'11, Wang'21, Mattauch'20): systems subfields sit
+well below the CS-wide 20–30%, with HPC/architecture lowest and
+measurement/databases somewhat higher.  The profiles are calibration
+inputs for the synthetic universe, documented here so the extension's
+assumptions are inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration.targets import ConferenceTargets
+from repro.util.rng import spawn_rng
+
+__all__ = ["SubfieldProfile", "SUBFIELD_PROFILES", "systems_universe"]
+
+
+@dataclass(frozen=True)
+class SubfieldProfile:
+    """Generation profile for one systems subfield."""
+
+    name: str
+    conferences: int          # how many conferences in the universe
+    far_mean: float           # mean female-author rate
+    far_spread: float         # conference-to-conference spread (uniform ±)
+    papers_mean: int          # accepted papers per conference (mean)
+    acceptance_mean: float
+
+
+SUBFIELD_PROFILES: tuple[SubfieldProfile, ...] = (
+    SubfieldProfile("HPC", 9, 0.100, 0.020, 58, 0.27),
+    SubfieldProfile("Architecture", 7, 0.085, 0.020, 55, 0.20),
+    SubfieldProfile("OS", 6, 0.105, 0.025, 40, 0.18),
+    SubfieldProfile("Networking", 8, 0.120, 0.025, 60, 0.19),
+    SubfieldProfile("Storage", 5, 0.110, 0.025, 35, 0.22),
+    SubfieldProfile("Security", 8, 0.125, 0.025, 70, 0.17),
+    SubfieldProfile("Databases", 6, 0.150, 0.030, 65, 0.21),
+    SubfieldProfile("Measurement", 4, 0.160, 0.030, 35, 0.24),
+    SubfieldProfile("Cloud", 3, 0.115, 0.025, 45, 0.25),
+)
+
+_HOSTS = ("US", "US", "US", "DE", "ES", "UK", "CN", "JP", "CA", "FR", "IN", "TH")
+
+
+def systems_universe(seed: int = 56) -> list[ConferenceTargets]:
+    """Generate the 56-conference systems universe.
+
+    Returns one :class:`ConferenceTargets` per conference with subfield-
+    profiled sizes and rates; total conference count is the sum of the
+    profiles' counts (56, matching §6).
+    """
+    rng = spawn_rng(seed, "universe")
+    targets: list[ConferenceTargets] = []
+    month = 1
+    for profile in SUBFIELD_PROFILES:
+        for k in range(profile.conferences):
+            papers = max(10, int(round(profile.papers_mean * (0.7 + 0.6 * rng.random()))))
+            authors_per_paper = 3.6 + 0.8 * rng.random()
+            unique_authors = int(round(papers * authors_per_paper))
+            positions = int(round(unique_authors * 1.06))
+            far = float(
+                np.clip(
+                    profile.far_mean
+                    + profile.far_spread * (2 * rng.random() - 1),
+                    0.02,
+                    0.40,
+                )
+            )
+            pc_size = max(20, int(round(papers * 2.2)))
+            pc_far = float(np.clip(far * 1.8, 0.05, 0.45))
+            month = month % 12 + 1
+            targets.append(
+                ConferenceTargets(
+                    name=f"{profile.name[:4].upper()}{k+1}",
+                    date=f"2017-{month:02d}-{int(rng.integers(1, 28)):02d}",
+                    papers=papers,
+                    unique_authors=unique_authors,
+                    acceptance_rate=float(
+                        np.clip(profile.acceptance_mean * (0.8 + 0.4 * rng.random()), 0.08, 0.5)
+                    ),
+                    country=str(_HOSTS[int(rng.integers(len(_HOSTS)))]),
+                    author_positions=positions,
+                    far=far,
+                    lead_far=float(np.clip(far * (0.9 + 0.4 * rng.random()), 0.02, 0.5)),
+                    last_far=float(np.clip(far * (0.7 + 0.4 * rng.random()), 0.02, 0.5)),
+                    pc_size=pc_size,
+                    pc_women=int(round(pc_size * pc_far)),
+                    pc_chairs=int(rng.integers(2, 5)),
+                    pc_chair_women=int(rng.random() < 2.2 * far),
+                    keynotes=int(rng.integers(2, 5)),
+                    keynote_women=int(rng.random() < 2.0 * far),
+                    panelists=int(rng.integers(0, 13)),
+                    panelist_women=int(rng.random() < 2.0 * far),
+                    session_chairs=max(4, papers // 5),
+                    session_chair_women=int(round(max(4, papers // 5) * far * 1.2)),
+                    double_blind=bool(rng.random() < 0.3),
+                    diversity_chair=bool(rng.random() < 0.15),
+                    code_of_conduct=bool(rng.random() < 0.4),
+                    childcare=bool(rng.random() < 0.05),
+                    demographic_reporting=bool(rng.random() < 0.1),
+                    field=profile.name,
+                )
+            )
+    return targets

@@ -1,0 +1,30 @@
+"""Number formatting shared by the ASCII report renderers."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["fmt_count", "fmt_pct", "fmt_float"]
+
+
+def fmt_count(n: int) -> str:
+    """Format an integer count with thousands separators."""
+    return f"{int(n):,}"
+
+
+def fmt_pct(fraction: float, digits: int = 2) -> str:
+    """Format a fraction in [0,1] as a percentage string.
+
+    >>> fmt_pct(0.0991)
+    '9.91%'
+    """
+    if fraction is None or (isinstance(fraction, float) and math.isnan(fraction)):
+        return "n/a"
+    return f"{100.0 * fraction:.{digits}f}%"
+
+
+def fmt_float(x: float, digits: int = 3) -> str:
+    """Format a float compactly, mapping NaN to 'n/a'."""
+    if x is None or (isinstance(x, float) and math.isnan(x)):
+        return "n/a"
+    return f"{x:.{digits}g}"

@@ -1,0 +1,86 @@
+"""Integerization of fractional quota tables.
+
+Population calibration (see :mod:`repro.calibration`) produces fractional
+cell counts that must be turned into integers whose totals exactly match
+prescribed marginals.  The paper's tables are integer counts, so rounding
+error directly shows up as a mismatch against published numbers.  We use
+largest-remainder (Hamilton) apportionment, the standard controlled-
+rounding primitive: floor everything, then distribute the leftover units
+to the cells with the largest fractional parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["largest_remainder", "round_preserving_sum", "proportional_ints"]
+
+
+def largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    Implements Hamilton's method: each cell receives
+    ``floor(total * w_i / sum(w))`` units, and the remaining units go to
+    the cells with the largest remainders.  Ties are broken by cell index
+    (deterministic).
+
+    Parameters
+    ----------
+    weights:
+        Nonnegative weights; at least one must be positive if
+        ``total > 0``.
+    total:
+        Number of units to distribute (nonnegative).
+
+    Returns
+    -------
+    numpy.ndarray of int64 with the same shape as ``weights``, summing to
+    exactly ``total``.
+    """
+    w = np.asarray(weights, dtype=float)
+    if total < 0:
+        raise ValueError(f"total must be nonnegative, got {total}")
+    if np.any(w < 0):
+        raise ValueError("weights must be nonnegative")
+    shape = w.shape
+    flat = w.ravel()
+    s = flat.sum()
+    if total == 0:
+        return np.zeros(shape, dtype=np.int64)
+    if s <= 0:
+        raise ValueError("cannot apportion a positive total over zero weights")
+    quota = flat * (total / s)
+    base = np.floor(quota).astype(np.int64)
+    leftover = int(total - base.sum())
+    if leftover > 0:
+        remainders = quota - base
+        # argsort is stable, so equal remainders resolve by ascending index;
+        # we take the largest remainders, preferring lower indices on ties.
+        order = np.lexsort((np.arange(flat.size), -remainders))
+        base[order[:leftover]] += 1
+    return base.reshape(shape)
+
+
+def round_preserving_sum(values: np.ndarray) -> np.ndarray:
+    """Round ``values`` to integers while preserving the (rounded) sum.
+
+    The target total is ``round(sum(values))``; units are assigned by
+    largest remainder.  Useful when a fitted fractional table should stay
+    as close as possible to itself while becoming integral.
+    """
+    v = np.asarray(values, dtype=float)
+    if np.any(v < 0):
+        raise ValueError("values must be nonnegative")
+    total = int(np.rint(v.sum()))
+    if total == 0:
+        return np.zeros(v.shape, dtype=np.int64)
+    return largest_remainder(v, total)
+
+
+def proportional_ints(shares: np.ndarray, total: int) -> np.ndarray:
+    """Split ``total`` according to fractional ``shares`` (need not sum to 1).
+
+    Alias of :func:`largest_remainder` with share semantics; kept separate
+    for call-site readability.
+    """
+    return largest_remainder(np.asarray(shares, dtype=float), total)

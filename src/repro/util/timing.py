@@ -1,0 +1,51 @@
+"""Minimal wall-clock stage timing for the pipeline and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StageTimer"]
+
+
+@dataclass
+class StageTimer:
+    """Records named stage durations.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("harvest"):
+            ...
+        timer.durations["harvest"]  # seconds
+    """
+
+    durations: dict[str, float] = field(default_factory=dict)
+
+    def stage(self, name: str) -> "_Stage":
+        return _Stage(self, name)
+
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    def report(self) -> str:
+        lines = [f"{name:<20s} {secs * 1e3:9.2f} ms" for name, secs in self.durations.items()]
+        lines.append(f"{'total':<20s} {self.total() * 1e3:9.2f} ms")
+        return "\n".join(lines)
+
+
+class _Stage:
+    def __init__(self, timer: StageTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Stage":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._timer.durations[self._name] = (
+            self._timer.durations.get(self._name, 0.0) + elapsed
+        )

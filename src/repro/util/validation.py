@@ -1,0 +1,39 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+__all__ = ["check_fraction", "check_nonnegative", "check_positive", "check_in"]
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Ensure ``value`` lies in [0, 1]; return it as float."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return v
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Ensure ``value`` >= 0; return it as float."""
+    v = float(value)
+    if v < 0:
+        raise ValueError(f"{name} must be nonnegative, got {value!r}")
+    return v
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` > 0; return it as float."""
+    v = float(value)
+    if v <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return v
+
+
+def check_in(value: Any, options: Collection[Any], name: str) -> Any:
+    """Ensure ``value`` is one of ``options``; return it unchanged."""
+    if value not in options:
+        opts = ", ".join(sorted(repr(o) for o in options))
+        raise ValueError(f"{name} must be one of {opts}; got {value!r}")
+    return value

@@ -1,0 +1,19 @@
+"""Terminal visualization: ASCII tables, bar charts, density plots.
+
+The original artifact renders figures with ggplot; in this offline
+reproduction every figure has an ASCII twin so `examples/` and the
+benchmark harness can display the same series the paper plots.
+"""
+
+from repro.viz.tableprint import format_table, format_records
+from repro.viz.ascii import bar_chart, histogram
+from repro.viz.density import density_plot, line_plot
+
+__all__ = [
+    "format_table",
+    "format_records",
+    "bar_chart",
+    "histogram",
+    "density_plot",
+    "line_plot",
+]

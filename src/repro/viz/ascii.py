@@ -1,0 +1,55 @@
+"""ASCII bar charts and histograms."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "histogram"]
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    fmt: str = "{:.1f}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of labeled nonnegative values.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    a | #### 2.0
+    b | ##   1.0
+    """
+    if not values:
+        return "(no data)"
+    finite = {k: (0.0 if v is None or v != v else float(v)) for k, v in values.items()}
+    peak = max(finite.values()) or 1.0
+    label_w = max(len(str(k)) for k in finite)
+    lines = []
+    for k, v in finite.items():
+        n = int(round(width * v / peak)) if peak > 0 else 0
+        lines.append(f"{str(k).ljust(label_w)} | {'#' * n:<{width}} {fmt.format(v)}")
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
+def histogram(
+    sample: Sequence[float],
+    bins: int = 20,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Vertical-axis-free histogram of a numeric sample."""
+    v = np.asarray(list(sample), dtype=np.float64)
+    v = v[~np.isnan(v)]
+    if v.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(v, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for i, c in enumerate(counts):
+        n = int(round(width * c / peak))
+        lines.append(f"[{edges[i]:9.2f},{edges[i+1]:9.2f}) | {'#' * n} {c}")
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body

@@ -1,0 +1,75 @@
+"""ASCII line/density plots for the paper's density figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_plot", "density_plot"]
+
+_GLYPHS = "123456789*"
+
+
+def line_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Overlay several (x, y) series on one character grid.
+
+    Each series gets a digit glyph; overlapping cells show '*'.
+    """
+    if not series:
+        return "(no data)"
+    xs = np.concatenate([np.asarray(x, float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    if xs.size == 0:
+        return "(no data)"
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_hi = float(ys.max()) or 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, (x, y)) in enumerate(series.items()):
+        glyph = _GLYPHS[si % 9]
+        for xv, yv in zip(np.asarray(x, float), np.asarray(y, float)):
+            if np.isnan(xv) or np.isnan(yv):
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int(max(0.0, yv) / y_hi * (height - 1))
+            cur = grid[row][col]
+            grid[row][col] = glyph if cur in (" ", glyph) else "*"
+    lines = ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_lo:.3g}, {x_hi:.3g}]  y max: {y_hi:.3g}")
+    legend = "  ".join(
+        f"{_GLYPHS[i % 9]}={label}" for i, label in enumerate(series.keys())
+    )
+    lines.append(" " + legend)
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
+def density_plot(
+    samples: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+    log_scale: bool = False,
+) -> str:
+    """KDE overlay of several samples (the paper's density figures)."""
+    from repro.stats.kde import gaussian_kde
+
+    series = {}
+    for label, sample in samples.items():
+        v = np.asarray(list(sample), dtype=np.float64)
+        v = v[~np.isnan(v)]
+        if v.size < 2:
+            continue
+        k = gaussian_kde(v, log_scale=log_scale)
+        series[label] = (k.grid, k.density)
+    if not series:
+        return "(no data)"
+    return line_plot(series, width=width, height=height, title=title)

@@ -1,0 +1,46 @@
+"""Fixed-width table rendering."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.tabular import Table
+
+__all__ = ["format_table", "format_records"]
+
+
+def _cell(v: Any) -> str:
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "n/a"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not records:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(records[0].keys())
+    grid = [[_cell(r.get(c)) for c in cols] for r in records]
+    widths = [
+        max(len(c), *(len(row[i]) for row in grid)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines = [header, sep]
+    for row in grid:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
+def format_table(table: Table, title: str | None = None) -> str:
+    """Render a tabular.Table."""
+    return format_records(table.to_records(), table.columns, title)

@@ -1,0 +1,50 @@
+"""Unit tests for the case-study summarizer with hand-built timelines."""
+
+import math
+
+import pytest
+
+from repro.analysis.casestudy import casestudy_report
+from repro.synth.timeline import TimelineEdition
+
+
+def edition(conf, year, authors, women, attendance=None):
+    return TimelineEdition(
+        conference=conf, year=year, papers=max(1, authors // 5),
+        authors=authors, women_authors=women,
+        attendance_women_share=attendance,
+    )
+
+
+class TestCaseStudyUnit:
+    def test_far_computed(self):
+        rep = casestudy_report([edition("SC", 2016, 100, 10)])
+        (pt,) = rep.series["SC"]
+        assert pt.far == 0.10
+
+    def test_range(self):
+        rep = casestudy_report(
+            [edition("ISC", y, 100, w) for y, w in [(2016, 5), (2017, 9), (2018, 7)]]
+        )
+        assert rep.far_range["ISC"] == (0.05, 0.09)
+
+    def test_trend_positive(self):
+        rep = casestudy_report(
+            [edition("SC", 2016 + i, 100, 8 + i) for i in range(5)]
+        )
+        assert rep.trend["SC"].r > 0.95
+
+    def test_trend_undefined_for_short_series(self):
+        rep = casestudy_report([edition("SC", 2016, 100, 10), edition("SC", 2017, 100, 11)])
+        assert math.isnan(rep.trend["SC"].r)  # needs >= 3 points
+
+    def test_series_sorted_by_year(self):
+        rep = casestudy_report(
+            [edition("SC", 2019, 100, 9), edition("SC", 2016, 100, 9)]
+        )
+        years = [p.year for p in rep.series["SC"]]
+        assert years == sorted(years)
+
+    def test_zero_authors_nan_far(self):
+        ed = TimelineEdition("SC", 2016, 1, 0, 0, None)
+        assert math.isnan(ed.far)

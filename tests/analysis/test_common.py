@@ -1,0 +1,45 @@
+"""Unit tests for the shared analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.common import mask_eq, share_of, women_share
+from repro.tabular import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "gender": ["F", "M", None, "F", "M", "M"],
+            "conf": ["SC", "SC", "SC", "ISC", "ISC", "ISC"],
+        }
+    )
+
+
+class TestMaskEq:
+    def test_basic(self, table):
+        m = mask_eq(table, "conf", "SC")
+        assert m.tolist() == [True, True, True, False, False, False]
+
+    def test_none_matches_none(self, table):
+        m = mask_eq(table, "gender", None)
+        assert m.tolist() == [False, False, True, False, False, False]
+
+
+class TestShareOf:
+    def test_missing_excluded_from_denominator(self, table):
+        p = share_of(table, "gender", "F")
+        assert (p.hits, p.n) == (2, 5)
+
+    def test_women_share_alias(self, table):
+        assert women_share(table).value == share_of(table, "gender", "F").value
+
+    def test_empty_table(self):
+        t = Table({"gender": []})
+        p = women_share(t)
+        assert p.n == 0 and np.isnan(p.value)
+
+    def test_all_missing(self):
+        t = Table({"gender": [None, None]})
+        assert women_share(t).n == 0

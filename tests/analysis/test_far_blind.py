@@ -1,0 +1,70 @@
+"""Tests for FAR and blind-review analyses (small world)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import blind_report, far_report, women_share
+
+
+class TestWomenShare:
+    def test_excludes_missing(self, small_result):
+        ds = small_result.dataset
+        p = women_share(ds.author_positions)
+        known = (~ds.author_positions.col("gender").is_missing()).sum()
+        assert p.n == int(known)
+
+
+class TestFar:
+    def test_overall_in_expected_band(self, small_result):
+        far = far_report(small_result.dataset)
+        assert 0.06 < far.overall.value < 0.14
+
+    def test_per_conference_coverage(self, small_result):
+        far = far_report(small_result.dataset)
+        assert len(far.by_conference) == 9
+        for c in far.by_conference:
+            assert c.authors.n > 0
+
+    def test_conference_lookup(self, small_result):
+        far = far_report(small_result.dataset)
+        assert far.conference("SC").conference == "SC"
+        with pytest.raises(KeyError):
+            far.conference("NOPE")
+
+    def test_lead_denominator_is_paper_count(self, small_result):
+        ds = small_result.dataset
+        far = far_report(ds)
+        n_first_known = sum(
+            1 for g in ds.papers["first_gender"] if g is not None
+        )
+        assert far.lead_overall.n == n_first_known
+
+    def test_last_not_above_overall(self, small_result):
+        far = far_report(small_result.dataset)
+        # paper's qualitative claim: senior position no better represented
+        assert far.last_overall.value <= far.overall.value + 0.03
+
+    def test_chi2_fields(self, small_result):
+        far = far_report(small_result.dataset)
+        assert far.last_vs_all.df == 1
+        assert 0 <= far.last_vs_all.p_value <= 1
+
+
+class TestBlind:
+    def test_double_blind_set(self, small_result):
+        b = blind_report(small_result.dataset)
+        assert set(b.double_blind_confs) == {"SC", "ISC"}
+
+    def test_double_lower_than_single(self, small_result):
+        b = blind_report(small_result.dataset)
+        assert b.authors_double.value < b.authors_single.value
+
+    def test_lead_single_at_least_double(self, small_result):
+        b = blind_report(small_result.dataset)
+        assert b.lead_single.value >= b.lead_double.value
+
+    def test_denominators_partition_positions(self, small_result):
+        ds = small_result.dataset
+        b = blind_report(ds)
+        known = int((~ds.author_positions.col("gender").is_missing()).sum())
+        assert b.authors_double.n + b.authors_single.n == known

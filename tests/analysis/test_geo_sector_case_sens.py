@@ -1,0 +1,109 @@
+"""Tests for geography, sector, case-study, and sensitivity analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    casestudy_report,
+    geography_report,
+    sector_report,
+    sensitivity_report,
+)
+
+
+class TestGeography:
+    def test_us_is_largest(self, small_result):
+        geo = geography_report(small_result.dataset)
+        assert geo.countries[0].country_code == "US"
+
+    def test_us_author_share_near_half(self, small_result):
+        geo = geography_report(small_result.dataset)
+        assert 0.38 < geo.us_author_share < 0.62  # paper: "a full half"
+
+    def test_japan_lowest_big_country(self, small_result):
+        geo = geography_report(small_result.dataset)
+        big = [c for c in geo.countries if c.total >= 15]
+        jp = next((c for c in big if c.country_code == "JP"), None)
+        if jp is not None:
+            assert jp.women.value <= min(c.women.value for c in big) + 0.02
+
+    def test_region_rows_ordered_like_table3(self, small_result):
+        geo = geography_report(small_result.dataset)
+        names = [r.region for r in geo.regions]
+        assert names[0] == "Northern America"
+
+    def test_country_rows_sorted(self, small_result):
+        geo = geography_report(small_result.dataset)
+        totals = [c.total for c in geo.countries]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_author_total_bounded_by_total(self, small_result):
+        geo = geography_report(small_result.dataset)
+        for c in geo.countries:
+            assert 0 <= c.author_total <= c.total
+
+    def test_pc_ratio_above_author_ratio_na(self, small_result):
+        geo = geography_report(small_result.dataset)
+        na = next(r for r in geo.regions if r.region == "Northern America")
+        assert na.pc.value > na.authors.value
+
+
+class TestSector:
+    def test_shares_roughly_paper(self, small_result):
+        sec = sector_report(small_result.dataset)
+        assert sec.sector_shares["EDU"] > 0.6
+        assert sec.sector_shares["GOV"] > sec.sector_shares["COM"]
+
+    def test_author_contrast_nonsignificant(self, small_result):
+        sec = sector_report(small_result.dataset)
+        # §5.3: "no gender differences in HPC based on work sector alone"
+        assert sec.author_test.p_value > 0.01
+
+    def test_proportions_have_denominators(self, small_result):
+        sec = sector_report(small_result.dataset)
+        for p in sec.women_by_sector_author.values():
+            assert p.n > 0
+
+
+class TestCaseStudy:
+    def test_two_conferences_five_years(self, small_result):
+        cs = casestudy_report(small_result.world.timeline)
+        assert set(cs.series) == {"SC", "ISC"}
+        for pts in cs.series.values():
+            assert [p.year for p in pts] == [2016, 2017, 2018, 2019, 2020]
+
+    def test_isc_range_low(self, small_result):
+        cs = casestudy_report(small_result.world.timeline)
+        lo, hi = cs.far_range["ISC"]
+        assert hi < 0.12
+
+    def test_sc_attendance_present(self, small_result):
+        cs = casestudy_report(small_result.world.timeline)
+        attend = [p.attendance_women_share for p in cs.series["SC"]]
+        assert all(a is not None and 0.11 < a < 0.16 for a in attend)
+        isc_attend = [p.attendance_women_share for p in cs.series["ISC"]]
+        assert all(a is None for a in isc_attend)
+
+    def test_no_strong_improvement_trend(self, small_result):
+        cs = casestudy_report(small_result.world.timeline)
+        # the paper's point: rates are near-constant over the window
+        for conf, rng in cs.far_range.items():
+            assert rng[1] - rng[0] < 0.08
+
+
+class TestSensitivity:
+    def test_observations_stable(self, small_result):
+        rep = sensitivity_report(small_result.dataset)
+        assert rep.all_stable, [o for o in rep.observations if not o.stable]
+
+    def test_far_ordering(self, small_result):
+        rep = sensitivity_report(small_result.dataset)
+        assert (
+            rep.far_values["all_men"]
+            <= rep.far_values["baseline"]
+            <= rep.far_values["all_women"]
+        )
+
+    def test_unknown_count_positive(self, small_result):
+        rep = sensitivity_report(small_result.dataset)
+        assert rep.unknowns > 0

@@ -1,0 +1,73 @@
+"""Tests for PC, visible-role, and HPC-topic analyses."""
+
+import pytest
+
+from repro.analysis import hpc_topic_report, pc_report, visible_report
+
+
+class TestPc:
+    def test_pc_roughly_double_authors(self, small_result):
+        from repro.analysis import far_report
+
+        pc = pc_report(small_result.dataset)
+        far = far_report(small_result.dataset)
+        assert pc.memberships.value > 1.4 * far.overall.value
+
+    def test_sc_highest_pc_share(self, small_result):
+        pc = pc_report(small_result.dataset)
+        sc = pc.by_conference["SC"].value
+        assert all(
+            sc >= p.value - 1e-9
+            for conf, p in pc.by_conference.items()
+            if conf != "SC" and p.n > 0
+        )
+
+    def test_excluding_sc_lower(self, small_result):
+        pc = pc_report(small_result.dataset)
+        assert pc.excluding_sc.value < pc.memberships.value
+
+    def test_zero_chair_conferences(self, small_result):
+        pc = pc_report(small_result.dataset)
+        assert set(pc.zero_women_chair_confs) == {"HPDC", "ICPP", "HiPC", "HPCC"}
+
+    def test_pc_vs_authors_significant(self, small_result):
+        pc = pc_report(small_result.dataset)
+        assert pc.pc_vs_authors.significant()
+
+
+class TestVisible:
+    def test_zero_keynote_conferences(self, small_result):
+        vis = visible_report(small_result.dataset)
+        assert set(vis.zero_women_confs["keynote"]) == {"HPDC", "ICPP", "HiPC", "HPCC"}
+
+    def test_zero_session_chairs(self, small_result):
+        vis = visible_report(small_result.dataset)
+        assert set(vis.zero_women_confs["session_chair"]) == {"HPDC", "HiPC", "HPCC"}
+        assert vis.zero_session_chair_seats > 0
+
+    def test_sc_session_chairs_near_parity(self, small_result):
+        vis = visible_report(small_result.dataset)
+        sc = vis.by_conference["session_chair"]["SC"]
+        assert sc.value > 0.3
+
+    def test_roles_have_denominators(self, small_result):
+        vis = visible_report(small_result.dataset)
+        for role, p in vis.overall.items():
+            assert p.n > 0, role
+
+
+class TestHpcTopic:
+    def test_subset_size(self, small_result):
+        h = hpc_topic_report(small_result.dataset)
+        assert 0.25 < h.hpc_papers / h.all_papers < 0.45  # paper: 178/518
+
+    def test_hpc_far_at_least_overall(self, small_result):
+        h = hpc_topic_report(small_result.dataset)
+        assert h.authors_hpc.value >= h.authors_all.value - 0.02
+
+    def test_lead_nonsignificant(self, small_result):
+        h = hpc_topic_report(small_result.dataset)
+        # the paper's lead contrast is clearly nonsignificant
+        assert h.lead_test.p_value > 0.05 or abs(
+            h.lead_hpc.value - h.lead_all.value
+        ) < 0.05

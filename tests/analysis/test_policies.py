@@ -1,0 +1,37 @@
+"""Tests for the diversity-policy analysis."""
+
+import pytest
+
+from repro.analysis.policies import policy_report
+
+
+@pytest.fixture(scope="module")
+def report(small_result):
+    return policy_report(small_result.dataset)
+
+
+class TestPolicyReport:
+    def test_policy_confs_are_flagships(self, report):
+        assert set(report.policy_confs) == {"SC", "ISC"}
+
+    def test_policy_confs_below_average(self, report):
+        """§3.4's paradox: the diversity-policy conferences have the
+        LOWEST author FAR in the set."""
+        assert report.policy_confs_below_average
+        assert report.far_policy.value < report.far_no_policy.value
+
+    def test_correlation_weak(self, report):
+        """§3.2: PC women share and author FAR 'appear to be unrelated' —
+        the generator encodes no linkage, so |r| should be modest."""
+        assert abs(report.pc_vs_author_correlation.r) < 0.75
+        assert not report.pc_vs_author_correlation.significant(0.01)
+
+    def test_per_conference_pairs(self, report):
+        assert len(report.per_conference) == 9
+        for far, pc_share in report.per_conference.values():
+            assert 0 <= far <= 1 and 0 <= pc_share <= 1
+
+    def test_full_scale_policy_gap(self, full_result):
+        rep = policy_report(full_result.dataset)
+        # SC+ISC pooled equals the double-blind pool here (same two confs):
+        assert rep.far_policy.pct == pytest.approx(7.6, abs=1.5)

@@ -1,0 +1,63 @@
+"""Tests for quota allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.calibration import allocate_counts, allocate_two_way, split_women
+
+
+class TestSplitWomen:
+    def test_rounding(self):
+        assert split_women(100, 0.099) == (10, 90)
+        assert split_women(99, 0.0577) == (6, 93)
+
+    def test_extremes(self):
+        assert split_women(10, 0.0) == (0, 10)
+        assert split_women(10, 1.0) == (10, 0)
+        assert split_women(0, 0.5) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_women(-1, 0.5)
+        with pytest.raises(ValueError):
+            split_women(10, 1.5)
+
+    @given(st.integers(0, 10_000), st.floats(0, 1))
+    def test_parts_sum(self, total, far):
+        w, m = split_women(total, far)
+        assert w + m == total and w >= 0 and m >= 0
+
+
+class TestTwoWay:
+    def test_exact_row_sums(self):
+        t = allocate_two_way(np.array([7.0, 3.0]), np.array([5.0, 5.0]))
+        assert t.sum(axis=1).tolist() == [7, 3]
+        assert t.sum() == 10
+
+    def test_column_sums_close(self):
+        rng = np.random.default_rng(3)
+        rows = rng.integers(5, 50, size=8).astype(float)
+        cols = np.array([rows.sum() * 0.1, rows.sum() * 0.9])
+        t = allocate_two_way(rows, cols)
+        assert np.abs(t.sum(axis=0) - cols).max() <= len(rows) / 2 + 1
+
+    def test_seed_steers_interaction(self):
+        rows = np.array([50.0, 50.0])
+        cols = np.array([50.0, 50.0])
+        seed = np.array([[10.0, 1.0], [1.0, 10.0]])
+        t = allocate_two_way(rows, cols, seed=seed)
+        assert t[0, 0] > t[0, 1]
+
+    def test_total_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_two_way(np.array([5.0]), np.array([4.0]))
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_two_way(np.array([0.0]), np.array([0.0]))
+
+
+def test_allocate_counts_delegates():
+    out = allocate_counts([1, 1, 2], 8)
+    assert out.tolist() == [2, 2, 4]

@@ -1,0 +1,95 @@
+"""Tests for iterative proportional fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import ipf_fit
+
+
+class TestIpf2D:
+    def test_fits_both_margins(self):
+        seed = np.ones((3, 4))
+        rows = np.array([10.0, 20, 30])
+        cols = np.array([15.0, 15, 15, 15])
+        res = ipf_fit(seed, [((0,), rows), ((1,), cols)])
+        assert res.converged
+        assert np.allclose(res.table.sum(axis=1), rows)
+        assert np.allclose(res.table.sum(axis=0), cols)
+
+    def test_structural_zeros_preserved(self):
+        seed = np.array([[1.0, 0.0], [1.0, 1.0]])
+        res = ipf_fit(seed, [((0,), np.array([5.0, 5.0])), ((1,), np.array([6.0, 4.0]))])
+        assert res.table[0, 1] == 0.0
+
+    def test_independence_seed_gives_product(self):
+        rows = np.array([2.0, 8.0])
+        cols = np.array([5.0, 5.0])
+        res = ipf_fit(np.ones((2, 2)), [((0,), rows), ((1,), cols)])
+        expected = np.outer(rows, cols) / 10.0
+        assert np.allclose(res.table, expected)
+
+    def test_preserves_seed_odds_ratio(self):
+        # IPF preserves interaction structure (odds ratios) of the seed
+        seed = np.array([[4.0, 1.0], [1.0, 4.0]])
+        res = ipf_fit(seed, [((0,), np.array([10.0, 10.0])), ((1,), np.array([10.0, 10.0]))])
+        t = res.table
+        odds = (t[0, 0] * t[1, 1]) / (t[0, 1] * t[1, 0])
+        assert odds == pytest.approx(16.0, rel=1e-4)
+
+
+class TestIpf3D:
+    def test_three_margins(self):
+        rng = np.random.default_rng(0)
+        seed = rng.random((4, 3, 2)) + 0.05
+        m0 = np.array([10.0, 20, 30, 40])
+        m1 = np.array([50.0, 25, 25])
+        m2 = np.array([70.0, 30])
+        res = ipf_fit(seed, [((0,), m0), ((1,), m1), ((2,), m2)])
+        assert res.converged
+        assert np.allclose(res.table.sum(axis=(1, 2)), m0, rtol=1e-6)
+        assert np.allclose(res.table.sum(axis=(0, 2)), m1, rtol=1e-6)
+        assert np.allclose(res.table.sum(axis=(0, 1)), m2, rtol=1e-6)
+
+    def test_joint_margin(self):
+        rng = np.random.default_rng(1)
+        seed = rng.random((3, 2, 2)) + 0.1
+        joint = np.array([[10.0, 5], [8.0, 7], [6.0, 4]])  # dims (0,1)
+        m2 = np.array([22.0, 18.0])
+        res = ipf_fit(seed, [((0, 1), joint), ((2,), m2)])
+        assert res.converged
+        assert np.allclose(res.table.sum(axis=2), joint, rtol=1e-6)
+
+
+class TestValidation:
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ValueError, match="grand total"):
+            ipf_fit(np.ones((2, 2)), [((0,), np.array([1.0, 1])), ((1,), np.array([3.0, 3]))])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            ipf_fit(np.ones((2, 2)), [((0,), np.array([1.0, 1, 1]))])
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ipf_fit(np.array([[-1.0, 1], [1, 1]]), [((0,), np.array([1.0, 1]))])
+
+    def test_no_margins_rejected(self):
+        with pytest.raises(ValueError):
+            ipf_fit(np.ones((2, 2)), [])
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ipf_fit(np.zeros((2, 2)), [((0,), np.array([1.0, 1]))])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(1, 10_000))
+    def test_property_margins_met(self, r, c, total):
+        rng = np.random.default_rng(r * 100 + c)
+        rows = rng.random(r) + 0.1
+        rows = rows / rows.sum() * total
+        cols = rng.random(c) + 0.1
+        cols = cols / cols.sum() * total
+        res = ipf_fit(np.ones((r, c)), [((0,), rows), ((1,), cols)])
+        assert res.converged
+        assert np.allclose(res.table.sum(axis=1), rows, rtol=1e-5)

@@ -1,0 +1,78 @@
+"""Consistency tests for the calibration constants."""
+
+import pytest
+
+from repro.calibration.targets import (
+    CONFERENCES_2017,
+    COUNTRY_TARGETS,
+    PAPER_STATS,
+    REGION_ROLE_TARGETS,
+    SECTOR_SHARES,
+    TOTALS,
+    validate_targets,
+)
+
+
+class TestTable1:
+    def test_validate_passes(self):
+        validate_targets()
+
+    def test_table1_verbatim(self):
+        by_name = {c.name: c for c in CONFERENCES_2017}
+        assert by_name["SC"].papers == 61
+        assert by_name["SC"].unique_authors == 325
+        assert by_name["SC"].acceptance_rate == 0.187
+        assert by_name["IPDPS"].papers == 116
+        assert by_name["HPCC"].acceptance_rate == 0.438
+        assert by_name["ISC"].country == "DE"
+        assert by_name["HiPC"].country == "IN"
+
+    def test_nine_conferences(self):
+        assert len(CONFERENCES_2017) == 9
+
+    def test_only_sc_isc_double_blind(self):
+        db = {c.name for c in CONFERENCES_2017 if c.double_blind}
+        assert db == {"SC", "ISC"}
+
+    def test_only_sc_isc_diversity_chair(self):
+        dc = {c.name for c in CONFERENCES_2017 if c.diversity_chair}
+        assert dc == {"SC", "ISC"}
+
+    def test_submitted_consistent_with_acceptance(self):
+        for c in CONFERENCES_2017:
+            assert abs(c.papers / c.submitted - c.acceptance_rate) < 0.01
+
+
+class TestGeo:
+    def test_table2_top10_verbatim(self):
+        top = COUNTRY_TARGETS[:10]
+        assert (top[0].cca2, top[0].total, top[0].pct_women) == ("US", 1408, 15.38)
+        assert (top[7].cca2, top[7].total, top[7].pct_women) == ("JP", 63, 1.59)
+
+    def test_fig7_has_25_countries(self):
+        assert len(COUNTRY_TARGETS) == 25
+
+    def test_table3_author_totals(self):
+        total = sum(r.author_total for r in REGION_ROLE_TARGETS)
+        assert total == 1740  # sum of the printed column
+
+    def test_table3_ordered_by_authors(self):
+        totals = [r.author_total for r in REGION_ROLE_TARGETS]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestShares:
+    def test_sector_shares_sum_to_one(self):
+        assert sum(SECTOR_SHARES.values()) == pytest.approx(1.0)
+
+    def test_coverage_splits_sum_to_one(self):
+        s = (
+            TOTALS["manual_coverage"]
+            + TOTALS["genderize_coverage"]
+            + TOTALS["unknown_rate"]
+        )
+        assert s == pytest.approx(1.0, abs=0.001)
+
+    def test_paper_stats_have_core_experiments(self):
+        for key in ["S3.1", "S3.2", "S3.3", "S4.1", "F2", "F6", "F8", "COVERAGE"]:
+            assert key in PAPER_STATS

@@ -1,0 +1,162 @@
+"""Tests for the conference domain model."""
+
+import pytest
+
+from repro.confmodel import (
+    Authorship,
+    Conference,
+    ConferenceEdition,
+    DiversityPolicy,
+    Paper,
+    Person,
+    ReviewPolicy,
+    Role,
+    RoleAssignment,
+    WorldRegistry,
+)
+from repro.gender.model import Gender
+from repro.gender.webevidence import EvidenceKind
+
+
+def person(pid, name="Ann Smith"):
+    return Person(
+        person_id=pid,
+        full_name=name,
+        country_code="US",
+        sector="EDU",
+        true_gender=Gender.F,
+        web_evidence=EvidenceKind.PRONOUN,
+        past_publications=3,
+    )
+
+
+def edition(name="SC", year=2017):
+    conf = Conference(
+        name=name,
+        country_code="US",
+        review_policy=ReviewPolicy.DOUBLE_BLIND,
+        diversity=DiversityPolicy(diversity_chair=True, code_of_conduct=True),
+    )
+    return ConferenceEdition(
+        conference=conf, year=year, date="2017-11-13",
+        acceptance_rate=0.187, submitted=327,
+    )
+
+
+def paper(pid, authors, conf="SC", year=2017):
+    n = len(authors)
+    return Paper(
+        paper_id=pid,
+        conference=conf,
+        year=year,
+        title="T",
+        authorships=[Authorship(a, i, n) for i, a in enumerate(authors)],
+        is_hpc=True,
+    )
+
+
+class TestAuthorship:
+    def test_first_last(self):
+        a = Authorship("p", 0, 3)
+        z = Authorship("q", 2, 3)
+        assert a.is_first and not a.is_last
+        assert z.is_last and not z.is_first
+
+    def test_single_author_is_first_not_last(self):
+        solo = Authorship("p", 0, 1)
+        assert solo.is_first and not solo.is_last
+
+
+class TestRoles:
+    def test_visible_roles(self):
+        assert Role.KEYNOTE.is_visible
+        assert not Role.AUTHOR.is_visible
+        assert Role.PC_MEMBER.is_elected
+
+
+class TestPolicies:
+    def test_any_policy(self):
+        assert DiversityPolicy(code_of_conduct=True).any_policy
+        assert not DiversityPolicy().any_policy
+
+    def test_double_blind_flag(self):
+        assert edition().conference.is_double_blind
+
+
+class TestRegistry:
+    def test_basic_insertion(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        reg.add_person(person("p2", "Bo Li"))
+        reg.add_paper(paper("x1", ["p1", "p2"]))
+        assert len(reg.papers_of("SC", 2017)) == 1
+        # author roles auto-derived
+        assert len(reg.roles_of(role=Role.AUTHOR)) == 2
+        reg.validate()
+
+    def test_duplicate_rejection(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        with pytest.raises(ValueError):
+            reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        with pytest.raises(ValueError):
+            reg.add_person(person("p1"))
+
+    def test_manual_author_role_rejected(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        with pytest.raises(ValueError):
+            reg.add_role(RoleAssignment("p1", "SC", 2017, Role.AUTHOR))
+
+    def test_validate_catches_missing_person(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        reg.add_paper(paper("x1", ["p1"]))
+        reg.papers["x1"].authorships.append(Authorship("ghost", 1, 1))
+        with pytest.raises(ValueError):
+            reg.validate()
+
+    def test_validate_catches_bad_positions(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        p = paper("x1", ["p1"])
+        p.authorships = [Authorship("p1", 1, 1)]  # gap at 0
+        reg.papers["x1"] = p
+        reg.editions["SC-2017"].paper_ids.append("x1")
+        with pytest.raises(ValueError):
+            reg.validate()
+
+    def test_unique_author_ids(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_edition(edition("ISC"))
+        reg.add_person(person("p1"))
+        reg.add_person(person("p2", "Bo Li"))
+        reg.add_paper(paper("x1", ["p1", "p2"]))
+        reg.add_paper(paper("y1", ["p1"], conf="ISC"))
+        assert reg.unique_author_ids() == {"p1", "p2"}
+
+    def test_roles_of_filters(self):
+        reg = WorldRegistry()
+        reg.add_edition(edition())
+        reg.add_person(person("p1"))
+        reg.add_role(RoleAssignment("p1", "SC", 2017, Role.KEYNOTE))
+        assert len(reg.roles_of("SC", 2017, Role.KEYNOTE)) == 1
+        assert reg.roles_of("ISC") == []
+
+    def test_paper_accessors(self):
+        p = paper("x", ["a", "b", "c"])
+        assert p.first_author == "a"
+        assert p.last_author == "c"
+        assert p.num_authors == 3
+        assert p.author_ids() == ["a", "b", "c"]
+
+    def test_submitted_derived(self):
+        ed = edition()
+        assert ed.submitted == 327
+        assert ed.key == "SC-2017"

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+Two worlds are built once per session:
+
+- ``small_world`` / ``small_result`` — scale 0.25, used by most unit and
+  integration tests (fast to build, still has every structure);
+- ``full_result`` — scale 1.0 with the paper's exact population sizes,
+  used by the reproduction-accuracy tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig, build_world
+
+
+@pytest.fixture(scope="session")
+def small_config() -> WorldConfig:
+    return WorldConfig(seed=11, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_world(small_config):
+    return build_world(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_result(small_world):
+    return run_pipeline(world=small_world)
+
+
+@pytest.fixture(scope="session")
+def full_config() -> WorldConfig:
+    return WorldConfig(seed=7, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def full_world(full_config):
+    return build_world(full_config)
+
+
+@pytest.fixture(scope="session")
+def full_result(full_world):
+    return run_pipeline(world=full_world)

@@ -1,0 +1,84 @@
+"""Tests for the CLI and the artifact export."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.report.export import export_artifact
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 7 and args.scale == 1.0
+
+    def test_experiment_ids(self):
+        args = build_parser().parse_args(["experiment", "T1", "F2"])
+        assert args.ids == ["T1", "F2"]
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["--scale", "0.15", "run"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FAR:" in out and "coverage:" in out
+
+    def test_experiment(self, capsys):
+        rc = main(["--scale", "0.15", "experiment", "T1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Table 1" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        rc = main(["--scale", "0.15", "experiment", "T99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        rc = main(["--scale", "0.15", "compare"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "far_overall" in out
+
+    def test_export(self, tmp_path, capsys):
+        rc = main(["--scale", "0.15", "export", str(tmp_path / "bundle")])
+        assert rc == 0
+        assert (tmp_path / "bundle" / "MANIFEST.json").exists()
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def bundle(self, small_result, tmp_path_factory):
+        out = tmp_path_factory.mktemp("artifact")
+        return export_artifact(small_result, out)
+
+    def test_manifest(self, bundle, small_result):
+        manifest = json.loads((bundle / "MANIFEST.json").read_text())
+        assert manifest["seed"] == small_result.world.seed
+        assert manifest["researchers"] == small_result.dataset.researchers.num_rows
+        assert set(manifest["tables"]) == {
+            "researchers", "author_positions", "conf_authors",
+            "papers", "conferences", "role_slots",
+        }
+
+    def test_tables_roundtrip(self, bundle, small_result):
+        from repro.tabular import table_from_csv
+
+        back = table_from_csv(bundle / "tables" / "papers.csv")
+        assert back.num_rows == small_result.dataset.papers.num_rows
+
+    def test_all_artifacts_written(self, bundle):
+        from repro.report import EXPERIMENTS
+
+        for exp_id in EXPERIMENTS:
+            assert (bundle / "artifacts" / f"{exp_id}.txt").exists()
+
+    def test_comparison_csv(self, bundle):
+        text = (bundle / "comparison.csv").read_text()
+        assert "far_overall" in text

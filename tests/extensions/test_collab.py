@@ -1,0 +1,83 @@
+"""Tests for the collaboration-pattern extension (§6 future work)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.collab import build_coauthorship_graph, collaboration_report
+
+
+@pytest.fixture(scope="module")
+def graph(small_result):
+    return build_coauthorship_graph(small_result.dataset)
+
+
+@pytest.fixture(scope="module")
+def report(small_result):
+    return collaboration_report(small_result.dataset)
+
+
+class TestGraph:
+    def test_nodes_are_authors(self, graph, small_result):
+        ds = small_result.dataset
+        n_authors = sum(1 for x in ds.researchers["is_author"] if bool(x))
+        assert graph.number_of_nodes() == n_authors
+
+    def test_edges_have_weights(self, graph):
+        for _, _, data in list(graph.edges(data=True))[:50]:
+            assert data["weight"] >= 1
+
+    def test_gender_attribute_present(self, graph):
+        genders = {d.get("gender") for _, d in graph.nodes(data=True)}
+        assert "F" in genders and "M" in genders
+
+    def test_coauthors_connected(self, graph, small_result):
+        ds = small_result.dataset
+        pos = ds.author_positions
+        by_paper = {}
+        for pid, rid in zip(pos["paper_id"], pos["researcher_id"]):
+            by_paper.setdefault(pid, []).append(rid)
+        # spot-check: the first multi-author paper's authors form a clique
+        for authors in by_paper.values():
+            if len(authors) >= 3:
+                for i in range(len(authors)):
+                    for j in range(i + 1, len(authors)):
+                        assert graph.has_edge(authors[i], authors[j])
+                break
+
+    def test_repeat_collaboration_increases_weight(self, graph):
+        weights = [d["weight"] for _, _, d in graph.edges(data=True)]
+        # at least some pairs collaborate more than once in a 500+ paper world
+        assert max(weights) >= 1
+
+
+class TestReport:
+    def test_degree_summaries(self, report):
+        assert report.degree_women.n > 0
+        assert report.degree_men.n > report.degree_women.n
+        assert report.degree_men.mean > 0
+
+    def test_team_sizes_reasonable(self, report):
+        assert 2.5 < report.team_size_men.mean < 7
+        assert 2.5 < report.team_size_women.mean < 7
+
+    def test_mixing_near_random_in_null_world(self, report):
+        """The generator assigns authors to papers independently of
+        gender, so the measured mixing must sit near the random-mixing
+        expectation — the extension's null-model check."""
+        assert report.share_mixed_edges == pytest.approx(
+            report.expected_mixed_edges, abs=0.05
+        )
+        assert abs(report.assortativity) < 0.1
+
+    def test_all_male_paper_share(self, report):
+        # with ~10% women and mean team ≈ 4.3, most papers are all-male
+        assert 0.45 < report.all_male_paper_share < 0.85
+
+    def test_solo_rates_small(self, report):
+        assert report.solo_rate_men < 0.1
+        assert report.solo_rate_women < 0.15
+
+    def test_components(self, report):
+        assert report.components >= 1
+        assert report.largest_component > 10

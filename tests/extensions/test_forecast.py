@@ -1,0 +1,118 @@
+"""Tests for the cohort forecast model."""
+
+import pytest
+
+from repro.forecast import (
+    CohortModel,
+    CohortRates,
+    CohortState,
+    SCENARIOS,
+    project_scenario,
+    years_to_share,
+)
+
+_BANDS = {"novice": 0.4, "mid-career": 0.3, "experienced": 0.3}
+_NEUTRAL = CohortRates(
+    attrition={"novice": 0.1, "mid-career": 0.05, "experienced": 0.08},
+    progression={"novice": 0.2, "mid-career": 0.1},
+)
+
+
+def neutral_model(entry_share: float) -> CohortModel:
+    return CohortModel(
+        rates={"F": _NEUTRAL, "M": _NEUTRAL},
+        entry_size=100.0,
+        entry_female_share=entry_share,
+    )
+
+
+class TestCohortMechanics:
+    def test_rates_validation(self):
+        with pytest.raises(ValueError):
+            CohortRates(attrition={"novice": 1.5, "mid-career": 0, "experienced": 0},
+                        progression={"novice": 0, "mid-career": 0})
+        with pytest.raises(ValueError):
+            CohortRates(attrition={"novice": 0.1}, progression={"novice": 0.1})
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            CohortModel({"F": _NEUTRAL}, 10, 0.5)
+        with pytest.raises(ValueError):
+            CohortModel({"F": _NEUTRAL, "M": _NEUTRAL}, -1, 0.5)
+        with pytest.raises(ValueError):
+            CohortModel({"F": _NEUTRAL, "M": _NEUTRAL}, 10, 1.5)
+
+    def test_state_shares(self):
+        s = CohortState.from_shares(1000, 0.1, {"F": _BANDS, "M": _BANDS})
+        assert s.total() == pytest.approx(1000)
+        assert s.female_share() == pytest.approx(0.1)
+        assert s.band_total("novice") == pytest.approx(400)
+
+    def test_step_conserves_under_no_flows(self):
+        zero = CohortRates(
+            attrition={b: 0.0 for b in _BANDS},
+            progression={"novice": 0.0, "mid-career": 0.0},
+        )
+        m = CohortModel({"F": zero, "M": zero}, entry_size=0.0, entry_female_share=0.5)
+        s0 = CohortState.from_shares(500, 0.2, {"F": _BANDS, "M": _BANDS})
+        s1 = m.step(s0)
+        assert s1.total() == pytest.approx(500)
+        assert s1.female_share() == pytest.approx(0.2)
+
+    def test_steady_state_matches_entry_share(self):
+        """With gender-neutral flows, the population converges to the
+        entry mix — the model's key invariant."""
+        m = neutral_model(entry_share=0.37)
+        s = CohortState.from_shares(1000, 0.05, {"F": _BANDS, "M": _BANDS})
+        for _ in range(400):
+            s = m.step(s)
+        assert s.female_share() == pytest.approx(0.37, abs=0.005)
+
+    def test_progression_moves_people_up(self):
+        m = neutral_model(0.5)
+        s = CohortState.from_shares(1000, 0.5, {"F": _BANDS, "M": _BANDS})
+        s40 = m.project(s, 40)[-1]
+        assert s40.band_total("experienced") > 0
+
+    def test_project_length(self):
+        m = neutral_model(0.5)
+        s = CohortState.from_shares(100, 0.5, {"F": _BANDS, "M": _BANDS})
+        assert len(m.project(s, 10)) == 11
+        with pytest.raises(ValueError):
+            m.project(s, -1)
+
+
+class TestScenarios:
+    def test_all_scenarios_project(self):
+        for name in SCENARIOS:
+            p = project_scenario(name, years=30)
+            assert len(p.shares) == 31
+            assert all(0 <= s <= 1 for s in p.shares)
+
+    def test_status_quo_stays_low(self):
+        p = project_scenario("status_quo", years=50)
+        assert p.shares[-1] < 0.15
+
+    def test_parity_entry_rises(self):
+        p = project_scenario("parity_entry", years=50)
+        assert p.shares[-1] > 0.35
+        assert years_to_share(p, 0.20) is not None
+
+    def test_combined_fastest(self):
+        pe = project_scenario("parity_entry", years=50)
+        cb = project_scenario("combined", years=50)
+        assert cb.shares[-1] >= pe.shares[-1]
+
+    def test_retention_fix_alone_insufficient(self):
+        """Equalizing attrition without changing the entry mix cannot
+        approach parity — the pipeline argument in quantitative form."""
+        p = project_scenario("retention_fix", years=60)
+        assert p.shares[-1] < 0.15
+
+    def test_years_to_share_none_when_unreached(self):
+        p = project_scenario("status_quo", years=20)
+        assert years_to_share(p, 0.5) is None
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            project_scenario("utopia")

@@ -1,0 +1,103 @@
+"""Tests for the peer-review simulator."""
+
+import numpy as np
+import pytest
+
+from repro.review import (
+    ReviewConfig,
+    ReviewProcess,
+    bias_sweep,
+    detectable_bias,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return ReviewConfig(
+        submissions=400, acceptance_rate=0.2, submission_far=0.105,
+        reviews_per_paper=3,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReviewConfig(submissions=0)
+        with pytest.raises(ValueError):
+            ReviewConfig(acceptance_rate=0)
+        with pytest.raises(ValueError):
+            ReviewConfig(submission_far=1.2)
+        with pytest.raises(ValueError):
+            ReviewConfig(reviews_per_paper=0)
+        with pytest.raises(ValueError):
+            ReviewConfig(review_noise=-1)
+
+
+class TestProcess:
+    def test_unbiased_preserves_far_in_expectation(self, base):
+        rng = np.random.default_rng(0)
+        far = ReviewProcess(base).expected_accepted_far(rng, cycles=300)
+        assert far == pytest.approx(base.submission_far, abs=0.015)
+
+    def test_bias_suppresses_women(self, base):
+        from dataclasses import replace
+
+        rng = np.random.default_rng(1)
+        biased = replace(base, bias=0.6)
+        far = ReviewProcess(biased).expected_accepted_far(rng, cycles=300)
+        assert far < base.submission_far - 0.02
+
+    def test_double_blind_immune_to_bias(self, base):
+        from dataclasses import replace
+
+        rng = np.random.default_rng(2)
+        cfg = replace(base, bias=1.5, double_blind=True)
+        far = ReviewProcess(cfg).expected_accepted_far(rng, cycles=300)
+        assert far == pytest.approx(base.submission_far, abs=0.015)
+
+    def test_favourable_bias_raises_far(self, base):
+        from dataclasses import replace
+
+        rng = np.random.default_rng(3)
+        cfg = replace(base, bias=-0.6)
+        far = ReviewProcess(cfg).expected_accepted_far(rng, cycles=300)
+        assert far > base.submission_far + 0.02
+
+    def test_acceptance_count(self, base):
+        out = ReviewProcess(base).run(np.random.default_rng(4))
+        assert out.accepted_papers == round(400 * 0.2)
+        assert out.accepted.n == out.accepted_papers
+
+    def test_far_gap_sign(self, base):
+        from dataclasses import replace
+
+        out = ReviewProcess(replace(base, bias=1.0)).run(np.random.default_rng(5))
+        assert out.far_gap <= 0.02  # strong bias rarely favours women
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def sweep(self, base):
+        return bias_sweep(base, biases=(0.0, 0.25, 0.5, 1.0), cycles=120, seed=9)
+
+    def test_sweep_monotone(self, sweep):
+        fars = sweep.accepted_far
+        assert all(a >= b - 0.01 for a, b in zip(fars, fars[1:]))
+
+    def test_suppression_zero_at_zero_bias(self, sweep):
+        assert sweep.suppression()[0] == pytest.approx(0.0, abs=0.02)
+
+    def test_bias_for_gap_interpolates(self, sweep):
+        mid_gap = sweep.suppression()[2]
+        b = sweep.bias_for_gap(mid_gap)
+        assert 0.2 < b < 0.8
+
+    def test_detectable_bias_at_paper_sample_sizes(self, sweep):
+        """§3.1's caveat quantified: with 417/83 leads, small biases are
+        statistically invisible."""
+        min_bias = detectable_bias(sweep, n_single=417, n_double=83)
+        assert min_bias >= 0.5  # only large penalties reach significance
+
+    def test_detectable_bias_huge_samples(self, sweep):
+        min_bias = detectable_bias(sweep, n_single=50_000, n_double=50_000)
+        assert min_bias <= 0.25

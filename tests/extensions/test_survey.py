@@ -1,0 +1,89 @@
+"""Tests for the author-survey substrate (§2 validation)."""
+
+import pytest
+
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.names.parsing import name_key
+from repro.survey import AuthorSurvey, validate_assignments
+
+
+@pytest.fixture(scope="module")
+def survey(small_world):
+    return AuthorSurvey(small_world.registry, seed=41)
+
+
+@pytest.fixture(scope="module")
+def responses(survey):
+    return survey.run()
+
+
+class TestInstrument:
+    def test_only_contactable_authors(self, survey, small_world):
+        reg = small_world.registry
+        for pid in survey.contactable_authors():
+            assert reg.people[pid].email
+
+    def test_response_rate_near_nominal(self, survey, responses):
+        n = len(survey.contactable_authors())
+        rate = len(responses) / n
+        assert 0.12 < rate < 0.35  # nominal 0.20 + seniority bump
+
+    def test_deterministic(self, small_world):
+        a = AuthorSurvey(small_world.registry, seed=9).run()
+        b = AuthorSurvey(small_world.registry, seed=9).run()
+        assert [r.person_id for r in a] == [r.person_id for r in b]
+
+    def test_some_decline(self, small_world):
+        responses = AuthorSurvey(
+            small_world.registry, seed=3, decline_rate=0.2
+        ).run()
+        assert any(r.declined_gender_question for r in responses)
+        for r in responses:
+            if r.declined_gender_question:
+                assert r.self_identified is Gender.UNKNOWN
+
+    def test_validation_params(self, small_world):
+        with pytest.raises(ValueError):
+            AuthorSurvey(small_world.registry, seed=1, response_rate=0)
+        with pytest.raises(ValueError):
+            AuthorSurvey(small_world.registry, seed=1, decline_rate=1.0)
+
+
+class TestValidation:
+    def test_pipeline_agreement(self, small_result, responses):
+        """Reproduces §2: no (or almost no) discrepancies between
+        assigned and self-identified gender among respondents."""
+        linked = small_result.linked
+        id_map = {}
+        for rid, rec in linked.researchers.items():
+            id_map[rec.name_key] = rid
+        mapping = {}
+        for resp in responses:
+            person = small_result.world.registry.people[resp.person_id]
+            rid = id_map.get(name_key(person.full_name))
+            if rid:
+                mapping[resp.person_id] = rid
+        val = validate_assignments(
+            responses, small_result.dataset.assignments, mapping
+        )
+        assert val.n_checked > 30
+        assert val.agreement_rate > 0.97
+        assert val.detectable_rate == pytest.approx(3 / val.n_checked)
+
+    def test_detects_planted_errors(self, responses):
+        """A deliberately wrong assignment set must surface discrepancies."""
+        wrong = {
+            r.person_id: GenderAssignment(
+                Gender.M if r.self_identified is Gender.F else Gender.F,
+                InferenceMethod.MANUAL,
+                1.0,
+            )
+            for r in responses
+        }
+        val = validate_assignments(responses, wrong)
+        assert not val.no_discrepancies
+        assert val.agreement_rate == 0.0
+
+    def test_unassigned_respondents_skipped(self, responses):
+        val = validate_assignments(responses, {})
+        assert val.n_checked == 0

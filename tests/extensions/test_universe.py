@@ -1,0 +1,79 @@
+"""Tests for the 56-conference systems universe (§6 future work)."""
+
+import pytest
+
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig, build_world
+from repro.universe import SUBFIELD_PROFILES, systems_universe, universe_report
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return systems_universe(56)
+
+
+@pytest.fixture(scope="module")
+def universe_result(targets):
+    world = build_world(
+        WorldConfig(seed=3, scale=0.35, include_timeline=False), targets=targets
+    )
+    return run_pipeline(world=world)
+
+
+class TestCatalog:
+    def test_fifty_six_conferences(self, targets):
+        assert len(targets) == 56
+        assert len(targets) == sum(p.conferences for p in SUBFIELD_PROFILES)
+
+    def test_unique_names(self, targets):
+        names = [t.name for t in targets]
+        assert len(names) == len(set(names))
+
+    def test_fields_assigned(self, targets):
+        fields = {t.field for t in targets}
+        assert {"HPC", "Architecture", "Databases", "Security"} <= fields
+
+    def test_rates_sane(self, targets):
+        for t in targets:
+            assert 0.02 <= t.far <= 0.40
+            assert 0 <= t.pc_women <= t.pc_size
+            assert t.unique_authors <= t.author_positions
+
+    def test_deterministic(self):
+        assert systems_universe(56) == systems_universe(56)
+
+    def test_seed_changes_universe(self):
+        assert systems_universe(1) != systems_universe(2)
+
+
+class TestUniverseWorld:
+    def test_world_builds_and_validates(self, universe_result):
+        universe_result.world.registry.validate()
+        assert len(universe_result.world.registry.editions) == 56
+
+    def test_custom_world_has_no_timeline(self, universe_result):
+        assert universe_result.world.timeline == []
+
+    def test_report_covers_all_subfields(self, universe_result, targets):
+        rep = universe_report(universe_result.dataset, targets)
+        assert len(rep.rows) == len(SUBFIELD_PROFILES)
+
+    def test_hpc_near_bottom(self, universe_result, targets):
+        """The paper's framing: HPC sits below most systems subfields."""
+        rep = universe_report(universe_result.dataset, targets)
+        order = [r.field for r in rep.rows]
+        assert order.index("HPC") >= len(order) - 3
+
+    def test_heterogeneity_detected(self, universe_result, targets):
+        rep = universe_report(universe_result.dataset, targets)
+        assert rep.heterogeneity.significant(0.05)
+
+    def test_field_lookup(self, universe_result, targets):
+        rep = universe_report(universe_result.dataset, targets)
+        assert rep.field("HPC").conferences == 9
+        with pytest.raises(KeyError):
+            rep.field("Astrology")
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            build_world(WorldConfig(seed=1), targets=[])

@@ -1,0 +1,58 @@
+"""Tests for the simulated genderize.io service."""
+
+import pytest
+
+from repro.gender import GenderizeClient
+from repro.gender.model import Gender
+
+
+@pytest.fixture(scope="module")
+def client():
+    return GenderizeClient(service_seed=2017)
+
+
+class TestQueries:
+    def test_strong_female_name(self, client):
+        r = client.query("Mary Smith")
+        assert r.gender is Gender.F
+        assert r.probability >= 0.9
+        assert r.count > 0
+
+    def test_strong_male_name(self, client):
+        r = client.query("Hiroshi Tanaka")
+        assert r.gender is Gender.M
+        assert r.probability >= 0.9
+
+    def test_unknown_name(self, client):
+        r = client.query("Zzyzx Qqq")
+        assert r.gender is None
+        assert r.count == 0
+
+    def test_initial_only_unresolvable(self, client):
+        r = client.query("E. Frachtenberg")
+        assert r.gender is None
+
+    def test_deterministic(self):
+        a = GenderizeClient(1).query("Wei Zhang")
+        b = GenderizeClient(1).query("Wei Zhang")
+        assert (a.gender, a.probability) == (b.gender, b.probability)
+
+    def test_seed_changes_noise(self):
+        # different service seeds perturb borderline probabilities
+        probs = {GenderizeClient(s).query("Yan Li").probability for s in range(8)}
+        assert len(probs) > 1
+
+    def test_ambiguous_name_low_confidence(self, client):
+        r = client.query("Casey Jones")
+        assert r.probability < 0.85
+
+    def test_query_counter(self):
+        c = GenderizeClient(0)
+        c.query("Mary A")
+        c.query("John B")
+        assert c.queries == 2
+
+    def test_batch(self, client):
+        rs = client.batch(["Mary Smith", "John Doe"])
+        assert len(rs) == 2
+        assert rs[0].gender is Gender.F

@@ -1,0 +1,70 @@
+"""Tests for the hand-coded affiliation classifier."""
+
+import pytest
+
+from repro.geo import Sector, classify_affiliation
+
+
+class TestSectorRules:
+    @pytest.mark.parametrize(
+        "text,sector",
+        [
+            ("Oak Ridge National Laboratory", Sector.GOV),
+            ("Sandia National Laboratories", Sector.GOV),
+            ("NASA Ames Research Center", Sector.GOV),
+            ("National Supercomputing Center, Wuxi", Sector.GOV),
+            ("National Institute of Advanced Computing", Sector.GOV),
+            ("Government Research Centre", Sector.GOV),
+            ("University of Chicago", Sector.EDU),
+            ("Universität Stuttgart", Sector.EDU),
+            ("Dartmouth College", Sector.EDU),
+            ("Indian Institute of Technology", Sector.EDU),
+            ("IBM Research", Sector.COM),
+            ("Intel Corporation", Sector.COM),
+            ("NVIDIA Inc.", Sector.COM),
+        ],
+    )
+    def test_classification(self, text, sector):
+        assert classify_affiliation(text).sector is sector
+
+    def test_gov_outranks_edu(self):
+        # a lab hosted at a university classifies as the lab
+        g = classify_affiliation("Los Alamos National Laboratory, University of California")
+        assert g.sector is Sector.GOV
+
+    def test_no_match(self):
+        g = classify_affiliation("Advanced Computing Group")
+        assert g.sector is None
+
+    def test_none_input(self):
+        g = classify_affiliation(None)
+        assert g.sector is None and g.country is None
+
+    def test_matched_rule_reported(self):
+        g = classify_affiliation("University of Nowhere")
+        assert g.matched_rule == "university"
+
+
+class TestCountryRules:
+    @pytest.mark.parametrize(
+        "text,code",
+        [
+            ("ETH Zurich, Switzerland", "CH"),
+            ("Tsinghua University, China", "CN"),
+            ("University of Tokyo, Japan", "JP"),
+            ("INRIA, France", "FR"),
+            ("University of Oxford, United Kingdom", "GB"),
+            ("KAIST, Korea", "KR"),
+            ("TU Wien, Austria", "AT"),
+        ],
+    )
+    def test_country_detection(self, text, code):
+        assert classify_affiliation(text).country.cca2 == code
+
+    def test_no_country_hint(self):
+        assert classify_affiliation("University of Somewhere").country is None
+
+    def test_word_boundary(self):
+        # 'Indiana' must not match 'India'
+        g = classify_affiliation("Indiana University")
+        assert g.country is None

@@ -1,0 +1,38 @@
+"""Edge cases for email-domain resolution."""
+
+import pytest
+
+from repro.geo import email_country, split_email
+from repro.pipeline.enrich import sector_from_email
+
+
+class TestCaseHandling:
+    def test_uppercase_domain(self):
+        assert email_country("X@CS.STANFORD.EDU").cca2 == "US"
+
+    def test_mixed_case_cctld(self):
+        assert email_country("a@Univ.Ac.JP").cca2 == "JP"
+
+    def test_whitespace_tolerated(self):
+        assert split_email("  a@b.fr  ") == ("a", "b.fr")
+
+
+class TestSectorHeuristics:
+    @pytest.mark.parametrize(
+        "email,sector",
+        [
+            ("a@cs.mit.edu", "EDU"),
+            ("a@phys.ox.ac.uk", "EDU"),
+            ("a@ornl.gov", "GOV"),
+            ("a@lab.gov.de", "GOV"),
+            ("a@ibm3.com", "COM"),
+            ("a@institute9.org", None),
+            ("not-an-email", None),
+        ],
+    )
+    def test_classification(self, email, sector):
+        assert sector_from_email(email) == sector
+
+    def test_edu_label_not_substring(self):
+        # 'education.io' has no 'edu' LABEL; must not classify as EDU
+        assert sector_from_email("a@education.io") is None

@@ -1,0 +1,94 @@
+"""Tests for countries, regions, domains, sectors."""
+
+import pytest
+
+from repro.geo import (
+    Sector,
+    academic_tlds,
+    all_countries,
+    country_by_code,
+    country_by_name,
+    country_by_tld,
+    email_country,
+    region_of_country,
+    regions_present,
+    split_email,
+)
+from repro.geo.regions import REGION_ORDER
+
+
+class TestCountries:
+    def test_lookup_by_code(self):
+        us = country_by_code("us")
+        assert us.name == "United States"
+        assert us.subregion == "Northern America"
+
+    def test_lookup_by_name_and_alias(self):
+        assert country_by_name("Germany").cca2 == "DE"
+        assert country_by_name("USA").cca2 == "US"
+        assert country_by_name("UK").cca2 == "GB"
+        assert country_by_name("czech republic").cca2 == "CZ"
+
+    def test_unknown(self):
+        assert country_by_code("XX") is None
+        assert country_by_name("Atlantis") is None
+
+    def test_tld_lookup(self):
+        assert country_by_tld(".de").cca2 == "DE"
+        assert country_by_tld("uk").cca2 == "GB"
+
+    def test_unique_codes(self):
+        codes = [c.cca2 for c in all_countries()]
+        assert len(codes) == len(set(codes))
+
+    def test_paper_table2_countries_present(self):
+        for code in ["US", "CN", "FR", "DE", "ES", "IN", "CH", "JP", "GB", "CA"]:
+            assert country_by_code(code) is not None
+
+
+class TestRegions:
+    def test_table3_regions_covered(self):
+        present = set(regions_present())
+        for region in REGION_ORDER:
+            assert region in present, region
+
+    def test_region_of_country(self):
+        assert region_of_country("JP") == "Eastern Asia"
+        assert region_of_country("AU") == "Australia and New Zealand"
+        assert region_of_country("XX") is None
+
+    def test_order_is_paper_order(self):
+        assert REGION_ORDER[0] == "Northern America"
+        assert REGION_ORDER[-1] == "Northern Africa"
+
+
+class TestEmail:
+    def test_split(self):
+        assert split_email("a.b@cs.x.edu") == ("a.b", "cs.x.edu")
+        assert split_email("not-an-email") is None
+        assert split_email("a@b@c.com") is None
+        assert split_email("a@nodot") is None
+
+    def test_cc_tld(self):
+        assert email_country("x@inria.fr").cca2 == "FR"
+        assert email_country("x@cam.ac.uk").cca2 == "GB"
+
+    def test_us_administered(self):
+        assert email_country("x@mit.edu").cca2 == "US"
+        assert email_country("x@ornl.gov").cca2 == "US"
+
+    def test_generic_unresolved(self):
+        assert email_country("x@google.com") is None
+        assert email_country("x@example.org") is None
+
+    def test_malformed(self):
+        assert email_country("garbage") is None
+
+    def test_academic_tlds(self):
+        assert "edu" in academic_tlds()
+
+
+class TestSector:
+    def test_values(self):
+        assert Sector.COM.value == "COM"
+        assert Sector.EDU.describe() == "academia"

@@ -1,0 +1,59 @@
+"""Fuzz tests: the HTML parser must never crash on arbitrary input
+(except its one documented error, unmatched close tags)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harvest.html import HtmlParseError, parse_html, render, el
+
+
+class TestParserFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_never_crashes_unexpectedly(self, text):
+        try:
+            tree = parse_html(text)
+        except HtmlParseError:
+            return  # the documented failure mode
+        # whatever parsed must render and be walkable
+        assert tree.text() is not None
+        for node in tree.iter():
+            assert isinstance(node.tag, str)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.recursive(
+            st.text(
+                alphabet=st.characters(blacklist_characters="<>&\"", blacklist_categories=["Cs", "Cc"]),
+                max_size=10,
+            ),
+            lambda children: st.builds(
+                lambda tag, kids: el(tag, *kids),
+                st.sampled_from(["div", "span", "p", "ul", "li"]),
+                st.lists(children, max_size=3),
+            ),
+            max_leaves=10,
+        )
+    )
+    def test_render_parse_roundtrip_structure(self, node):
+        if isinstance(node, str):
+            return
+        tree = parse_html(render(node))
+        rendered_again = render(tree.children[0]) if tree.children else ""
+        assert rendered_again == render(node)
+
+    def test_deeply_nested(self):
+        html = "<div>" * 300 + "x" + "</div>" * 300
+        tree = parse_html(html)
+        assert tree.text() == "x"
+
+    def test_interleaved_tags_autoclose(self):
+        # <b><i></b></i> — parser auto-closes i when b closes
+        tree = parse_html("<b><i>t</b>")
+        assert tree.find(tag="b") is not None
+
+    def test_attribute_garbage_tolerated(self):
+        tree = parse_html('<div data-x=nope class="ok y">t</div>')
+        node = tree.find(tag="div")
+        assert node is not None
+        assert "ok" in node.classes

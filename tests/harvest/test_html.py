@@ -1,0 +1,86 @@
+"""Tests for the mini-HTML builder and parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.harvest.html import HtmlElement, el, parse_html, render
+from repro.harvest.html import HtmlParseError
+
+
+class TestBuilderAndRender:
+    def test_render_basic(self):
+        node = el("div", el("span", "hi"), cls="row")
+        assert render(node) == '<div class="row"><span>hi</span></div>'
+
+    def test_escaping(self):
+        node = el("p", 'a < b & "c"')
+        text = render(node)
+        assert "&lt;" in text and "&amp;" in text and "&quot;" in text
+
+    def test_void_tag(self):
+        assert render(el("br")) == "<br/>"
+
+
+class TestParse:
+    def test_roundtrip(self):
+        node = el(
+            "html",
+            el("body", el("ul", el("li", "Ann Smith", cls="pc-member"))),
+        )
+        tree = parse_html(render(node))
+        found = tree.find_all(tag="li", cls="pc-member")
+        assert [n.text() for n in found] == ["Ann Smith"]
+
+    def test_entities_unescaped(self):
+        tree = parse_html("<p>a &amp; b &lt;c&gt;</p>")
+        assert tree.find(tag="p").text() == "a & b <c>"
+
+    def test_comments_dropped(self):
+        tree = parse_html("<div><!-- secret --><span>x</span></div>")
+        assert tree.text() == "x"
+
+    def test_attributes(self):
+        tree = parse_html('<a href="http://x" class="big link">go</a>')
+        a = tree.find(tag="a")
+        assert a.attrs["href"] == "http://x"
+        assert a.classes == {"big", "link"}
+
+    def test_self_closing(self):
+        tree = parse_html("<div><br/><span>y</span></div>")
+        assert tree.find(tag="span").text() == "y"
+
+    def test_unclosed_tags_tolerated(self):
+        tree = parse_html("<div><span>dangling")
+        assert tree.find(tag="span").text() == "dangling"
+
+    def test_unmatched_close_raises(self):
+        with pytest.raises(HtmlParseError):
+            parse_html("<div>x</span></div>")
+
+    def test_whitespace_normalized_in_text(self):
+        tree = parse_html("<p>  a\n\n  b  </p>")
+        assert tree.find(tag="p").text() == "a b"
+
+    def test_unknown_tags_pass_through(self):
+        tree = parse_html("<widget><li class='x'>no-quote-attr</li></widget>")
+        # single-quoted attrs are not in our subset; attr is ignored but
+        # the element still parses
+        assert tree.find(tag="widget") is not None
+
+    def test_nested_same_tag(self):
+        tree = parse_html("<div><div>inner</div> outer</div>")
+        outer = tree.find(tag="div")
+        assert outer.text() == "inner outer"
+        assert len(outer.find_all(tag="div")) == 2  # self + nested
+
+    def test_find_first_none(self):
+        tree = parse_html("<p>x</p>")
+        assert tree.find(cls="nope") is None
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="<>&\"", categories=["Lu", "Ll", "Nd", "Zs"]), min_size=0, max_size=40))
+    def test_text_roundtrip(self, s):
+        tree = parse_html(render(el("p", s)))
+        import re
+
+        expected = re.sub(r"\s+", " ", s).strip()
+        assert tree.find(tag="p").text() == expected

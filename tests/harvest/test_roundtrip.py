@@ -1,0 +1,153 @@
+"""Site-generation ↔ scraping round-trip tests."""
+
+import pytest
+
+from repro.confmodel.roles import Role
+from repro.harvest import (
+    build_proceedings,
+    from_dblp_xml,
+    generate_site,
+    scrape_site,
+    to_dblp_xml,
+)
+from repro.harvest.proceedings import extract_emails
+
+
+@pytest.fixture(scope="module")
+def sc_site(small_world):
+    return generate_site(small_world.registry, "SC", 2017)
+
+
+@pytest.fixture(scope="module")
+def sc_proceedings(small_world):
+    return build_proceedings(small_world.registry, "SC", 2017)
+
+
+@pytest.fixture(scope="module")
+def harvested(sc_site, sc_proceedings):
+    return scrape_site(sc_site, sc_proceedings)
+
+
+class TestRoundTrip:
+    def test_metadata(self, harvested, small_world):
+        ed = small_world.registry.editions["SC-2017"]
+        assert harvested.date == ed.date
+        assert harvested.country == "US"
+        assert harvested.accepted == ed.accepted
+        assert harvested.submitted == ed.submitted
+        assert harvested.review_policy == "double"
+        assert harvested.acceptance_rate == pytest.approx(
+            ed.accepted / ed.submitted
+        )
+
+    def test_diversity_policies(self, harvested):
+        joined = " ".join(harvested.diversity_policies)
+        assert "Chair" in joined and "Conduct" in joined
+
+    def test_all_papers_recovered(self, harvested, small_world):
+        truth = small_world.registry.papers_of("SC", 2017)
+        assert len(harvested.papers) == len(truth)
+        truth_by_id = {p.paper_id: p for p in truth}
+        for hp in harvested.papers:
+            tp = truth_by_id[hp.paper_id]
+            names = [
+                small_world.registry.people[a.person_id].full_name
+                for a in tp.authorships
+            ]
+            assert list(hp.author_names) == names
+            assert hp.citations_36mo == tp.citations_36mo
+            assert hp.is_hpc_topic == tp.is_hpc
+
+    def test_roles_recovered(self, harvested, small_world):
+        reg = small_world.registry
+        for css, role in [
+            ("pc-member", Role.PC_MEMBER),
+            ("keynote", Role.KEYNOTE),
+            ("session-chair", Role.SESSION_CHAIR),
+        ]:
+            harvested_names = sorted(
+                r.full_name for r in harvested.roles if r.role == css
+            )
+            truth_names = sorted(
+                reg.people[r.person_id].full_name
+                for r in reg.roles_of("SC", 2017, role)
+            )
+            assert harvested_names == truth_names
+
+    def test_emails_aligned(self, harvested, small_world):
+        reg = small_world.registry
+        truth = {p.paper_id: p for p in reg.papers_of("SC", 2017)}
+        for hp in harvested.papers:
+            tp = truth[hp.paper_id]
+            for name, email, a in zip(
+                hp.author_names, hp.author_emails, tp.authorships
+            ):
+                assert email == reg.people[a.person_id].email
+
+    def test_missing_proceedings_tolerated(self, sc_site):
+        h = scrape_site(sc_site, None)
+        assert all(p.citations_36mo is None for p in h.papers)
+        assert all(e is None for p in h.papers for e in p.author_emails)
+
+
+class TestMalformations:
+    def test_extra_unknown_sections_ignored(self, sc_site, sc_proceedings):
+        mangled = sc_site.index_html.replace(
+            "<body>", "<body><div class='ad'>BUY NOW</div>"
+        )
+        import dataclasses
+
+        site2 = dataclasses.replace(sc_site, index_html=mangled)
+        h = scrape_site(site2, sc_proceedings)
+        assert h.country == "US"
+
+    def test_non_numeric_counts_become_none(self, sc_site):
+        import dataclasses
+        import re
+
+        mangled = re.sub(
+            r'(<p class="conf-accepted">)\d+(</p>)', r"\1TBD\2", sc_site.index_html
+        )
+        site2 = dataclasses.replace(sc_site, index_html=mangled)
+        h = scrape_site(site2, None)
+        assert h.accepted is None
+        assert h.acceptance_rate is None
+
+    def test_unknown_role_class_skipped(self, sc_site, sc_proceedings):
+        import dataclasses
+
+        extra = '<ul><li class="mascot">Conference Dog</li></ul>'
+        site2 = dataclasses.replace(
+            sc_site, committees_html=sc_site.committees_html.replace(
+                "</body>", extra + "</body>"
+            )
+        )
+        h = scrape_site(site2, sc_proceedings)
+        from repro.pipeline.link import link_identities
+
+        linked = link_identities([h])
+        assert all(
+            "Conference Dog" != r.full_name for r in linked.researchers.values()
+        )
+
+
+class TestDblp:
+    def test_roundtrip(self, harvested):
+        xml = to_dblp_xml("SC", 2017, harvested.papers)
+        back = from_dblp_xml(xml)
+        assert len(back) == len(harvested.papers)
+        for a, b in zip(harvested.papers, back):
+            assert a.paper_id == b.paper_id
+            assert a.title == b.title
+            assert a.author_names == b.author_names
+
+    def test_dblp_has_no_emails(self, harvested):
+        xml = to_dblp_xml("SC", 2017, harvested.papers)
+        back = from_dblp_xml(xml)
+        assert all(e is None for p in back for e in p.author_emails)
+
+
+class TestEmails:
+    def test_extract_emails(self):
+        text = "Ann <ann@x.edu>\nBob no email\nCarl <carl.x@lab2.gov.de>"
+        assert extract_emails(text) == ["ann@x.edu", "carl.x@lab2.gov.de"]

@@ -1,0 +1,68 @@
+"""Tests for name-keyed evidence projection."""
+
+import pytest
+
+from repro.confmodel import WorldRegistry
+from repro.confmodel.conference import Conference, ConferenceEdition
+from repro.confmodel.entities import Person
+from repro.confmodel.policies import DiversityPolicy, ReviewPolicy
+from repro.gender.model import Gender
+from repro.gender.webevidence import EvidenceKind
+from repro.harvest import build_name_keyed_evidence
+from repro.names.parsing import name_key
+
+
+def make_registry(people):
+    reg = WorldRegistry()
+    for p in people:
+        reg.add_person(p)
+    return reg
+
+
+def person(pid, name, gender=Gender.F, ev=EvidenceKind.PRONOUN):
+    return Person(
+        person_id=pid, full_name=name, country_code="US", sector="EDU",
+        true_gender=gender, web_evidence=ev, past_publications=0,
+    )
+
+
+class TestNameKeyedEvidence:
+    def test_unique_name_passes_through(self):
+        reg = make_registry([person("p1", "Ann Smith")])
+        avail, truth = build_name_keyed_evidence(
+            reg, {"p1": EvidenceKind.PRONOUN}, {"p1": Gender.F}
+        )
+        k = name_key("Ann Smith")
+        assert avail[k] is EvidenceKind.PRONOUN
+        assert truth[k] is Gender.F
+
+    def test_collision_blanks_evidence(self):
+        reg = make_registry(
+            [person("p1", "Wei Zhang", Gender.F), person("p2", "Wei Zhang", Gender.M)]
+        )
+        avail, truth = build_name_keyed_evidence(
+            reg,
+            {"p1": EvidenceKind.PRONOUN, "p2": EvidenceKind.PHOTO},
+            {"p1": Gender.F, "p2": Gender.M},
+        )
+        k = name_key("Wei Zhang")
+        assert avail[k] is EvidenceKind.NONE
+        assert truth[k] is Gender.UNKNOWN
+
+    def test_accent_variants_collide(self):
+        reg = make_registry(
+            [person("p1", "Jose Garcia"), person("p2", "José García", Gender.M)]
+        )
+        avail, _ = build_name_keyed_evidence(
+            reg,
+            {"p1": EvidenceKind.PRONOUN, "p2": EvidenceKind.PRONOUN},
+            {"p1": Gender.F, "p2": Gender.M},
+        )
+        assert avail[name_key("Jose Garcia")] is EvidenceKind.NONE
+
+    def test_missing_maps_default_none(self):
+        reg = make_registry([person("p1", "Solo Name")])
+        avail, truth = build_name_keyed_evidence(reg, {}, {})
+        k = name_key("Solo Name")
+        assert avail[k] is EvidenceKind.NONE
+        assert truth[k] is Gender.UNKNOWN

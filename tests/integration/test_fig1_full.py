@@ -1,0 +1,50 @@
+"""Full-scale Fig. 1 shape: per-conference per-role composition."""
+
+import math
+
+import pytest
+
+from repro.report import build_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1(full_result):
+    return build_fig1(full_result.dataset)
+
+
+class TestFig1FullScale:
+    def test_pc_member_share_by_conference(self, fig1):
+        per_conf = fig1.data["per_conference"]
+        # SC's PC is the most gender-balanced (paper: 29.6%)
+        sc = per_conf["SC"]["pc_member"]
+        assert sc == max(
+            roles["pc_member"] for roles in per_conf.values()
+        )
+        assert sc == pytest.approx(29.6, abs=3.0)
+
+    def test_author_shares_band(self, fig1):
+        for conf, roles in fig1.data["per_conference"].items():
+            assert 3.0 < roles["author"] < 14.0, conf
+
+    def test_isc_lowest_authors(self, fig1):
+        per_conf = fig1.data["per_conference"]
+        isc = per_conf["ISC"]["author"]
+        assert isc <= min(
+            roles["author"] for conf, roles in per_conf.items() if conf != "ISC"
+        ) + 1.5
+
+    def test_zero_role_bars_where_quotaed(self, fig1):
+        per_conf = fig1.data["per_conference"]
+        for conf in ("HPDC", "HiPC", "HPCC"):
+            assert per_conf[conf]["session_chair"] == 0.0
+            assert per_conf[conf]["keynote"] == 0.0
+
+    def test_overall_ordering(self, fig1):
+        overall = fig1.data["overall"]
+        # PC members clearly above authors; SC pushes session chairs up too
+        assert overall["pc_member"] > overall["author"]
+        assert overall["session_chair"] > overall["author"]
+
+    def test_no_nan_in_overall(self, fig1):
+        for role, value in fig1.data["overall"].items():
+            assert not math.isnan(value), role

@@ -1,0 +1,202 @@
+"""Full-scale reproduction accuracy: measured vs the paper's numbers.
+
+These tests run the complete pipeline at scale 1.0 (the paper's exact
+population sizes) and check every headline statistic against the
+published value.  Tolerances reflect what the synthetic reconstruction
+can promise: structural counts are exact, calibrated rates land within
+a point or two, and test statistics must agree in *direction and
+significance class* (the reproduction criterion in DESIGN.md §4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    blind_report,
+    experience_report,
+    far_report,
+    geography_report,
+    hpc_topic_report,
+    pc_report,
+    reception_report,
+    sector_report,
+    sensitivity_report,
+    visible_report,
+)
+from repro.calibration.targets import TOTALS
+from repro.report import build_table1, compare_headlines
+
+
+@pytest.fixture(scope="module")
+def ds(full_result):
+    return full_result.dataset
+
+
+class TestStructuralExactness:
+    def test_table1_reproduced_exactly(self, ds):
+        table, _ = build_table1(ds)
+        expected = {
+            "CCGrid": (72, 296, 0.252, "ES"),
+            "IPDPS": (116, 447, 0.228, "US"),
+            "ISC": (22, 99, 0.333, "DE"),
+            "HPDC": (19, 76, 0.19, "US"),
+            "ICPP": (60, 234, 0.286, "GB"),
+            "EuroPar": (50, 179, 0.284, "ES"),
+            "SC": (61, 325, 0.187, "US"),
+            "HiPC": (41, 168, 0.223, "IN"),
+            "HPCC": (77, 287, 0.438, "TH"),
+        }
+        for rec in table.to_records():
+            papers, authors, acc, country = expected[rec["Conference"]]
+            assert rec["Papers"] == papers
+            assert rec["Authors"] == authors
+            assert rec["Acceptance"] == pytest.approx(acc, abs=0.002)
+            assert rec["Country"] == country
+
+    def test_position_totals(self, ds):
+        assert ds.author_positions.num_rows == TOTALS["author_positions"]
+        assert ds.papers.num_rows == TOTALS["papers"]
+
+
+class TestHeadlineRates:
+    def test_far_overall(self, ds):
+        far = far_report(ds)
+        assert far.overall.pct == pytest.approx(9.9, abs=0.6)
+
+    def test_far_flagships(self, ds):
+        far = far_report(ds)
+        assert far.conference("SC").authors.pct == pytest.approx(8.12, abs=1.2)
+        assert far.conference("ISC").authors.pct == pytest.approx(5.77, abs=2.0)
+        # flagships below the overall rate
+        assert far.conference("SC").authors.value < far.overall.value
+
+    def test_blind_contrast(self, ds):
+        b = blind_report(ds)
+        assert b.authors_double.pct == pytest.approx(7.57, abs=1.2)
+        assert b.authors_single.pct == pytest.approx(10.52, abs=1.2)
+        assert b.authors_double.value < b.authors_single.value
+        # same significance class as the paper (borderline, p in (0.01, 0.3))
+        assert 0.005 < b.authors_test.p_value < 0.35
+
+    def test_lead_contrast(self, ds):
+        b = blind_report(ds)
+        assert b.lead_single.value > 1.5 * b.lead_double.value
+        assert not b.lead_test.significant()  # paper: p = 0.197
+
+    def test_last_authors(self, ds):
+        far = far_report(ds)
+        assert far.last_overall.pct == pytest.approx(8.4, abs=1.5)
+        assert not far.last_vs_all.significant()  # paper: p = 0.395
+
+    def test_pc_stats(self, ds):
+        pc = pc_report(ds)
+        assert pc.memberships.pct == pytest.approx(18.46, abs=1.5)
+        assert pc.by_conference["SC"].pct == pytest.approx(29.6, abs=2.5)
+        assert pc.excluding_sc.pct == pytest.approx(16.1, abs=1.5)
+        assert len(pc.zero_women_chair_confs) == 4
+
+    def test_visible_roles(self, ds):
+        vis = visible_report(ds)
+        assert len(vis.zero_women_confs["keynote"]) == 4
+        assert set(vis.zero_women_confs["session_chair"]) == {"HPDC", "HiPC", "HPCC"}
+        assert vis.zero_session_chair_seats == 45
+
+    def test_hpc_topic(self, ds):
+        h = hpc_topic_report(ds)
+        assert h.hpc_papers == 178
+        assert h.authors_hpc.pct == pytest.approx(10.1, abs=1.5)
+        assert h.authors_hpc.value >= h.authors_all.value
+
+
+class TestReception:
+    def test_fig2_shape(self, ds):
+        rep = reception_report(ds)
+        # sample sizes near 53 / 435
+        assert rep.n_female_lead == pytest.approx(53, abs=8)
+        assert rep.n_male_lead == pytest.approx(435, abs=25)
+        # the single outlier exists and is excluded
+        assert rep.outlier_citations is not None
+        assert rep.outlier_citations > 150
+        # direction: women's mean (no outlier) below men's, significantly
+        assert rep.mean_female_no_outlier < rep.mean_male
+        assert rep.welch_no_outlier.statistic < 0
+        assert rep.welch_no_outlier.significant()
+        # magnitudes in the paper's neighbourhood
+        assert rep.mean_male == pytest.approx(10.55, rel=0.15)
+        assert rep.mean_female_no_outlier == pytest.approx(7.63, rel=0.25)
+        # i10 ordering and rough levels
+        assert 100 * rep.i10_female == pytest.approx(23, abs=8)
+        assert 100 * rep.i10_male == pytest.approx(38, abs=6)
+
+
+class TestDemographics:
+    def test_coverage_split(self, full_result):
+        cov = full_result.coverage
+        assert 100 * cov["manual"] == pytest.approx(95.18, abs=0.8)
+        assert 100 * cov["genderize"] == pytest.approx(1.79, abs=0.8)
+        assert 100 * cov["none"] == pytest.approx(3.03, abs=0.8)
+
+    def test_gs_coverage_and_correlation(self, ds):
+        exp = experience_report(ds)
+        assert 100 * exp.gs_coverage_known_gender == pytest.approx(69.65, abs=4)
+        assert exp.gs_s2_correlation.r == pytest.approx(0.334, abs=0.15)
+        assert exp.gs_s2_correlation.p_value < 0.0001
+
+    def test_experience_bands(self, ds):
+        exp = experience_report(ds)
+        assert 100 * exp.novice_female_authors == pytest.approx(44.8, abs=6)
+        assert 100 * exp.novice_male_authors == pytest.approx(36.4, abs=6)
+        assert exp.novice_female_authors > exp.novice_male_authors
+
+    def test_table2_shape(self, ds):
+        geo = geography_report(ds)
+        top = geo.countries[:10]
+        assert top[0].country_code == "US"
+        assert top[0].total == pytest.approx(1408, rel=0.15)
+        assert top[0].women.pct == pytest.approx(15.38, abs=2)
+        big = [c for c in geo.countries if c.total >= 100]
+        mid = [c for c in geo.countries if c.total >= 30]
+        us = next(c for c in mid if c.country_code == "US")
+        jp = next(c for c in mid if c.country_code == "JP")
+        # US highest among major countries, Japan lowest (paper §5.2);
+        # among mid-size countries small denominators can wobble ±2 pts.
+        assert us.women.value == max(c.women.value for c in big)
+        assert us.women.value >= max(c.women.value for c in mid) - 0.02
+        assert jp.women.value <= min(c.women.value for c in mid) + 0.01
+        assert jp.women.pct < 4
+
+    def test_table3_shape(self, ds):
+        geo = geography_report(ds)
+        na = next(r for r in geo.regions if r.region == "Northern America")
+        assert na.authors.pct == pytest.approx(9.78, abs=1.5)
+        assert na.pc.pct == pytest.approx(24.47, abs=2.5)
+        assert na.authors.n == pytest.approx(930, rel=0.2)
+
+    def test_sector(self, ds):
+        sec = sector_report(ds)
+        assert sec.sector_shares["EDU"] == pytest.approx(0.728, abs=0.05)
+        assert sec.sector_shares["GOV"] == pytest.approx(0.186, abs=0.06)
+        assert sec.sector_shares["COM"] == pytest.approx(0.086, abs=0.04)
+        assert not sec.pc_test.significant()       # paper: p = 0.77
+        assert not sec.author_test.significant()   # paper: p = 0.443
+
+
+class TestSensitivity:
+    def test_no_observation_flips(self, ds):
+        rep = sensitivity_report(ds)
+        assert rep.all_stable
+        assert rep.unknowns / ds.researchers.num_rows == pytest.approx(
+            0.0303, abs=0.008
+        )
+
+
+class TestOverallAgreement:
+    def test_comparison_rows_mostly_close(self, full_result):
+        rows = compare_headlines(full_result)
+        # At least 80% of headline statistics within 25% relative error
+        # (chi-square statistics are noisy; rates are tight).
+        close = [r for r in rows if r.rel_error < 0.25]
+        assert len(close) / len(rows) >= 0.7, sorted(
+            ((r.statistic, round(r.rel_error, 2)) for r in rows),
+            key=lambda t: -t[1],
+        )[:8]

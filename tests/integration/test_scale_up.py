@@ -1,0 +1,43 @@
+"""Scaling robustness: the generator must hold at above-paper scales."""
+
+import pytest
+
+from repro.calibration.targets import TOTALS
+from repro.confmodel.roles import Role
+from repro.synth import WorldConfig, build_world
+
+
+class TestScaleUp:
+    @pytest.fixture(scope="class")
+    def big_world(self):
+        return build_world(WorldConfig(seed=5, scale=1.5, include_timeline=False))
+
+    def test_structure_scales_linearly(self, big_world):
+        reg = big_world.registry
+        papers = len(reg.papers)
+        assert papers == pytest.approx(1.5 * TOTALS["papers"], rel=0.02)
+        positions = sum(1 for r in reg.roles if r.role is Role.AUTHOR)
+        assert positions == pytest.approx(
+            1.5 * TOTALS["author_positions"], rel=0.02
+        )
+
+    def test_rates_preserved(self, big_world):
+        from repro.gender.model import Gender
+
+        reg = big_world.registry
+        genders = [
+            reg.people[r.person_id].true_gender
+            for r in reg.roles
+            if r.role is Role.AUTHOR
+        ]
+        far = sum(1 for g in genders if g is Gender.F) / len(genders)
+        assert far == pytest.approx(TOTALS["far_overall"], abs=0.012)
+
+    def test_validates(self, big_world):
+        big_world.registry.validate()
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            WorldConfig(scale=0.001)
+        with pytest.raises(ValueError):
+            WorldConfig(scale=11)

@@ -1,0 +1,82 @@
+"""Tests for the name banks."""
+
+import numpy as np
+import pytest
+
+from repro.names import NameBank, default_bank
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return default_bank()
+
+
+class TestSampling:
+    def test_gender_conditioning(self, bank):
+        rng = np.random.default_rng(0)
+        # women draw from female-weighted names: average female_share high
+        shares = [
+            bank.lookup(bank.sample_forename("F", "western", rng)).female_share
+            for _ in range(200)
+        ]
+        assert np.mean(shares) > 0.7
+        shares_m = [
+            bank.lookup(bank.sample_forename("M", "western", rng)).female_share
+            for _ in range(200)
+        ]
+        assert np.mean(shares_m) < 0.3
+
+    def test_east_asian_more_ambiguous(self, bank):
+        rng = np.random.default_rng(1)
+        def mean_ambiguity(cluster):
+            vals = []
+            for _ in range(300):
+                g = "F" if rng.random() < 0.1 else "M"
+                e = bank.lookup(bank.sample_forename(g, cluster, rng))
+                vals.append(min(e.female_share, 1 - e.female_share))
+            return np.mean(vals)
+        assert mean_ambiguity("east_asian") > mean_ambiguity("western")
+
+    def test_unknown_cluster(self, bank):
+        with pytest.raises(KeyError):
+            bank.sample_forename("F", "klingon", np.random.default_rng(0))
+
+    def test_bad_gender(self, bank):
+        with pytest.raises(ValueError):
+            bank.sample_forename("X", "western", np.random.default_rng(0))
+
+    def test_full_name_has_two_parts(self, bank):
+        name = bank.sample_full_name("F", "DE", np.random.default_rng(2))
+        assert len(name.split()) >= 2
+
+    def test_confident_forename_extreme_share(self, bank):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            f = bank.sample_confident_forename("F", "western", rng)
+            assert bank.lookup(f).female_share >= 0.92
+            m = bank.sample_confident_forename("M", "east_asian", rng)
+            assert bank.lookup(m).female_share <= 0.08
+
+    def test_ambiguous_forename_mid_share(self, bank):
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            f = bank.sample_ambiguous_forename("F", "east_asian", rng)
+            share = bank.lookup(f).female_share
+            assert 0.2 < share < 0.8
+
+
+class TestLookup:
+    def test_case_insensitive(self, bank):
+        assert bank.lookup("mary") is not None
+        assert bank.lookup("MARY").name == "Mary"
+
+    def test_unknown_name(self, bank):
+        assert bank.lookup("Zzyzx") is None
+
+    def test_true_female_share(self, bank):
+        assert bank.true_female_share("Mary") > 0.9
+        assert bank.true_female_share("James") < 0.1
+        assert bank.true_female_share("NoSuchName") is None
+
+    def test_default_bank_cached(self):
+        assert default_bank() is default_bank()

@@ -1,0 +1,67 @@
+"""Tests for name parsing and keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.names import forename_of, name_key, normalize_name
+from repro.names.corpora import cluster_for_country
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize_name("  Ann   B.  Smith ") == "Ann B. Smith"
+
+
+class TestForename:
+    def test_simple(self):
+        assert forename_of("Rhody D. Kaner") == "Rhody"
+
+    def test_leading_initial_skipped(self):
+        assert forename_of("E. Frachtenberg") is None
+
+    def test_initial_without_dot_skipped(self):
+        assert forename_of("J Smith") is None
+
+    def test_middle_initial_ok(self):
+        assert forename_of("Mary K. Jones") == "Mary"
+
+    def test_single_token(self):
+        assert forename_of("Madonna") == "Madonna"
+
+
+class TestNameKey:
+    def test_accent_folding(self):
+        assert name_key("Jürgen Müller") == "jurgen muller"
+
+    def test_case_and_space(self):
+        assert name_key("  ANN   SMITH ") == name_key("Ann Smith")
+
+    def test_distinct_names_distinct_keys(self):
+        assert name_key("Ann Smith") != name_key("Ann Smythe")
+
+    @given(st.text(alphabet=st.characters(categories=["Lu", "Ll"]), min_size=1, max_size=30))
+    def test_idempotent(self, s):
+        assert name_key(s) == name_key(name_key(s))
+
+
+class TestClusterMapping:
+    @pytest.mark.parametrize(
+        "code,cluster",
+        [
+            ("US", "western"),
+            ("DE", "western"),
+            ("BR", "western"),
+            ("CN", "east_asian"),
+            ("JP", "east_asian"),
+            ("SG", "east_asian"),
+            ("IN", "south_asian"),
+            ("TR", "middle_eastern"),
+            ("EG", "middle_eastern"),
+            ("AU", "western"),
+        ],
+    )
+    def test_known_mappings(self, code, cluster):
+        assert cluster_for_country(code) == cluster
+
+    def test_unknown_defaults_western(self):
+        assert cluster_for_country("ZZ") == "western"

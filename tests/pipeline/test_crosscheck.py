@@ -1,0 +1,58 @@
+"""Tests for the DBLP cross-check stage."""
+
+import dataclasses
+
+import pytest
+
+from repro.harvest.dblp import to_dblp_xml
+from repro.pipeline import ingest_world
+from repro.pipeline.crosscheck import crosscheck_dblp
+
+
+@pytest.fixture(scope="module")
+def harvested(small_world):
+    return ingest_world(small_world)
+
+
+class TestCrossCheck:
+    def test_clean_on_honest_harvest(self, harvested):
+        rep = crosscheck_dblp(harvested)
+        assert rep.clean
+        assert rep.conferences == 9
+        assert rep.papers_checked == sum(len(h.papers) for h in harvested)
+
+    def test_detects_title_corruption(self, harvested):
+        conf = harvested[0]
+        corrupted = [
+            dataclasses.replace(p, title="CORRUPTED") if i == 0 else p
+            for i, p in enumerate(conf.papers)
+        ]
+        xml = to_dblp_xml(conf.conference, conf.year, corrupted)
+        rep = crosscheck_dblp([conf], {conf.conference: xml})
+        assert not rep.clean
+        assert rep.title_mismatches == [conf.papers[0].paper_id]
+
+    def test_detects_author_reorder(self, harvested):
+        conf = harvested[0]
+        victim = next(p for p in conf.papers if len(p.author_names) >= 2)
+        corrupted = [
+            dataclasses.replace(p, author_names=tuple(reversed(p.author_names)))
+            if p.paper_id == victim.paper_id
+            else p
+            for p in conf.papers
+        ]
+        xml = to_dblp_xml(conf.conference, conf.year, corrupted)
+        rep = crosscheck_dblp([conf], {conf.conference: xml})
+        assert victim.paper_id in rep.author_mismatches
+
+    def test_detects_missing_paper(self, harvested):
+        conf = harvested[0]
+        xml = to_dblp_xml(conf.conference, conf.year, conf.papers[1:])
+        rep = crosscheck_dblp([conf], {conf.conference: xml})
+        assert rep.missing_papers == [conf.papers[0].paper_id]
+
+    def test_partial_external_views(self, harvested):
+        conf0 = harvested[0]
+        xml = to_dblp_xml(conf0.conference, conf0.year, conf0.papers)
+        rep = crosscheck_dblp(harvested, {conf0.conference: xml})
+        assert rep.clean  # others fall back to self-roundtrip

@@ -1,0 +1,131 @@
+"""Tests for the individual pipeline stages."""
+
+import numpy as np
+import pytest
+
+from repro.confmodel.roles import Role
+from repro.pipeline import (
+    enrich_researchers,
+    infer_genders,
+    ingest_world,
+    link_identities,
+)
+from repro.harvest.webindex import build_name_keyed_evidence
+from repro.util.parallel import ParallelConfig
+
+
+@pytest.fixture(scope="module")
+def harvested(small_world):
+    return ingest_world(small_world)
+
+
+@pytest.fixture(scope="module")
+def linked(harvested):
+    return link_identities(harvested)
+
+
+class TestIngest:
+    def test_nine_conferences(self, harvested):
+        assert len(harvested) == 9
+        assert {h.conference for h in harvested} == {
+            "CCGrid", "IPDPS", "ISC", "HPDC", "ICPP", "EuroPar", "SC", "HiPC", "HPCC",
+        }
+
+    def test_ordered_by_date(self, harvested):
+        dates = [h.date for h in harvested]
+        assert dates == sorted(dates)
+
+    def test_parallel_matches_serial(self, small_world, harvested):
+        par = ingest_world(
+            small_world, parallel=ParallelConfig(workers=3, min_items_per_worker=1)
+        )
+        assert [h.conference for h in par] == [h.conference for h in harvested]
+        assert [len(h.papers) for h in par] == [len(h.papers) for h in harvested]
+        for a, b in zip(par, harvested):
+            assert [p.author_names for p in a.papers] == [
+                p.author_names for p in b.papers
+            ]
+
+
+class TestLink:
+    def test_authors_and_roles_linked(self, linked, small_world):
+        # every truth person who participated should appear (collisions aside)
+        n_truth = len(small_world.registry.people)
+        assert linked.researchers
+        assert abs(len(linked.researchers) - n_truth) / n_truth < 0.05
+
+    def test_paper_author_ids_resolve(self, linked):
+        for paper in linked.papers[:50]:
+            for rid in paper.author_ids:
+                assert rid in linked.researchers
+
+    def test_roles_aggregated_per_person(self, linked):
+        multi = [r for r in linked.researchers.values() if len(r.roles) > 1]
+        assert multi  # repeats exist (PC members on several conferences etc.)
+
+    def test_emails_collected(self, linked):
+        with_email = [r for r in linked.researchers.values() if r.emails]
+        assert with_email
+
+    def test_is_author_is_pc_flags(self, linked):
+        some_pc = [r for r in linked.researchers.values() if r.is_pc_member]
+        some_author = [r for r in linked.researchers.values() if r.is_author]
+        assert some_pc and some_author
+
+    def test_by_name(self, linked):
+        rec = next(iter(linked.researchers.values()))
+        assert linked.by_name(rec.full_name) is rec
+        assert linked.by_name("No Such Person Xyz") is None
+
+
+class TestEnrich:
+    def test_enrichment_fields(self, linked, small_world):
+        enr = enrich_researchers(linked, small_world.gs_store, small_world.s2_store)
+        assert set(enr) == set(linked.researchers)
+        vals = list(enr.values())
+        gs_cov = np.mean([e.has_gs for e in vals])
+        assert 0.5 < gs_cov < 0.9
+        country_cov = np.mean([e.country_code is not None for e in vals])
+        assert country_cov > 0.5
+
+    def test_country_prefers_email(self, linked, small_world):
+        enr = enrich_researchers(linked, small_world.gs_store, small_world.s2_store)
+        # a researcher with a ccTLD email must resolve to that country
+        for rid, rec in linked.researchers.items():
+            for email in rec.emails:
+                tld = email.rsplit(".", 1)[-1]
+                if tld == "de":
+                    assert enr[rid].country_code == "DE"
+                    return
+
+    def test_s2_coverage_for_authors(self, linked, small_world):
+        enr = enrich_researchers(linked, small_world.gs_store, small_world.s2_store)
+        authors = [rid for rid, r in linked.researchers.items() if r.is_author]
+        cov = np.mean([enr[rid].s2_publications is not None for rid in authors])
+        assert cov > 0.95
+
+
+class TestInfer:
+    def test_coverage_split(self, linked, small_world):
+        avail, truth = build_name_keyed_evidence(
+            small_world.registry,
+            small_world.evidence_availability,
+            small_world.true_genders,
+        )
+        out = infer_genders(linked, avail, truth, seed=small_world.seed)
+        assert out.coverage["manual"] > 0.9
+        assert out.coverage["none"] < 0.06
+        assert out.genderize_queries > 0
+        assert out.manual_lookups == len(linked.researchers)
+
+    def test_assignments_deterministic(self, linked, small_world):
+        avail, truth = build_name_keyed_evidence(
+            small_world.registry,
+            small_world.evidence_availability,
+            small_world.true_genders,
+        )
+        a = infer_genders(linked, avail, truth, seed=1)
+        b = infer_genders(linked, avail, truth, seed=1)
+        assert {k: v.gender for k, v in a.assignments.items()} == {
+            k: v.gender for k, v in b.assignments.items()
+        }

@@ -1,0 +1,92 @@
+"""Detailed content tests for Figures 3–6 and 8."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    build_fig1,
+    build_fig3,
+    build_fig4,
+    build_fig5,
+    build_fig6,
+    build_fig8,
+)
+
+
+class TestFig1PerConference:
+    def test_every_conference_has_author_share(self, small_result):
+        fig = build_fig1(small_result.dataset)
+        per_conf = fig.data["per_conference"]
+        assert len(per_conf) == 9
+        for conf, roles in per_conf.items():
+            assert "author" in roles and "pc_member" in roles
+
+    def test_sc_session_chairs_highest(self, small_result):
+        fig = build_fig1(small_result.dataset)
+        per_conf = fig.data["per_conference"]
+        sc = per_conf["SC"]["session_chair"]
+        others = [
+            roles["session_chair"]
+            for conf, roles in per_conf.items()
+            if conf != "SC" and not np.isnan(roles.get("session_chair", np.nan))
+        ]
+        assert sc >= max(others)
+
+
+class TestExperienceFigures:
+    def test_fig3_four_samples(self, small_result):
+        fig = build_fig3(small_result.dataset)
+        for role in ("authors", "pc"):
+            for gender in ("F", "M"):
+                assert fig.data[role][gender].size > 0
+
+    def test_fig3_pc_pull_right(self, small_result):
+        fig = build_fig3(small_result.dataset)
+        for gender in ("F", "M"):
+            assert np.median(fig.data["pc"][gender]) >= np.median(
+                fig.data["authors"][gender]
+            )
+
+    def test_fig4_h_nonnegative(self, small_result):
+        fig = build_fig4(small_result.dataset)
+        for role in ("authors", "pc"):
+            for gender in ("F", "M"):
+                assert (fig.data[role][gender] >= 0).all()
+
+    def test_fig5_full_author_coverage(self, small_result):
+        fig = build_fig5(small_result.dataset)
+        ds = small_result.dataset
+        known_authors = ds.researchers.filter(
+            lambda t: np.array([bool(x) for x in t["is_author"]], dtype=bool)
+            & ~t.col("gender").is_missing()
+        )
+        s2_vals = known_authors["s2_pubs"].astype(np.float64)
+        covered = np.mean(~np.isnan(s2_vals))
+        assert covered > 0.95  # "100% author coverage" modulo collisions
+        n_fig = fig.data["samples"]["F"].size + fig.data["samples"]["M"].size
+        assert n_fig == int(np.sum(~np.isnan(s2_vals)))
+
+    def test_fig6_band_labels(self, small_result):
+        fig = build_fig6(small_result.dataset)
+        shares = fig.data["band_shares"]
+        assert ("author", "F") in shares
+        assert set(shares[("author", "F")]) == {
+            "novice", "mid-career", "experienced",
+        }
+
+
+class TestFig8:
+    def test_six_bars(self, small_result):
+        fig = build_fig8(small_result.dataset)
+        rep = fig.data["report"]
+        assert set(rep.women_by_sector_author) == {"COM", "EDU", "GOV"}
+        assert set(rep.women_by_sector_pc) == {"COM", "EDU", "GOV"}
+
+    def test_pc_bars_above_author_bars(self, small_result):
+        fig = build_fig8(small_result.dataset)
+        rep = fig.data["report"]
+        for sector in ("EDU", "GOV"):
+            assert (
+                rep.women_by_sector_pc[sector].value
+                > rep.women_by_sector_author[sector].value
+            )

@@ -1,0 +1,98 @@
+"""Tests for table/figure builders and the experiment registry."""
+
+import pytest
+
+from repro.report import (
+    EXPERIMENTS,
+    build_fig1,
+    build_fig2,
+    build_fig7,
+    build_table1,
+    build_table2,
+    build_table3,
+    compare_headlines,
+    run_experiment,
+)
+from repro.report.compare import render_comparison
+
+
+class TestTables:
+    def test_table1_columns_and_rows(self, small_result):
+        table, text = build_table1(small_result.dataset)
+        assert table.columns == [
+            "Conference", "Date", "Papers", "Authors", "Acceptance", "Country",
+        ]
+        assert table.num_rows == 9
+        assert "Table 1" in text
+
+    def test_table1_sorted_by_date(self, small_result):
+        table, _ = build_table1(small_result.dataset)
+        dates = table["Date"].tolist()
+        assert dates == sorted(dates)
+
+    def test_table2_descending_totals(self, small_result):
+        table, _ = build_table2(small_result.dataset)
+        totals = table["Total"].tolist()
+        assert totals == sorted(totals, reverse=True)
+        assert table.num_rows == 10
+
+    def test_table3_region_rows(self, small_result):
+        table, text = build_table3(small_result.dataset)
+        assert "Region" in table.columns
+        assert table.num_rows >= 10
+        assert "Northern America" in table["Region"].tolist()
+
+
+class TestFigures:
+    def test_fig1_roles(self, small_result):
+        fig = build_fig1(small_result.dataset)
+        assert set(fig.data["overall"]) == {
+            "author", "pc_chair", "pc_member", "keynote", "panelist", "session_chair",
+        }
+        assert "Fig. 1" in fig.text
+
+    def test_fig1_pc_above_authors(self, small_result):
+        fig = build_fig1(small_result.dataset)
+        assert fig.data["overall"]["pc_member"] > fig.data["overall"]["author"]
+
+    def test_fig2_has_densities_and_stats(self, small_result):
+        fig = build_fig2(small_result.dataset)
+        assert "Welch" in fig.text
+        assert fig.data["report"].n_male_lead > 0
+
+    def test_fig7_threshold(self, small_result):
+        fig = build_fig7(small_result.dataset, min_authors=5)
+        assert all(c.author_total >= 5 for c in fig.data["countries"])
+
+
+class TestRegistry:
+    def test_all_experiments_run(self, small_result):
+        for eid in EXPERIMENTS:
+            payload, text = run_experiment(eid, small_result)
+            assert isinstance(text, str) and text, eid
+
+    def test_unknown_experiment(self, small_result):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("T99", small_result)
+
+    def test_registry_covers_every_table_and_figure(self):
+        for eid in ["T1", "T2", "T3"] + [f"F{i}" for i in range(1, 9)]:
+            assert eid in EXPERIMENTS, eid
+
+
+class TestCompare:
+    def test_rows_complete(self, small_result):
+        rows = compare_headlines(small_result)
+        assert len(rows) >= 35
+        stats = {r.statistic for r in rows}
+        assert "far_overall" in stats and "welch_t" in stats
+
+    def test_render(self, small_result):
+        rows = compare_headlines(small_result)
+        text = render_comparison(rows)
+        assert "paper" in text and "measured" in text
+
+    def test_error_properties(self, small_result):
+        rows = compare_headlines(small_result)
+        r = rows[0]
+        assert r.abs_error == abs(r.measured - r.paper)

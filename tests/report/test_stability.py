@@ -1,0 +1,42 @@
+"""Tests for the seed-stability report."""
+
+import pytest
+
+from repro.report.stability import stability_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return stability_report(seeds=(11, 22, 33), scale=0.3)
+
+
+class TestStability:
+    def test_stat_names(self, report):
+        names = {s.name for s in report.stats}
+        assert {"far_overall_pct", "pc_far_pct", "unknown_pct"} <= names
+
+    def test_values_per_seed(self, report):
+        for s in report.stats:
+            assert len(s.values) == 3
+
+    def test_far_tight_across_seeds(self, report):
+        far = report.stat("far_overall_pct")
+        assert far.mean == pytest.approx(9.9, abs=1.2)
+        assert far.sd < 1.5  # quota construction keeps spread small
+
+    def test_interval_contains_mean(self, report):
+        s = report.stat("pc_far_pct")
+        lo, hi = s.interval()
+        assert lo <= s.mean <= hi
+
+    def test_unknown_rate_stable(self, report):
+        u = report.stat("unknown_pct")
+        assert u.mean == pytest.approx(3.0, abs=1.0)
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            stability_report(seeds=(1,))
+
+    def test_unknown_stat_keyerror(self, report):
+        with pytest.raises(KeyError):
+            report.stat("nope")

@@ -1,0 +1,77 @@
+"""Tests for the ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, density_plot, format_records, format_table, histogram, line_plot
+from repro.tabular import Table
+
+
+class TestTablePrint:
+    def test_aligned_columns(self):
+        text = format_records(
+            [{"a": 1, "b": "xy"}, {"a": 222, "b": None}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_empty(self):
+        assert "(empty)" in format_records([], title="T")
+
+    def test_format_table(self):
+        t = Table({"x": [1.5, float("nan")]})
+        text = format_table(t)
+        assert "n/a" in text
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart({"a": 4.0, "b": 2.0}, width=8)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 8
+        assert lines[1].count("#") == 4
+
+    def test_nan_values_zeroed(self):
+        text = bar_chart({"a": float("nan"), "b": 1.0})
+        assert "a" in text
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestHistogram:
+    def test_counts_shown(self):
+        text = histogram([1.0] * 10 + [5.0] * 3, bins=2)
+        assert "10" in text and "3" in text
+
+    def test_empty(self):
+        assert histogram([]) == "(no data)"
+
+
+class TestLinePlot:
+    def test_legend_and_axes(self):
+        x = np.linspace(0, 1, 50)
+        text = line_plot({"s1": (x, x), "s2": (x, 1 - x)}, width=40, height=8)
+        assert "1=s1" in text and "2=s2" in text
+        assert "x: [" in text
+
+    def test_empty(self):
+        assert line_plot({}) == "(no data)"
+
+
+class TestDensityPlot:
+    def test_two_samples(self):
+        rng = np.random.default_rng(0)
+        text = density_plot(
+            {"m": rng.normal(0, 1, 100), "f": rng.normal(2, 1, 80)}, width=40
+        )
+        assert "1=m" in text and "2=f" in text
+
+    def test_log_scale(self):
+        rng = np.random.default_rng(1)
+        text = density_plot({"x": rng.lognormal(2, 1, 200)}, log_scale=True)
+        assert "(no data)" not in text
+
+    def test_degenerate_sample_skipped(self):
+        assert density_plot({"x": [1.0]}) == "(no data)"

@@ -1,0 +1,67 @@
+"""Tests for the citation accrual model."""
+
+import numpy as np
+import pytest
+
+from repro.scholar import accrue_citations
+from repro.scholar.citations import monthly_shape
+
+
+class TestShape:
+    def test_normalizes_to_one(self):
+        assert monthly_shape(36).sum() == pytest.approx(1.0)
+
+    def test_partial_normalization(self):
+        s = monthly_shape(48, normalize_months=36)
+        assert s[:36].sum() == pytest.approx(1.0)
+        assert s.sum() > 1.0
+
+    def test_ramp_then_decay(self):
+        s = monthly_shape(36)
+        assert s[0] < s[11]           # ramping up
+        assert s[11] >= s[20] >= s[35]  # decaying after month 12
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            monthly_shape(0)
+        with pytest.raises(ValueError):
+            monthly_shape(12, normalize_months=13)
+
+
+class TestAccrual:
+    def test_expected_total_matches_lambda(self):
+        rng = np.random.default_rng(0)
+        lam = np.full(2000, 20.0)
+        hists = accrue_citations(lam, rng, months=36)
+        totals = np.array([h.total for h in hists])
+        assert totals.mean() == pytest.approx(20.0, rel=0.05)
+
+    def test_total_at_monotone(self):
+        rng = np.random.default_rng(1)
+        (h,) = accrue_citations(np.array([50.0]), rng, months=48)
+        totals = [h.total_at(m) for m in range(49)]
+        assert totals == sorted(totals)
+        assert h.total_at(0) == 0
+        assert h.total_at(99) == h.total
+
+    def test_normalize_months_semantics(self):
+        rng = np.random.default_rng(2)
+        lam = np.full(3000, 30.0)
+        hists = accrue_citations(lam, rng, months=48, normalize_months=36)
+        at36 = np.array([h.total_at(36) for h in hists])
+        assert at36.mean() == pytest.approx(30.0, rel=0.05)
+        at48 = np.array([h.total for h in hists])
+        assert at48.mean() > at36.mean()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            accrue_citations(np.array([-1.0]), np.random.default_rng(0))
+
+    def test_zero_lambda_zero_citations(self):
+        (h,) = accrue_citations(np.array([0.0]), np.random.default_rng(0))
+        assert h.total == 0
+
+    def test_bad_month_query(self):
+        (h,) = accrue_citations(np.array([1.0]), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            h.total_at(-1)

@@ -1,0 +1,78 @@
+"""Tests for citation indices, incl. property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scholar import g_index, h_index, i10_index
+
+citation_vectors = st.lists(st.integers(0, 10_000), min_size=0, max_size=200)
+
+
+class TestHIndex:
+    @pytest.mark.parametrize(
+        "cites,h",
+        [
+            ([], 0),
+            ([0], 0),
+            ([1], 1),
+            ([10, 8, 5, 4, 3], 4),
+            ([25, 8, 5, 3, 3], 3),
+            ([9] * 9, 9),
+            ([9] * 10, 9),
+            ([10] * 10, 10),
+            ([1, 1, 1, 1], 1),
+        ],
+    )
+    def test_known_values(self, cites, h):
+        assert h_index(cites) == h
+
+    def test_hirsch_definition_example(self):
+        # Hirsch 2005: h papers with >= h citations each
+        assert h_index([100, 50, 25, 10, 5, 4, 3, 2, 1]) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            h_index([-1, 5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            h_index(np.zeros((2, 2), dtype=int))
+
+    @given(citation_vectors)
+    def test_definition_invariant(self, cites):
+        h = h_index(cites)
+        arr = np.sort(np.array(cites, dtype=np.int64))[::-1]
+        assert 0 <= h <= len(cites)
+        if h > 0:
+            assert (arr[:h] >= h).all()
+        if h < len(cites):
+            assert arr[h] <= h  # no h+1 papers with >= h+1 citations
+
+    @given(citation_vectors, st.integers(0, 100))
+    def test_monotone_under_addition(self, cites, extra):
+        assert h_index(cites + [extra]) >= h_index(cites)
+
+
+class TestI10:
+    def test_counts_threshold(self):
+        assert i10_index([10, 9, 11, 0]) == 2
+
+    def test_custom_threshold(self):
+        assert i10_index([5, 5, 4], threshold=5) == 2
+
+    @given(citation_vectors)
+    def test_bounded_by_length(self, cites):
+        assert 0 <= i10_index(cites) <= len(cites)
+
+
+class TestGIndex:
+    def test_known_value(self):
+        assert g_index([10, 8, 5, 4, 3]) == 5
+
+    def test_empty(self):
+        assert g_index([]) == 0
+
+    @given(citation_vectors)
+    def test_g_at_least_h(self, cites):
+        assert g_index(cites) >= h_index(cites)

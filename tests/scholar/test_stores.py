@@ -1,0 +1,81 @@
+"""Tests for the GS/S2 stores and profile linking."""
+
+import pytest
+
+from repro.scholar import (
+    GoogleScholarStore,
+    GSProfile,
+    S2Record,
+    SemanticScholarStore,
+    link_profiles,
+)
+
+
+def gs(pid, name, pubs=10):
+    return GSProfile(pid, name, "University of X", pubs, 5, 3, 100)
+
+
+class TestGoogleScholarStore:
+    def test_add_and_get(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "Ann Smith"))
+        assert store.get("g1").display_name == "Ann Smith"
+        assert store.get("nope") is None
+
+    def test_duplicate_id_rejected(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "Ann Smith"))
+        with pytest.raises(ValueError):
+            store.add(gs("g1", "Other"))
+
+    def test_search_accent_insensitive(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "Jürgen Müller"))
+        assert len(store.search("jurgen muller")) == 1
+
+    def test_unique_match_requires_singleton(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "Wei Zhang"))
+        store.add(gs("g2", "Wei Zhang"))
+        assert store.unique_match("Wei Zhang") is None
+        store.add(gs("g3", "Rare Name"))
+        assert store.unique_match("Rare Name").profile_id == "g3"
+
+    def test_len_iter(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "A B"))
+        store.add(gs("g2", "C D"))
+        assert len(store) == 2
+        assert {p.profile_id for p in store} == {"g1", "g2"}
+
+
+class TestSemanticScholarStore:
+    def test_put_get(self):
+        s2 = SemanticScholarStore()
+        s2.put("p1", S2Record("s1", "Ann Smith", 42))
+        assert s2.publications_of("p1") == 42
+        assert s2.get("nope") is None
+        assert "p1" in s2 and len(s2) == 1
+
+    def test_search_by_name(self):
+        s2 = SemanticScholarStore()
+        s2.put("p1", S2Record("s1", "Ann Smith", 42))
+        s2.put("p2", S2Record("s2", "Ann Smith", 7))
+        hits = s2.search_name("ann smith")
+        assert {h.publications for h in hits} == {42, 7}
+
+
+class TestLinking:
+    def test_link_outcomes(self):
+        store = GoogleScholarStore()
+        store.add(gs("g1", "Unique Person"))
+        store.add(gs("g2", "Dup Name"))
+        store.add(gs("g3", "Dup Name"))
+        res = link_profiles(
+            [("p1", "Unique Person"), ("p2", "Dup Name"), ("p3", "Missing Person")],
+            store,
+        )
+        assert res.links["p1"].profile_id == "g1"
+        assert res.ambiguous == ["p2"]
+        assert res.missing == ["p3"]
+        assert res.coverage == pytest.approx(1 / 3)

@@ -1,0 +1,62 @@
+"""Bootstrap CI tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci
+
+RNG = np.random.default_rng(77)
+
+
+class TestBootstrap:
+    def test_mean_ci_contains_truth_usually(self):
+        hits = 0
+        for i in range(30):
+            sample = np.random.default_rng(i).normal(10, 2, 80)
+            ci = bootstrap_ci(sample, "mean", replicates=500, rng=np.random.default_rng(i))
+            hits += ci.contains(10.0)
+        assert hits >= 24  # ~95% nominal; allow slack
+
+    def test_deterministic_with_rng(self):
+        s = RNG.normal(0, 1, 50)
+        a = bootstrap_ci(s, rng=np.random.default_rng(1))
+        b = bootstrap_ci(s, rng=np.random.default_rng(1))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_median(self):
+        s = RNG.exponential(1, 200)
+        ci = bootstrap_ci(s, "median", rng=np.random.default_rng(2))
+        assert ci.low <= np.median(s) <= ci.high
+
+    def test_proportion(self):
+        s = (RNG.random(300) < 0.1).astype(float)
+        ci = bootstrap_ci(s, "proportion", rng=np.random.default_rng(3))
+        assert 0 <= ci.low <= 0.1 + 0.1 and ci.high <= 0.25
+
+    def test_callable_statistic(self):
+        s = RNG.normal(0, 1, 60)
+        ci = bootstrap_ci(
+            s, lambda boots: boots.max(axis=1), rng=np.random.default_rng(4)
+        )
+        assert ci.high >= ci.low
+
+    def test_callable_shape_check(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], lambda b: np.zeros(3), replicates=5)
+
+    def test_width_narrows_with_n(self):
+        wide = bootstrap_ci(RNG.normal(0, 1, 20), rng=np.random.default_rng(5))
+        narrow = bootstrap_ci(RNG.normal(0, 1, 2000), rng=np.random.default_rng(5))
+        assert narrow.width() < wide.width()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], level=1.5)
+
+    def test_nan_dropped(self):
+        ci = bootstrap_ci([1.0, np.nan, 3.0], rng=np.random.default_rng(6))
+        assert np.isfinite(ci.estimate)

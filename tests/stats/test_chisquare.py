@@ -1,0 +1,98 @@
+"""χ² tests vs the SciPy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as ss
+
+from repro.stats import chi2_contingency, chi2_gof, chi2_two_proportions
+
+
+class TestContingency:
+    def test_2x2_with_yates_matches_scipy(self):
+        tab = [[30, 70], [45, 155]]
+        ours = chi2_contingency(tab)
+        ref = ss.chi2_contingency(tab, correction=True)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+        assert ours.df == ref.dof
+
+    def test_2x2_without_correction(self):
+        tab = [[30, 70], [45, 155]]
+        ours = chi2_contingency(tab, correction=False)
+        ref = ss.chi2_contingency(tab, correction=False)
+        assert ours.statistic == pytest.approx(ref.statistic)
+
+    def test_rxc_matches_scipy(self):
+        tab = [[12, 30, 9], [8, 22, 19], [30, 5, 7]]
+        ours = chi2_contingency(tab)
+        ref = ss.chi2_contingency(tab)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.df == ref.dof
+
+    def test_expected_counts(self):
+        tab = [[10, 10], [10, 10]]
+        ours = chi2_contingency(tab)
+        assert np.allclose(np.array(ours.expected), 10.0)
+
+    def test_zero_marginal_gives_nan(self):
+        r = chi2_contingency([[0, 0], [5, 5]])
+        assert np.isnan(r.statistic)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            chi2_contingency([1, 2, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chi2_contingency([[1, -2], [3, 4]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 500), min_size=2, max_size=4),
+            min_size=2,
+            max_size=4,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    def test_property_matches_scipy(self, rows):
+        tab = np.array(rows, dtype=float)
+        ours = chi2_contingency(tab)
+        ref = ss.chi2_contingency(tab)
+        assert ours.statistic == pytest.approx(ref.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-7, abs=1e-12)
+
+
+class TestTwoProportions:
+    def test_paper_shape(self):
+        # the S3.1 contrast shape: women among double- vs single-blind
+        r = chi2_two_proportions(34, 449, 182, 1729)
+        assert r.df == 1
+        assert 0 < r.p_value < 1
+
+    def test_invalid_hits(self):
+        with pytest.raises(ValueError):
+            chi2_two_proportions(11, 10, 1, 10)
+
+    def test_equal_proportions_nonsignificant(self):
+        r = chi2_two_proportions(50, 100, 500, 1000)
+        assert not r.significant()
+
+
+class TestGof:
+    def test_uniform_default_matches_scipy(self):
+        obs = [18, 22, 20, 25, 15]
+        ours = chi2_gof(obs)
+        ref = ss.chisquare(obs)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+
+    def test_explicit_expected_rescaled(self):
+        obs = np.array([30, 70])
+        ours = chi2_gof(obs, expected=np.array([1.0, 3.0]))
+        ref = ss.chisquare(obs, f_exp=np.array([25.0, 75.0]))
+        assert ours.statistic == pytest.approx(ref.statistic)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi2_gof([1, 2], expected=[1, 2, 3])

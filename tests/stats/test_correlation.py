@@ -1,0 +1,58 @@
+"""Pearson correlation vs the SciPy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as ss
+
+from repro.stats import pearson
+
+RNG = np.random.default_rng(5)
+
+
+class TestPearson:
+    def test_matches_scipy(self):
+        x = RNG.normal(0, 1, 80)
+        y = 0.4 * x + RNG.normal(0, 1, 80)
+        ours = pearson(x, y)
+        ref = ss.pearsonr(x, y)
+        assert ours.r == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-6)
+
+    def test_nan_pairs_dropped(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+        y = np.array([2.0, np.nan, 3.0, 8.0, 10.0])
+        r = pearson(x, y)
+        assert r.n == 3
+
+    def test_perfect_correlation(self):
+        r = pearson([1, 2, 3, 4], [2, 4, 6, 8])
+        assert r.r == pytest.approx(1.0)
+        assert r.p_value == 0.0
+
+    def test_perfect_anticorrelation(self):
+        r = pearson([1, 2, 3], [3, 2, 1])
+        assert r.r == pytest.approx(-1.0)
+
+    def test_constant_input_nan(self):
+        r = pearson([1, 1, 1], [1, 2, 3])
+        assert np.isnan(r.r)
+
+    def test_too_few_points(self):
+        r = pearson([1, 2], [2, 4])
+        assert np.isnan(r.r)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2, 3], [1, 2])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 60), st.floats(-0.9, 0.9))
+    def test_property_matches_scipy(self, n, slope):
+        rng = np.random.default_rng(n)
+        x = rng.normal(0, 1, n)
+        y = slope * x + rng.normal(0, 1, n)
+        ours = pearson(x, y)
+        ref = ss.pearsonr(x, y)
+        assert ours.r == pytest.approx(ref.statistic, abs=1e-10)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-5, abs=1e-10)

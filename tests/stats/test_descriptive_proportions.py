@@ -1,0 +1,86 @@
+"""Tests for descriptive summaries and the Proportion type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats as ss
+
+from repro.stats import describe, proportion, proportion_diff
+from repro.stats.proportions import Proportion
+
+
+class TestDescribe:
+    def test_basic_stats(self):
+        s = describe([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+
+    def test_skewness_matches_scipy(self):
+        rng = np.random.default_rng(8)
+        v = rng.exponential(1, 300)
+        s = describe(v)
+        ref = ss.skew(v, bias=False)
+        assert s.skewness == pytest.approx(ref, rel=1e-9)
+
+    def test_empty(self):
+        s = describe([])
+        assert s.n == 0 and np.isnan(s.mean)
+
+    def test_nan_excluded(self):
+        assert describe([1.0, np.nan, 3.0]).n == 2
+
+    def test_single_point(self):
+        s = describe([5.0])
+        assert s.n == 1 and np.isnan(s.std)
+
+    def test_iqr(self):
+        s = describe(np.arange(101, dtype=float))
+        assert s.iqr() == pytest.approx(50.0)
+
+    def test_as_dict_keys(self):
+        d = describe([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "q1", "median", "q3", "max", "skewness"}
+
+
+class TestProportion:
+    def test_value_and_pct(self):
+        p = Proportion(3, 30)
+        assert p.value == 0.1
+        assert p.pct == pytest.approx(10.0)
+
+    def test_empty_is_nan(self):
+        p = Proportion(0, 0)
+        assert np.isnan(p.value)
+
+    def test_invalid_hits(self):
+        with pytest.raises(ValueError):
+            Proportion(5, 3)
+
+    def test_from_flags(self):
+        p = proportion(np.array([True, False, True]))
+        assert (p.hits, p.n) == (2, 3)
+
+    def test_combine(self):
+        p = Proportion(1, 10).combine(Proportion(2, 10))
+        assert (p.hits, p.n) == (3, 20)
+
+    def test_str(self):
+        assert "10.00%" in str(Proportion(1, 10))
+
+    @given(st.integers(1, 500), st.integers(0, 500))
+    def test_wilson_contains_point_estimate(self, n, hits):
+        hits = min(hits, n)
+        p = Proportion(hits, n)
+        lo, hi = p.wilson_interval()
+        assert 0 <= lo <= p.value <= hi <= 1
+
+    def test_wilson_empty(self):
+        lo, hi = Proportion(0, 0).wilson_interval()
+        assert np.isnan(lo) and np.isnan(hi)
+
+    def test_diff_is_chi2(self):
+        r = proportion_diff(Proportion(10, 100), Proportion(30, 100))
+        assert r.df == 1
+        assert r.significant()

@@ -1,0 +1,69 @@
+"""KDE tests: normalization, bandwidth, oracle comparison."""
+
+import numpy as np
+import pytest
+from scipy import stats as ss
+
+from repro.stats import gaussian_kde, silverman_bandwidth
+
+RNG = np.random.default_rng(31)
+
+
+class TestBandwidth:
+    def test_matches_r_nrd0_formula(self):
+        v = RNG.normal(0, 2, 500)
+        bw = silverman_bandwidth(v)
+        sd = np.std(v, ddof=1)
+        iqr = np.subtract(*np.percentile(v, [75, 25]))
+        expected = 0.9 * min(sd, iqr / 1.34) * 500 ** (-0.2)
+        assert bw == pytest.approx(expected)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth(np.array([1.0]))
+
+    def test_degenerate_iqr_falls_back_to_sd(self):
+        v = np.array([5.0] * 50 + [6.0])
+        assert silverman_bandwidth(v) > 0
+
+
+class TestKde:
+    def test_integrates_to_one(self):
+        k = gaussian_kde(RNG.lognormal(1, 1, 400))
+        assert k.integral() == pytest.approx(1.0, abs=0.01)
+
+    def test_matches_scipy_on_grid(self):
+        v = RNG.normal(0, 1, 200)
+        bw = silverman_bandwidth(v)
+        grid = np.linspace(-4, 4, 101)
+        ours = gaussian_kde(v, grid=grid, bandwidth=bw)
+        ref = ss.gaussian_kde(v, bw_method=bw / np.std(v, ddof=1))
+        assert np.allclose(ours.density, ref(grid), rtol=1e-6)
+
+    def test_mode_near_true_mode(self):
+        v = RNG.normal(5, 1, 2000)
+        k = gaussian_kde(v)
+        assert abs(k.mode() - 5.0) < 0.3
+
+    def test_log_scale(self):
+        v = RNG.lognormal(2, 1, 500)
+        k = gaussian_kde(v, log_scale=True)
+        # grid is in log10(1+x) space: all nonnegative, modest range
+        assert k.grid.min() > -2 and k.grid.max() < 6
+        assert k.integral() == pytest.approx(1.0, abs=0.02)
+
+    def test_log_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gaussian_kde([-1.0, 2.0, 3.0], log_scale=True)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            gaussian_kde([1.0])
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            gaussian_kde([1.0, 2.0], bandwidth=0)
+
+    def test_nan_dropped(self):
+        k = gaussian_kde([1.0, np.nan, 2.0, 3.0])
+        assert k.n == 3

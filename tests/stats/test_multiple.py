@@ -1,0 +1,98 @@
+"""Tests for multiple-comparison corrections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.multiple import (
+    bonferroni,
+    holm_bonferroni,
+    significant_after_correction,
+)
+
+p_lists = st.lists(st.floats(0, 1), min_size=1, max_size=30)
+
+
+class TestBonferroni:
+    def test_known_values(self):
+        out = bonferroni([0.01, 0.04, 0.03])
+        assert np.allclose(out, [0.03, 0.12, 0.09])
+
+    def test_clipped_at_one(self):
+        assert bonferroni([0.5, 0.5]).max() == 1.0
+
+    def test_nan_passthrough(self):
+        out = bonferroni([0.01, np.nan])
+        assert np.isnan(out[1])
+        assert out[0] == pytest.approx(0.01)  # m counts observed tests only
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            bonferroni([1.5])
+        with pytest.raises(ValueError):
+            bonferroni([[0.1]])
+
+
+class TestHolm:
+    def test_known_example(self):
+        # classic: p = (0.01, 0.04, 0.03), m=3
+        # sorted: 0.01*3=0.03; 0.03*2=0.06; 0.04*1=0.04 -> monotone: 0.06
+        out = holm_bonferroni([0.01, 0.04, 0.03])
+        assert np.allclose(out, [0.03, 0.06, 0.06])
+
+    def test_monotone_in_rank(self):
+        p = np.array([0.001, 0.01, 0.02, 0.9])
+        adj = holm_bonferroni(p)
+        order = np.argsort(p)
+        assert (np.diff(adj[order]) >= -1e-12).all()
+
+    @given(p_lists)
+    def test_holm_no_larger_than_bonferroni(self, ps):
+        holm = holm_bonferroni(ps)
+        bonf = bonferroni(ps)
+        assert (holm <= bonf + 1e-12).all()
+
+    @given(p_lists)
+    def test_adjusted_at_least_raw(self, ps):
+        adj = holm_bonferroni(ps)
+        assert (adj >= np.asarray(ps) - 1e-12).all()
+
+    def test_single_test_unchanged(self):
+        assert holm_bonferroni([0.04])[0] == pytest.approx(0.04)
+
+
+class TestSignificance:
+    def test_mask(self):
+        sig = significant_after_correction([0.001, 0.2, np.nan], alpha=0.05)
+        assert sig.tolist() == [True, False, False]
+
+    def test_methods_agree_on_extremes(self):
+        ps = [1e-10, 0.99]
+        for method in ("holm", "bonferroni"):
+            sig = significant_after_correction(ps, method=method)
+            assert sig.tolist() == [True, False]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            significant_after_correction([0.01], method="fdr")
+
+    def test_paper_battery_strong_results_survive(self, full_result):
+        """Apply Holm to the reproduction's own test battery: the clearly
+        significant findings (PC≫authors, citation gap) must survive."""
+        from repro.analysis import far_report, pc_report, reception_report
+
+        ds = full_result.dataset
+        pc = pc_report(ds)
+        rec = reception_report(ds)
+        far = far_report(ds)
+        battery = {
+            "pc_vs_authors": pc.pc_vs_authors.p_value,
+            "citations": rec.welch_no_outlier.p_value,
+            "i10": rec.i10_test.p_value,
+            "last_vs_all": far.last_vs_all.p_value,
+        }
+        sig = significant_after_correction(list(battery.values()))
+        by_name = dict(zip(battery, sig))
+        assert by_name["pc_vs_authors"]
+        assert by_name["citations"]
+        assert not by_name["last_vs_all"]  # nonsignificant raw, stays so

@@ -1,0 +1,79 @@
+"""Welch t-test vs the SciPy oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats as ss
+
+from repro.stats import welch_ttest
+
+RNG = np.random.default_rng(123)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("n1,n2,mu2,sd2", [(10, 10, 0, 1), (40, 25, 0.5, 2), (100, 8, -1, 0.3)])
+    def test_matches_scipy(self, n1, n2, mu2, sd2):
+        a = RNG.normal(0, 1, n1)
+        b = RNG.normal(mu2, sd2, n2)
+        ours = welch_ttest(a, b)
+        ref = ss.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(ref.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-8)
+
+    def test_df_welch_satterthwaite(self):
+        a = RNG.normal(0, 1, 30)
+        b = RNG.normal(0, 3, 12)
+        ours = welch_ttest(a, b)
+        # df must be below n1+n2-2 and above min(n)-1
+        assert min(len(a), len(b)) - 1 <= ours.df <= len(a) + len(b) - 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=3, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=3, max_size=40),
+    )
+    def test_property_matches_scipy(self, xs, ys):
+        a, b = np.array(xs), np.array(ys)
+        if np.var(a) == 0 and np.var(b) == 0:
+            return
+        ours = welch_ttest(a, b)
+        ref = ss.ttest_ind(a, b, equal_var=False)
+        if np.isnan(ref.statistic):
+            assert np.isnan(ours.statistic)
+        else:
+            assert ours.statistic == pytest.approx(ref.statistic, rel=1e-9, abs=1e-9)
+
+
+class TestEdgeCases:
+    def test_nan_dropped(self):
+        a = [1.0, 2.0, np.nan, 3.0]
+        b = [4.0, 5.0, 6.0]
+        r = welch_ttest(a, b)
+        assert r.n1 == 3 and r.n2 == 3
+
+    def test_too_small_sample(self):
+        r = welch_ttest([1.0], [1.0, 2.0])
+        assert np.isnan(r.statistic)
+
+    def test_zero_variance_both(self):
+        r = welch_ttest([2.0, 2.0], [2.0, 2.0])
+        assert np.isnan(r.statistic)
+
+    def test_alternatives(self):
+        a = RNG.normal(0, 1, 50)
+        b = RNG.normal(1, 1, 50)
+        less = welch_ttest(a, b, alternative="less")
+        greater = welch_ttest(a, b, alternative="greater")
+        two = welch_ttest(a, b)
+        assert less.p_value < 0.05
+        assert greater.p_value > 0.5
+        assert two.p_value == pytest.approx(2 * less.p_value, rel=1e-9)
+
+    def test_unknown_alternative(self):
+        with pytest.raises(ValueError):
+            welch_ttest([1, 2], [3, 4], alternative="both")
+
+    def test_significance_helper(self):
+        a = RNG.normal(0, 1, 200)
+        b = RNG.normal(2, 1, 200)
+        assert welch_ttest(a, b).significant()

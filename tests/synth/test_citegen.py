@@ -1,0 +1,52 @@
+"""Tests for citation attractiveness calibration."""
+
+import numpy as np
+import pytest
+
+from repro.synth.citegen import (
+    LOGNORMAL_PARAMS,
+    OUTLIER_LAMBDA_36MO,
+    draw_attractiveness,
+    expected_i10_share,
+    expected_mean,
+)
+
+
+class TestParameters:
+    def test_male_mean_matches_fig2(self):
+        assert expected_mean("M") == pytest.approx(10.55, rel=0.05)
+
+    def test_female_mean_near_fig2_no_outlier(self):
+        assert expected_mean("F") == pytest.approx(7.63, rel=0.2)
+
+    def test_i10_ordering(self):
+        assert expected_i10_share("F") < expected_i10_share("M")
+        assert 0.15 < expected_i10_share("F") < 0.35
+        assert 0.30 < expected_i10_share("M") < 0.45
+
+    def test_outlier_lambda_from_paper_means(self):
+        implied = 53 * 13.04 - 52 * 7.63
+        assert OUTLIER_LAMBDA_36MO == pytest.approx(implied, rel=0.02)
+
+
+class TestDraws:
+    def test_sample_means(self):
+        rng = np.random.default_rng(0)
+        lam = draw_attractiveness(["M"] * 20000, rng)
+        assert lam.mean() == pytest.approx(expected_mean("M"), rel=0.05)
+
+    def test_outlier_designation(self):
+        rng = np.random.default_rng(1)
+        genders = ["M", "F", "M", "F"]
+        lam = draw_attractiveness(genders, rng, outlier_index=1)
+        assert lam[1] == OUTLIER_LAMBDA_36MO
+
+    def test_outlier_must_be_female(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            draw_attractiveness(["M", "F"], rng, outlier_index=0)
+
+    def test_unknown_gender_uses_male_params(self):
+        rng = np.random.default_rng(3)
+        lam = draw_attractiveness(["U"] * 5000, rng)
+        assert lam.mean() == pytest.approx(expected_mean("M"), rel=0.1)

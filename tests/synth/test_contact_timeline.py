@@ -1,0 +1,99 @@
+"""Tests for contact generation and the SC/ISC timeline."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.targets import SC_ISC_TIMELINE
+from repro.geo import classify_affiliation, email_country
+from repro.pipeline.enrich import sector_from_email
+from repro.synth.contact import make_affiliation, make_email
+from repro.synth.timeline import build_timeline
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestAffiliations:
+    def test_edu_classifiable(self, rng):
+        for _ in range(30):
+            text = make_affiliation("EDU", "DE", rng)
+            guess = classify_affiliation(text)
+            assert guess.sector is not None and guess.sector.value == "EDU"
+            assert guess.country is not None and guess.country.cca2 == "DE"
+
+    def test_gov_us_classifiable(self, rng):
+        for _ in range(30):
+            text = make_affiliation("GOV", "US", rng)
+            guess = classify_affiliation(text)
+            assert guess.sector.value == "GOV"
+
+    def test_gov_intl_classifiable(self, rng):
+        for _ in range(30):
+            text = make_affiliation("GOV", "FR", rng)
+            assert classify_affiliation(text).sector.value == "GOV"
+
+    def test_com_classifiable(self, rng):
+        for _ in range(30):
+            text = make_affiliation("COM", "US", rng)
+            assert classify_affiliation(text).sector.value == "COM"
+
+    def test_unknown_country_has_no_hint(self, rng):
+        text = make_affiliation("EDU", None, rng)
+        assert classify_affiliation(text).country is None
+
+
+class TestEmails:
+    def test_us_edu(self, rng):
+        email = make_email("Ann Smith", "EDU", "US", rng)
+        assert email.endswith(".edu")
+        assert email_country(email).cca2 == "US"
+        assert sector_from_email(email) == "EDU"
+
+    def test_intl_edu_cctld(self, rng):
+        email = make_email("Ann Smith", "EDU", "JP", rng)
+        assert email_country(email).cca2 == "JP"
+        assert sector_from_email(email) == "EDU"  # .ac. label
+
+    def test_us_gov(self, rng):
+        email = make_email("Bob Jones", "GOV", "US", rng)
+        assert email.endswith(".gov")
+        assert sector_from_email(email) == "GOV"
+
+    def test_com_has_no_country_signal(self, rng):
+        email = make_email("Cy Borg", "COM", "DE", rng)
+        assert email_country(email) is None
+        assert sector_from_email(email) == "COM"
+
+    def test_local_part_from_name(self, rng):
+        email = make_email("Jürgen K. Müller", "EDU", "DE", rng)
+        local = email.split("@")[0]
+        assert "jurgen" in local and "muller" in local
+
+
+class TestTimeline:
+    def test_ten_editions(self, rng):
+        editions = build_timeline(lambda n: n, rng)
+        assert len(editions) == 10
+        assert {(e.conference, e.year) for e in editions} == {
+            (c, y) for c, ys in SC_ISC_TIMELINE.items() for y in ys
+        }
+
+    def test_far_tracks_targets(self, rng):
+        editions = build_timeline(lambda n: n, rng)
+        for e in editions:
+            target = SC_ISC_TIMELINE[e.conference][e.year]
+            assert e.far == pytest.approx(target, abs=0.012)
+
+    def test_attendance_only_for_sc(self, rng):
+        editions = build_timeline(lambda n: n, rng)
+        for e in editions:
+            if e.conference == "SC":
+                assert e.attendance_women_share is not None
+            else:
+                assert e.attendance_women_share is None
+
+    def test_sizes_scale(self, rng):
+        small = build_timeline(lambda n: max(1, round(n * 0.1)), rng)
+        assert all(e.authors < 120 for e in small)

@@ -1,0 +1,84 @@
+"""Tests for the coverage-guaranteeing dealer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth.dealing import deal
+
+
+class TestDeal:
+    def test_full_coverage(self):
+        pool = list(range(50))
+        quotas = {"a": 30, "b": 25, "c": 10}  # 65 >= 50
+        out = deal(pool, quotas, np.random.default_rng(0))
+        served = {m for members in out.values() for m in members}
+        assert served == set(pool)
+
+    def test_quotas_exact(self):
+        pool = list(range(20))
+        quotas = {"x": 12, "y": 10}
+        out = deal(pool, quotas, np.random.default_rng(1))
+        assert len(out["x"]) == 12 and len(out["y"]) == 10
+
+    def test_no_duplicates_within_bucket(self):
+        pool = list(range(30))
+        quotas = {"a": 25, "b": 25, "c": 20}
+        out = deal(pool, quotas, np.random.default_rng(2))
+        for members in out.values():
+            assert len(members) == len(set(members))
+
+    def test_quota_equal_to_pool(self):
+        pool = list(range(5))
+        out = deal(pool, {"only": 5}, np.random.default_rng(3))
+        assert sorted(out["only"]) == pool
+
+    def test_quota_exceeding_pool_rejected(self):
+        with pytest.raises(ValueError):
+            deal([1, 2], {"a": 3}, np.random.default_rng(0))
+
+    def test_quotas_below_pool_rejected(self):
+        with pytest.raises(ValueError):
+            deal(list(range(10)), {"a": 4}, np.random.default_rng(0))
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(ValueError):
+            deal([1, 2], {"a": -1, "b": 4}, np.random.default_rng(0))
+
+    def test_deterministic(self):
+        pool = list(range(40))
+        quotas = {"a": 25, "b": 25}
+        one = deal(pool, quotas, np.random.default_rng(9))
+        two = deal(pool, quotas, np.random.default_rng(9))
+        assert one == two
+
+    def test_key_function(self):
+        pool = [{"id": i} for i in range(10)]
+        out = deal(pool, {"a": 6, "b": 6}, np.random.default_rng(4), key=lambda p: p["id"])
+        for members in out.values():
+            ids = [m["id"] for m in members]
+            assert len(ids) == len(set(ids))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(2, 60),
+        st.lists(st.integers(0, 60), min_size=1, max_size=6),
+        st.integers(0, 1_000_000),
+    )
+    def test_property_invariants(self, pool_size, raw_quotas, seed):
+        pool = list(range(pool_size))
+        quotas = {f"b{i}": min(q, pool_size) for i, q in enumerate(raw_quotas)}
+        total = sum(quotas.values())
+        if total < pool_size:
+            # top up the first bucket within its cap
+            need = pool_size - total
+            q0 = list(quotas)[0]
+            quotas[q0] = min(pool_size, quotas[q0] + need)
+            if sum(quotas.values()) < pool_size:
+                return  # cannot cover; skip
+        out = deal(pool, quotas, np.random.default_rng(seed))
+        served = {m for members in out.values() for m in members}
+        assert served == set(pool)
+        for name, members in out.items():
+            assert len(members) == quotas[name]
+            assert len(set(members)) == len(members)

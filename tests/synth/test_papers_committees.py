@@ -1,0 +1,154 @@
+"""Tests for paper construction and committee staffing."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.calibration.targets import CONFERENCES_2017
+from repro.confmodel.roles import Role
+from repro.synth.config import WorldConfig
+from repro.synth.committees import staff_committees
+from repro.synth.papers import (
+    _paper_sizes,
+    build_papers,
+    draw_conference_slates,
+)
+from repro.synth.population import PopulationBuilder
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def pools():
+    cfg = WorldConfig(seed=21, scale=1.0)
+    pop = PopulationBuilder(cfg, RngStream(21, ("world",))).build()
+    return cfg, pop
+
+
+class TestPaperSizes:
+    def test_sum_and_minimum(self):
+        rng = np.random.default_rng(0)
+        sizes = _paper_sizes(344, 61, rng)
+        assert sizes.sum() == 344
+        assert (sizes >= 1).all()
+
+    def test_mean_realistic(self):
+        rng = np.random.default_rng(1)
+        sizes = _paper_sizes(2236, 518, rng)
+        assert 3.5 < sizes.mean() < 5.5
+
+    def test_fewer_positions_than_papers_rejected(self):
+        with pytest.raises(ValueError):
+            _paper_sizes(5, 10, np.random.default_rng(0))
+
+
+class TestSlates:
+    def test_every_conference_covered(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(2)
+        slates = draw_conference_slates(
+            list(CONFERENCES_2017), pop.authors, cfg.scaled, rng
+        )
+        assert set(slates) == {t.name for t in CONFERENCES_2017}
+        for t in CONFERENCES_2017:
+            assert slates[t.name].size == t.unique_authors
+
+    def test_gender_quota_per_conference(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(3)
+        slates = draw_conference_slates(
+            list(CONFERENCES_2017), pop.authors, cfg.scaled, rng
+        )
+        sc = slates["SC"]
+        assert len(sc.women) == round(325 * 0.0812)
+
+    def test_full_pool_coverage(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(4)
+        slates = draw_conference_slates(
+            list(CONFERENCES_2017), pop.authors, cfg.scaled, rng
+        )
+        served = {
+            p.person_id for s in slates.values() for p in s.all_authors
+        }
+        assert served == {p.person_id for p in pop.authors}
+
+    def test_no_person_twice_per_conference(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(5)
+        slates = draw_conference_slates(
+            list(CONFERENCES_2017), pop.authors, cfg.scaled, rng
+        )
+        for s in slates.values():
+            ids = [p.person_id for p in s.all_authors]
+            assert len(ids) == len(set(ids))
+
+
+class TestBuildPapers:
+    def test_position_quotas(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(6)
+        t = next(c for c in CONFERENCES_2017 if c.name == "SC")
+        slates = draw_conference_slates(
+            list(CONFERENCES_2017), pop.authors, cfg.scaled, rng
+        )
+        papers = build_papers(t, slates["SC"], 2017, cfg.scaled, rng, 0)
+        assert len(papers) == t.papers
+        positions = sum(p.num_authors for p in papers)
+        assert positions >= t.author_positions  # >= because slate may exceed
+
+        women_leads = sum(
+            1
+            for p in papers
+            if next(
+                a for a in slates["SC"].all_authors if a.person_id == p.first_author
+            ).gender
+            == "F"
+        )
+        assert women_leads == round(t.papers * t.lead_far)
+
+
+class TestCommittees:
+    def test_quotas_and_coverage(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(7)
+        roles = staff_committees(
+            list(CONFERENCES_2017), pop.pc_members, 2017, cfg.scaled, rng
+        )
+        counts = Counter((r.conference, r.role) for r in roles)
+        for t in CONFERENCES_2017:
+            assert counts[(t.name, Role.PC_MEMBER)] == t.pc_size
+            assert counts[(t.name, Role.PC_CHAIR)] == t.pc_chairs
+            assert counts[(t.name, Role.KEYNOTE)] == t.keynotes
+        # full PC pool coverage
+        pc_served = {r.person_id for r in roles if r.role is Role.PC_MEMBER}
+        assert pc_served == {p.person_id for p in pop.pc_members}
+
+    def test_zero_women_exact(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(8)
+        roles = staff_committees(
+            list(CONFERENCES_2017), pop.pc_members, 2017, cfg.scaled, rng
+        )
+        spec = {p.person_id: p for p in pop.pc_members}
+        for t in CONFERENCES_2017:
+            if t.session_chair_women == 0:
+                chairs = [
+                    r for r in roles
+                    if r.conference == t.name and r.role is Role.SESSION_CHAIR
+                ]
+                assert all(spec[r.person_id].gender == "M" for r in chairs)
+
+    def test_no_duplicate_membership_per_conference(self, pools):
+        cfg, pop = pools
+        rng = np.random.default_rng(9)
+        roles = staff_committees(
+            list(CONFERENCES_2017), pop.pc_members, 2017, cfg.scaled, rng
+        )
+        for t in CONFERENCES_2017:
+            ids = [
+                r.person_id
+                for r in roles
+                if r.conference == t.name and r.role is Role.PC_MEMBER
+            ]
+            assert len(ids) == len(set(ids))

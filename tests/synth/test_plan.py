@@ -1,0 +1,38 @@
+"""Tests for population planning from custom conference targets."""
+
+import pytest
+
+from repro.calibration.targets import CONFERENCES_2017, TOTALS
+from repro.synth.population import plan_from_targets
+
+
+class TestPlanFromTargets:
+    def test_paper_targets_recover_paper_pools(self):
+        plan = plan_from_targets(CONFERENCES_2017)
+        assert plan.unique_authors == pytest.approx(
+            TOTALS["unique_coauthors"], rel=0.01
+        )
+        assert plan.unique_pc == pytest.approx(
+            TOTALS["unique_pc_members"], rel=0.01
+        )
+
+    def test_far_is_weighted_mean(self):
+        plan = plan_from_targets(CONFERENCES_2017)
+        share = plan.women_authors / plan.unique_authors
+        assert share == pytest.approx(TOTALS["far_overall"], abs=0.01)
+
+    def test_pc_far(self):
+        plan = plan_from_targets(CONFERENCES_2017)
+        share = plan.women_pc / plan.unique_pc
+        assert share == pytest.approx(TOTALS["pc_far"], abs=0.01)
+
+    def test_repeat_factors(self):
+        plan_loose = plan_from_targets(CONFERENCES_2017, author_repeat=1.0)
+        plan_tight = plan_from_targets(CONFERENCES_2017, author_repeat=2.0)
+        assert plan_loose.unique_authors > plan_tight.unique_authors
+
+    def test_minimum_pool_sizes(self):
+        tiny = [CONFERENCES_2017[2]]  # ISC: 99 unique authors
+        plan = plan_from_targets(tiny)
+        assert plan.unique_authors >= 2
+        assert plan.women_authors >= 1

@@ -1,0 +1,95 @@
+"""Tests for the population builder (small world fixture)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.calibration.targets import SECTOR_SHARES, TOTALS
+from repro.gender.webevidence import EvidenceKind
+from repro.synth.config import WorldConfig
+from repro.synth.population import PopulationBuilder
+from repro.util.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def pop():
+    cfg = WorldConfig(seed=5, scale=1.0)
+    return PopulationBuilder(cfg, RngStream(5, ("world",))).build()
+
+
+class TestPoolSizes:
+    def test_author_pool_size(self, pop):
+        assert len(pop.authors) == TOTALS["unique_coauthors"]
+
+    def test_pc_pool_size(self, pop):
+        assert len(pop.pc_members) == TOTALS["unique_pc_members"]
+
+    def test_author_women_share(self, pop):
+        women = sum(1 for p in pop.authors if p.gender == "F")
+        assert women / len(pop.authors) == pytest.approx(TOTALS["far_overall"], abs=0.005)
+
+    def test_pc_women_share(self, pop):
+        women = sum(1 for p in pop.pc_members if p.gender == "F")
+        assert women / len(pop.pc_members) == pytest.approx(TOTALS["pc_far"], abs=0.01)
+
+    def test_overlap_flagged_both(self, pop):
+        both = [p for p in pop.authors if p.is_pc]
+        assert len(both) > 0
+        for p in both:
+            assert p.is_author and p.is_pc
+
+    def test_unique_ids(self, pop):
+        ids = [p.person_id for p in pop.everyone()]
+        assert len(ids) == len(set(ids))
+
+
+class TestAttributes:
+    def test_sector_quotas(self, pop):
+        counts = Counter(p.sector for p in pop.everyone())
+        n = len(pop.everyone())
+        for s, share in SECTOR_SHARES.items():
+            assert counts[s] / n == pytest.approx(share, abs=0.01)
+
+    def test_evidence_quotas(self, pop):
+        counts = Counter(p.evidence for p in pop.everyone())
+        n = len(pop.everyone())
+        manual = (counts[EvidenceKind.PRONOUN] + counts[EvidenceKind.PHOTO]) / n
+        assert manual == pytest.approx(TOTALS["manual_coverage"], abs=0.01)
+
+    def test_every_person_named(self, pop):
+        for p in pop.everyone():
+            assert len(p.full_name.split()) >= 2
+
+    def test_names_mostly_unique(self, pop):
+        names = [p.full_name.lower() for p in pop.everyone()]
+        dup_rate = 1 - len(set(names)) / len(names)
+        assert dup_rate < 0.02
+
+    def test_us_largest_country(self, pop):
+        counts = Counter(p.country_code for p in pop.everyone() if p.country_code)
+        assert counts.most_common(1)[0][0] == "US"
+
+    def test_japan_low_female_share(self, pop):
+        jp = [p for p in pop.everyone() if p.country_code == "JP"]
+        if len(jp) >= 20:
+            share = sum(1 for p in jp if p.gender == "F") / len(jp)
+            assert share < 0.08
+
+    def test_some_unknown_country(self, pop):
+        unknown = [p for p in pop.authors if p.country_code is None]
+        assert 0.1 < len(unknown) / len(pop.authors) < 0.4
+
+
+class TestScaling:
+    def test_quarter_scale(self):
+        cfg = WorldConfig(seed=6, scale=0.25)
+        small = PopulationBuilder(cfg, RngStream(6, ("world",))).build()
+        ratio = len(small.authors) / TOTALS["unique_coauthors"]
+        assert ratio == pytest.approx(0.25, abs=0.01)
+
+    def test_determinism(self):
+        cfg = WorldConfig(seed=9, scale=0.2)
+        a = PopulationBuilder(cfg, RngStream(9, ("world",))).build()
+        b = PopulationBuilder(cfg, RngStream(9, ("world",))).build()
+        assert [p.full_name for p in a.everyone()] == [p.full_name for p in b.everyone()]

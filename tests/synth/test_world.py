@@ -1,0 +1,120 @@
+"""Tests for the assembled world (structure + calibration)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.calibration.targets import CONFERENCES_2017, TOTALS
+from repro.confmodel.roles import Role
+from repro.gender.model import Gender
+from repro.scholar.metrics import h_index
+from repro.synth import WorldConfig, build_world
+
+
+class TestStructure:
+    def test_slot_totals_exact(self, full_world):
+        counts = Counter(r.role for r in full_world.registry.roles)
+        assert counts[Role.AUTHOR] == TOTALS["author_positions"]
+        assert counts[Role.PC_MEMBER] == TOTALS["pc_memberships"]
+        assert counts[Role.PC_CHAIR] == TOTALS["pc_chairs"]
+        assert counts[Role.KEYNOTE] == TOTALS["keynotes"]
+        assert counts[Role.PANELIST] == TOTALS["panelists"]
+        assert counts[Role.SESSION_CHAIR] == TOTALS["session_chairs"]
+
+    def test_paper_count(self, full_world):
+        assert len(full_world.registry.papers) == TOTALS["papers"]
+
+    def test_per_conference_unique_authors(self, full_world):
+        for t in CONFERENCES_2017:
+            ids = set()
+            for p in full_world.registry.papers_of(t.name, 2017):
+                ids.update(p.author_ids())
+            assert len(ids) == t.unique_authors
+
+    def test_registry_validates(self, full_world):
+        full_world.registry.validate()
+
+    def test_hpc_tag_count(self, full_world):
+        tagged = sum(1 for p in full_world.registry.papers.values() if p.is_hpc)
+        assert tagged == TOTALS["hpc_papers"]
+
+    def test_no_duplicate_author_on_paper(self, full_world):
+        for p in full_world.registry.papers.values():
+            ids = p.author_ids()
+            assert len(ids) == len(set(ids))
+
+    def test_gs_h_matches_career_vector(self, full_world):
+        reg = full_world.registry
+        for profile in list(full_world.gs_store)[:200]:
+            pid = profile.profile_id.removeprefix("gs-")
+            vec = np.array(reg.people[pid].career_citations, dtype=np.int64)
+            assert profile.h_index == (h_index(vec) if vec.size else 0)
+
+    def test_s2_covers_all_authors(self, full_world):
+        authors = full_world.registry.unique_author_ids()
+        for pid in authors:
+            assert pid in full_world.s2_store
+
+
+class TestCalibration:
+    def test_ground_truth_far(self, full_world):
+        reg = full_world.registry
+        genders = [
+            reg.people[r.person_id].true_gender
+            for r in reg.roles
+            if r.role is Role.AUTHOR
+        ]
+        far = sum(1 for g in genders if g is Gender.F) / len(genders)
+        assert far == pytest.approx(TOTALS["far_overall"], abs=0.01)
+
+    def test_zero_women_quota_conferences(self, full_world):
+        reg = full_world.registry
+        for conf in ("HPDC", "HiPC", "HPCC"):
+            chairs = reg.roles_of(conf, 2017, Role.SESSION_CHAIR)
+            assert chairs
+            assert all(
+                reg.people[r.person_id].true_gender is Gender.M for r in chairs
+            )
+
+    def test_outlier_paper_exists_and_female_led(self, full_world):
+        reg = full_world.registry
+        paper = reg.papers[full_world.outlier_paper_id]
+        assert reg.people[paper.first_author].true_gender is Gender.F
+        assert paper.citations_36mo > 150
+        # crosses the paper's ">450 as of this writing" trajectory shape:
+        assert sum(paper.citation_monthly) > paper.citations_36mo
+
+    def test_timeline_has_ten_editions(self, full_world):
+        assert len(full_world.timeline) == 10
+        confs = {e.conference for e in full_world.timeline}
+        assert confs == {"SC", "ISC"}
+
+    def test_timeline_isc_range(self, full_world):
+        isc = [e for e in full_world.timeline if e.conference == "ISC"]
+        for e in isc:
+            assert 0.03 <= e.far <= 0.11  # paper: 5%-9%
+
+
+class TestDeterminismAndScale:
+    def test_same_seed_same_world(self):
+        cfg = WorldConfig(seed=123, scale=0.15, include_timeline=False)
+        a = build_world(cfg)
+        b = build_world(cfg)
+        assert set(a.registry.papers) == set(b.registry.papers)
+        pa = sorted(a.registry.people)
+        pb = sorted(b.registry.people)
+        assert pa == pb
+        for pid in pa[:100]:
+            assert a.registry.people[pid].full_name == b.registry.people[pid].full_name
+
+    def test_different_seed_differs(self):
+        a = build_world(WorldConfig(seed=1, scale=0.15, include_timeline=False))
+        b = build_world(WorldConfig(seed=2, scale=0.15, include_timeline=False))
+        names_a = [p.full_name for p in a.registry.people.values()]
+        names_b = [p.full_name for p in b.registry.people.values()]
+        assert names_a != names_b
+
+    def test_small_scale_world_valid(self, small_world):
+        small_world.registry.validate()
+        assert len(small_world.registry.papers) > 50

@@ -1,0 +1,71 @@
+"""Additional aggregation and concat-semantics tests."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table, count, mean, nan_mean, rate, share, total
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "g": ["a", "a", "b", "b", "b"],
+            "x": [1.0, np.nan, 3.0, 4.0, 5.0],
+            "won": [True, False, True, True, False],
+        }
+    )
+
+
+class TestAggregators:
+    def test_count(self, table):
+        out = table.groupby("g").agg(n=count())
+        assert {r["g"]: r["n"] for r in out.to_records()} == {"a": 2, "b": 3}
+
+    def test_total_nan_aware(self, table):
+        out = table.groupby("g").agg(s=total("x"))
+        rec = {r["g"]: r["s"] for r in out.to_records()}
+        assert rec["a"] == 1.0
+        assert rec["b"] == 12.0
+
+    def test_mean_vs_nan_mean(self, table):
+        m = table.groupby("g").agg(m=mean("x"), nm=nan_mean("x"))
+        rec = {r["g"]: r for r in m.to_records()}
+        assert np.isnan(rec["a"]["m"])       # mean propagates NaN
+        assert rec["a"]["nm"] == 1.0         # nan_mean ignores it
+
+    def test_share_on_bool(self, table):
+        out = table.groupby("g").agg(w=share("won", True))
+        rec = {r["g"]: r["w"] for r in out.to_records()}
+        assert rec["a"] == 0.5
+        assert rec["b"] == pytest.approx(2 / 3)
+
+    def test_rate_combinator(self, table):
+        out = table.groupby("g").agg(
+            per_row=rate(total("x"), lambda g: float(g.num_rows))
+        )
+        rec = {r["g"]: r["per_row"] for r in out.to_records()}
+        assert rec["b"] == pytest.approx(4.0)
+
+    def test_rate_zero_denominator(self):
+        t = Table({"g": ["a"], "x": [1.0]})
+        out = t.groupby("g").agg(r=rate(total("x"), lambda g: 0.0))
+        assert np.isnan(out.to_records()[0]["r"])
+
+
+class TestConcatPromotion:
+    def test_int_plus_float_promotes(self):
+        a = Table({"x": [1, 2]})
+        b = Table({"x": [1.5]})
+        merged = a.concat(b)
+        assert merged.col("x").kind == "float"
+
+    def test_str_wins(self):
+        a = Table({"x": ["p"]})
+        b = Table({"x": ["q"]})
+        assert a.concat(b).col("x").kind == "str"
+
+    def test_empty_concat(self):
+        a = Table({"x": [1]})
+        b = Table({"x": []})
+        assert a.concat(b).num_rows == 1

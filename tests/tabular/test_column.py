@@ -1,0 +1,80 @@
+"""Tests for the Column type."""
+
+import numpy as np
+import pytest
+
+from repro.tabular.column import Column, infer_dtype
+
+
+class TestInferDtype:
+    def test_ints(self):
+        assert infer_dtype([1, 2, 3]) == "int"
+
+    def test_floats(self):
+        assert infer_dtype([1.0, 2]) == "float"
+
+    def test_int_with_none_promotes_to_float(self):
+        assert infer_dtype([1, None]) == "float"
+
+    def test_strings(self):
+        assert infer_dtype(["a", None]) == "str"
+
+    def test_bools(self):
+        assert infer_dtype([True, False]) == "bool"
+
+    def test_mixed_str_wins(self):
+        assert infer_dtype([1, "a"]) == "str"
+
+    def test_empty_defaults_to_str(self):
+        assert infer_dtype([]) == "str"
+
+
+class TestColumn:
+    def test_float_none_becomes_nan(self):
+        c = Column("x", [1.0, None, 3.0])
+        assert c.kind == "float"
+        assert np.isnan(c.values[1])
+
+    def test_is_missing_str(self):
+        c = Column("x", ["a", None])
+        assert c.is_missing().tolist() == [False, True]
+
+    def test_is_missing_int_all_false(self):
+        assert not Column("x", [1, 2]).is_missing().any()
+
+    def test_values_readonly(self):
+        c = Column("x", [1, 2])
+        with pytest.raises(ValueError):
+            c.values[0] = 5
+
+    def test_take_and_mask(self):
+        c = Column("x", [10, 20, 30])
+        assert c.take(np.array([2, 0])).to_list() == [30, 10]
+        assert c.mask(np.array([True, False, True])).to_list() == [10, 30]
+
+    def test_unique_preserves_order(self):
+        c = Column("x", ["b", "a", "b", None, "c"])
+        assert c.unique() == ["b", "a", "c"]
+
+    def test_unique_skips_nan(self):
+        c = Column("x", [1.0, float("nan"), 1.0])
+        assert c.unique() == [1.0]
+
+    def test_equality_with_nan(self):
+        a = Column("x", [1.0, None])
+        b = Column("x", [1.0, None])
+        assert a == b
+
+    def test_inequality_different_name(self):
+        assert Column("x", [1]) != Column("y", [1])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", [1]))
+
+    def test_rename(self):
+        assert Column("x", [1]).rename("y").name == "y"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", [1], kind="complex")

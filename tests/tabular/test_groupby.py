@@ -1,0 +1,69 @@
+"""Tests for groupby."""
+
+import pytest
+
+from repro.tabular import Table, count, mean, share
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "conf": ["SC", "SC", "ISC", "ISC", "ISC"],
+            "gender": ["F", "M", "M", None, "F"],
+            "cites": [10.0, 5.0, 2.0, 8.0, 4.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_requires_key(self, table):
+        with pytest.raises(ValueError):
+            table.groupby()
+
+    def test_size(self, table):
+        sizes = table.groupby("conf").size()
+        assert sizes.to_records() == [
+            {"conf": "SC", "count": 2},
+            {"conf": "ISC", "count": 3},
+        ]
+
+    def test_first_seen_order(self, table):
+        keys = [k for k, _ in table.groupby("conf")]
+        assert keys == [("SC",), ("ISC",)]
+
+    def test_group_lookup(self, table):
+        g = table.groupby("conf").group("ISC")
+        assert g.num_rows == 3
+
+    def test_group_missing_key(self, table):
+        with pytest.raises(KeyError):
+            table.groupby("conf").group("XYZ")
+
+    def test_agg_multiple(self, table):
+        out = table.groupby("conf").agg(
+            n=count(), far=share("gender", "F"), avg=mean("cites")
+        )
+        rec = {r["conf"]: r for r in out.to_records()}
+        assert rec["SC"]["n"] == 2
+        assert rec["SC"]["far"] == 0.5
+        assert rec["ISC"]["far"] == 0.5  # None excluded from denominator
+        assert rec["ISC"]["avg"] == pytest.approx(14 / 3)
+
+    def test_multi_key(self, table):
+        gb = table.groupby("conf", "gender")
+        assert ("ISC", None) in dict(iter(gb))
+
+    def test_apply(self, table):
+        out = table.groupby("conf").apply(
+            lambda key, g: {"conf": key[0], "max": float(g["cites"].max())}
+        )
+        rec = {r["conf"]: r["max"] for r in out.to_records()}
+        assert rec == {"SC": 10.0, "ISC": 8.0}
+
+    def test_len(self, table):
+        assert len(table.groupby("conf")) == 2
+
+    def test_groups_materialization(self, table):
+        groups = table.groupby("conf").groups()
+        assert groups[("SC",)].num_rows == 2

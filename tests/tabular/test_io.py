@@ -1,0 +1,64 @@
+"""Tests for CSV/JSON table serialization."""
+
+import pytest
+
+from repro.tabular import (
+    Table,
+    table_from_csv,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "name": ["ann", None, "c,d"],
+            "n": [1, 2, 3],
+            "score": [1.5, None, 2.5],
+            "ok": [True, False, True],
+        }
+    )
+
+
+class TestCsv:
+    def test_roundtrip(self, table):
+        text = table_to_csv(table)
+        back = table_from_csv(text)
+        assert back.columns == table.columns
+        assert back["name"].tolist() == ["ann", None, "c,d"]
+        assert back["n"].tolist() == [1, 2, 3]
+        assert back["ok"].tolist() == [True, False, True]
+
+    def test_nan_serializes_empty(self, table):
+        text = table_to_csv(table)
+        row = text.splitlines()[2]
+        assert ",," in row  # the None cells
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        table_to_csv(table, path)
+        back = table_from_csv(path)
+        assert back.num_rows == 3
+
+    def test_quoted_commas_survive(self, table):
+        back = table_from_csv(table_to_csv(table))
+        assert back["name"][2] == "c,d"
+
+
+class TestJson:
+    def test_roundtrip(self, table):
+        back = table_from_json(table_to_json(table))
+        assert back["n"].tolist() == [1, 2, 3]
+
+    def test_nan_becomes_null(self, table):
+        text = table_to_json(table)
+        assert "NaN" not in text and "null" in text
+
+    def test_file_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        table_to_json(table, path)
+        back = table_from_json(path)
+        assert back.num_rows == 3

@@ -1,0 +1,67 @@
+"""Tests for hash joins."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table, inner_join, left_join
+
+
+@pytest.fixture
+def people():
+    return Table({"pid": ["a", "b", "c"], "gender": ["F", "M", "M"]})
+
+
+@pytest.fixture
+def papers():
+    return Table({"pid": ["a", "a", "c", "x"], "cites": [10, 3, 5, 1]})
+
+
+class TestInnerJoin:
+    def test_many_to_many(self, people, papers):
+        out = inner_join(papers, people, on="pid")
+        assert out.num_rows == 3  # 'x' drops
+        assert out["gender"].tolist() == ["F", "F", "M"]
+
+    def test_suffix_on_conflict(self):
+        a = Table({"k": [1], "v": ["l"]})
+        b = Table({"k": [1], "v": ["r"]})
+        out = inner_join(a, b, on="k")
+        assert set(out.columns) == {"k", "v", "v_right"}
+
+    def test_empty_result(self):
+        a = Table({"k": [1]})
+        b = Table({"k": [2], "w": [9]})
+        assert inner_join(a, b, on="k").num_rows == 0
+
+    def test_multi_key(self):
+        a = Table({"x": [1, 1], "y": ["p", "q"], "v": [10, 20]})
+        b = Table({"x": [1], "y": ["q"], "w": [7]})
+        out = inner_join(a, b, on=["x", "y"])
+        assert out.num_rows == 1
+        assert out["v"].tolist() == [20]
+
+
+class TestLeftJoin:
+    def test_unmatched_get_missing(self, papers, people):
+        out = left_join(papers, people, on="pid")
+        assert out.num_rows == 4
+        assert out["gender"].tolist() == ["F", "F", "M", None]
+
+    def test_int_promotes_to_float_with_missing(self):
+        left = Table({"k": ["a", "b"]})
+        right = Table({"k": ["a"], "n": [5]})
+        out = left_join(left, right, on="k")
+        assert out.col("n").kind == "float"
+        assert np.isnan(out["n"][1])
+
+    def test_int_stays_int_when_all_match(self):
+        left = Table({"k": ["a"]})
+        right = Table({"k": ["a"], "n": [5]})
+        out = left_join(left, right, on="k")
+        assert out.col("n").kind == "int"
+
+    def test_duplicate_right_keys_rejected(self):
+        left = Table({"k": [1]})
+        right = Table({"k": [1, 1], "v": [1, 2]})
+        with pytest.raises(ValueError, match="duplicate"):
+            left_join(left, right, on="k")

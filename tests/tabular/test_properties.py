@@ -1,0 +1,141 @@
+"""Property-based tests for the tabular engine (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tabular import Table, inner_join, left_join, table_from_csv, table_from_json, table_to_csv, table_to_json
+
+# strategies -----------------------------------------------------------------
+
+_cell = st.one_of(
+    st.none(),
+    st.integers(-10**6, 10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(blacklist_categories=["Cs", "Cc"]),
+        max_size=12,
+    ),
+    st.booleans(),
+)
+
+
+@st.composite
+def tables(draw, max_rows=8, max_cols=4):
+    n_cols = draw(st.integers(1, max_cols))
+    n_rows = draw(st.integers(0, max_rows))
+    names = [f"c{i}" for i in range(n_cols)]
+    # each column homogeneous-ish: pick a strategy per column
+    data = {}
+    for name in names:
+        col_strategy = draw(
+            st.sampled_from(
+                [
+                    st.integers(-1000, 1000),
+                    st.floats(allow_nan=False, allow_infinity=False, width=32),
+                    st.one_of(st.none(), st.text(max_size=8)),
+                    st.booleans(),
+                ]
+            )
+        )
+        data[name] = draw(
+            st.lists(col_strategy, min_size=n_rows, max_size=n_rows)
+        )
+    return Table(data)
+
+
+# tests ------------------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_records_roundtrip(self, t):
+        back = Table.from_records(t.to_records(), columns=t.columns)
+        assert back.num_rows == t.num_rows
+        assert back.columns == t.columns
+
+    @settings(max_examples=40, deadline=None)
+    @given(tables())
+    def test_json_roundtrip_row_count(self, t):
+        back = table_from_json(table_to_json(t))
+        assert back.num_rows == t.num_rows
+
+    @settings(max_examples=30, deadline=None)
+    @given(tables())
+    def test_filter_all_true_is_identity(self, t):
+        mask = np.ones(t.num_rows, dtype=bool)
+        assert t.filter(mask).num_rows == t.num_rows
+
+    @settings(max_examples=30, deadline=None)
+    @given(tables())
+    def test_take_reverse_twice_is_identity(self, t):
+        idx = np.arange(t.num_rows)[::-1]
+        twice = t.take(idx).take(idx)
+        assert twice.equals(t)
+
+
+class TestSortProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=30))
+    def test_sort_sorts(self, values):
+        t = Table({"x": values}).sort_by("x")
+        out = t["x"].tolist()
+        assert out == sorted(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=0, max_size=30))
+    def test_sort_desc_reverses_order(self, values):
+        t = Table({"x": values})
+        asc = t.sort_by("x")["x"].tolist()
+        desc = t.sort_by("x", descending=True)["x"].tolist()
+        assert desc == sorted(values, reverse=True)
+        assert asc == sorted(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 100)), min_size=0, max_size=25))
+    def test_sort_is_stable(self, pairs):
+        t = Table({"k": [p[0] for p in pairs], "tag": [p[1] for p in pairs]})
+        out = t.sort_by("k")
+        # within equal keys, original order of tags preserved
+        seen: dict[int, list[int]] = {}
+        for k, tag in zip(out["k"], out["tag"]):
+            seen.setdefault(int(k), []).append(int(tag))
+        expected: dict[int, list[int]] = {}
+        for k, tag in pairs:
+            expected.setdefault(k, []).append(tag)
+        assert seen == expected
+
+
+class TestGroupJoinProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=40))
+    def test_group_sizes_partition_rows(self, keys):
+        t = Table({"k": keys})
+        sizes = t.groupby("k").size()
+        assert sum(sizes["count"]) == t.num_rows
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=0, max_size=20),
+        st.lists(st.integers(0, 5), min_size=0, max_size=6),
+    )
+    def test_inner_join_row_count(self, left_keys, right_keys_raw):
+        right_keys = list(dict.fromkeys(right_keys_raw))  # unique
+        left = Table({"k": left_keys})
+        right = Table({"k": right_keys, "v": list(range(len(right_keys)))})
+        joined = inner_join(left, right, on="k")
+        expected = sum(1 for k in left_keys if k in set(right_keys))
+        assert joined.num_rows == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=0, max_size=20),
+        st.lists(st.integers(0, 5), min_size=0, max_size=6),
+    )
+    def test_left_join_preserves_rows(self, left_keys, right_keys_raw):
+        right_keys = list(dict.fromkeys(right_keys_raw))
+        left = Table({"k": left_keys})
+        right = Table({"k": right_keys, "v": list(range(len(right_keys)))})
+        joined = left_join(left, right, on="k")
+        assert joined.num_rows == left.num_rows

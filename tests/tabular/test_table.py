@@ -1,0 +1,148 @@
+"""Tests for the Table container."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        {
+            "name": ["ann", "bob", "cat", "dan"],
+            "score": [3.0, 1.0, 2.0, 1.0],
+            "group": ["x", "y", "x", "y"],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, table):
+        assert table.num_rows == 4
+        assert table.columns == ["name", "score", "group"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_from_records_union_of_keys(self):
+        t = Table.from_records([{"a": 1}, {"b": 2}])
+        assert t.columns == ["a", "b"]
+        assert t.row(0)["b"] is None or np.isnan(t.row(0)["b"])
+
+    def test_roundtrip_records(self, table):
+        t2 = Table.from_records(table.to_records())
+        assert t2.equals(table)
+
+    def test_empty(self):
+        t = Table({})
+        assert t.num_rows == 0
+        assert t.to_records() == []
+
+
+class TestAccess:
+    def test_getitem_returns_array(self, table):
+        assert isinstance(table["score"], np.ndarray)
+
+    def test_missing_column_keyerror_lists_available(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table.col("nope")
+
+    def test_row(self, table):
+        assert table.row(1)["name"] == "bob"
+
+    def test_contains(self, table):
+        assert "name" in table and "zzz" not in table
+
+
+class TestDerivation:
+    def test_select_order(self, table):
+        t = table.select(["group", "name"])
+        assert t.columns == ["group", "name"]
+
+    def test_drop(self, table):
+        assert table.drop(["score"]).columns == ["name", "group"]
+
+    def test_rename(self, table):
+        t = table.rename({"name": "who"})
+        assert "who" in t.columns and "name" not in t.columns
+
+    def test_with_column_replaces(self, table):
+        t = table.with_column("score", [0.0, 0.0, 0.0, 0.0])
+        assert t["score"].sum() == 0
+        assert t.columns[-1] == "score"  # replaced columns move to the end
+
+    def test_with_column_length_check(self, table):
+        with pytest.raises(ValueError):
+            table.with_column("bad", [1, 2])
+
+    def test_with_derived(self, table):
+        t = table.with_derived("double", lambda t: t["score"] * 2)
+        assert t["double"].tolist() == [6.0, 2.0, 4.0, 2.0]
+
+
+class TestRowOps:
+    def test_filter_mask(self, table):
+        t = table.filter(np.array([True, False, True, False]))
+        assert t["name"].tolist() == ["ann", "cat"]
+
+    def test_filter_predicate(self, table):
+        t = table.filter(lambda t: t["score"] > 1.5)
+        assert t.num_rows == 2
+
+    def test_filter_shape_check(self, table):
+        with pytest.raises(ValueError):
+            table.filter(np.array([True]))
+
+    def test_take(self, table):
+        assert table.take([3, 0])["name"].tolist() == ["dan", "ann"]
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(99).num_rows == 4
+
+    def test_sort_single_key(self, table):
+        t = table.sort_by("score")
+        assert t["score"].tolist() == [1.0, 1.0, 2.0, 3.0]
+
+    def test_sort_stability(self, table):
+        t = table.sort_by("score")
+        # bob before dan (both 1.0, original order preserved)
+        assert t["name"].tolist()[:2] == ["bob", "dan"]
+
+    def test_sort_descending_stable(self, table):
+        t = table.sort_by("score", descending=True)
+        assert t["score"].tolist() == [3.0, 2.0, 1.0, 1.0]
+        assert t["name"].tolist()[2:] == ["bob", "dan"]
+
+    def test_sort_multi_key(self, table):
+        t = table.sort_by("group", "score")
+        assert t["group"].tolist() == ["x", "x", "y", "y"]
+        assert t["score"].tolist() == [2.0, 3.0, 1.0, 1.0]
+
+    def test_sort_str_with_none(self):
+        t = Table({"a": ["b", None, "a"]}).sort_by("a")
+        assert t["a"].tolist() == [None, "a", "b"]
+
+    def test_concat(self, table):
+        t = table.concat(table)
+        assert t.num_rows == 8
+
+    def test_concat_mismatched_columns(self, table):
+        with pytest.raises(ValueError):
+            table.concat(table.drop(["score"]))
+
+
+class TestValueCounts:
+    def test_counts_descending(self, table):
+        vc = table.value_counts("group")
+        assert vc.to_records() == [
+            {"group": "x", "count": 2},
+            {"group": "y", "count": 2},
+        ]
+
+    def test_missing_excluded(self):
+        t = Table({"g": ["a", None, "a"]})
+        vc = t.value_counts("g")
+        assert vc.to_records() == [{"g": "a", "count": 2}]

@@ -1,0 +1,65 @@
+"""Tests for the offline PEP 517/660 build backend."""
+
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "_build"))
+
+import offline_backend  # noqa: E402
+
+
+class TestBackend:
+    def test_version_matches_package(self):
+        import repro
+
+        assert offline_backend.VERSION == repro.__version__
+
+    def test_editable_wheel_contains_pth(self, tmp_path):
+        name = offline_backend.build_editable(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            names = zf.namelist()
+            pth = next(n for n in names if n.endswith(".pth"))
+            target = zf.read(pth).decode().strip()
+        assert Path(target) == (ROOT / "src").resolve()
+        assert any(n.endswith("METADATA") for n in names)
+        assert any(n.endswith("RECORD") for n in names)
+
+    def test_regular_wheel_contains_package(self, tmp_path):
+        name = offline_backend.build_wheel(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            names = set(zf.namelist())
+        assert "repro/__init__.py" in names
+        assert "repro/pipeline/runner.py" in names
+        assert not any(n.endswith(".pyc") for n in names)
+
+    def test_metadata_lists_dependencies(self, tmp_path):
+        di = offline_backend.prepare_metadata_for_build_editable(str(tmp_path))
+        metadata = (tmp_path / di / "METADATA").read_text()
+        assert "Requires-Dist: numpy" in metadata
+        assert "Name: repro" in metadata
+
+    def test_no_build_requirements(self):
+        assert offline_backend.get_requires_for_build_editable() == []
+        assert offline_backend.get_requires_for_build_wheel() == []
+
+    def test_record_hashes_verify(self, tmp_path):
+        import base64
+        import hashlib
+
+        name = offline_backend.build_editable(str(tmp_path))
+        with zipfile.ZipFile(tmp_path / name) as zf:
+            record = next(n for n in zf.namelist() if n.endswith("RECORD"))
+            entries = zf.read(record).decode().strip().splitlines()
+            for line in entries:
+                fname, digest, _size = line.rsplit(",", 2)
+                if not digest:
+                    continue
+                data = zf.read(fname)
+                expect = base64.urlsafe_b64encode(
+                    hashlib.sha256(data).digest()
+                ).rstrip(b"=").decode()
+                assert digest == f"sha256={expect}"

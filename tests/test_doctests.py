@@ -1,0 +1,22 @@
+"""Run the doctests embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.scholar.metrics
+import repro.util.formatting
+import repro.util.rng
+
+MODULES = [
+    repro.scholar.metrics,
+    repro.util.formatting,
+    repro.util.rng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

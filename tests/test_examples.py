@@ -1,0 +1,43 @@
+"""Every example script must run to completion (CI-style check)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+#: script -> extra args keeping runtime reasonable
+CASES = {
+    "quickstart.py": ["--scale", "0.2"],
+    "regenerate_paper.py": ["--seed", "7"],
+    "sensitivity_audit.py": ["--seed", "7"],
+    "audit_custom_conference.py": [],
+    "inference_shootout.py": ["--seed", "7"],
+    "collaboration_patterns.py": ["--seed", "7"],
+    "systems_universe.py": ["--scale", "0.2"],
+    "review_bias_bounds.py": [],
+    "parity_forecast.py": ["--years", "40"],
+    "explore_dataset.py": [],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples and CASES out of sync: "
+        f"missing={scripts - set(CASES)}, stale={set(CASES) - scripts}"
+    )
+
+
+@pytest.mark.parametrize("script,args", CASES.items(), ids=list(CASES))
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"

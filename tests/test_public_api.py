@@ -1,0 +1,77 @@
+"""Public-API hygiene: every package imports, __all__ names resolve."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.tabular",
+    "repro.stats",
+    "repro.names",
+    "repro.gender",
+    "repro.geo",
+    "repro.scholar",
+    "repro.confmodel",
+    "repro.calibration",
+    "repro.synth",
+    "repro.harvest",
+    "repro.pipeline",
+    "repro.analysis",
+    "repro.report",
+    "repro.viz",
+    "repro.collab",
+    "repro.survey",
+    "repro.universe",
+    "repro.review",
+    "repro.forecast",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    mod = importlib.import_module(name)
+    assert mod is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_every_submodule_importable():
+    """Walk the whole tree; no module may fail to import."""
+    failures = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # running it is its import effect
+            continue
+        try:
+            importlib.import_module(info.name)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            failures.append((info.name, repr(exc)))
+    assert not failures, failures
+
+
+def test_top_level_exports():
+    assert callable(repro.run_pipeline)
+    assert callable(repro.build_world)
+    assert repro.WorldConfig(seed=1).seed == 1
+    assert isinstance(repro.__version__, str)
+
+
+def test_public_functions_have_docstrings():
+    """Every public callable in __all__ carries a docstring."""
+    undocumented = []
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            obj = getattr(mod, symbol)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented

@@ -1,0 +1,65 @@
+"""Tests for the deterministic parallel map."""
+
+import os
+
+import pytest
+
+from repro.util.parallel import ParallelConfig, parallel_map
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _seeded_draw(item):
+    """A worker whose randomness derives from its item key."""
+    from repro.util.rng import spawn_rng
+
+    key, root = item
+    return float(spawn_rng(root, "draw", key).random())
+
+
+class TestSerial:
+    def test_matches_list_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, []) == []
+
+    def test_order_preserved(self):
+        out = parallel_map(_square, [3, 1, 2])
+        assert out == [9, 1, 4]
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self):
+        items = list(range(32))
+        serial = parallel_map(_square, items, ParallelConfig(workers=1))
+        par = parallel_map(_square, items, ParallelConfig(workers=4, min_items_per_worker=1))
+        assert serial == par
+
+    def test_seeded_randomness_independent_of_workers(self):
+        items = [(f"item{i}", 99) for i in range(16)]
+        one = parallel_map(_seeded_draw, items, ParallelConfig(workers=1))
+        four = parallel_map(
+            _seeded_draw, items, ParallelConfig(workers=4, min_items_per_worker=1)
+        )
+        assert one == four
+
+    def test_small_inputs_stay_serial(self):
+        cfg = ParallelConfig(workers=8, min_items_per_worker=4)
+        assert cfg.resolved_workers(8) == 1  # 8 < 8*4
+        assert cfg.resolved_workers(64) == 8
+
+    def test_workers_none_uses_cpu_count(self):
+        cfg = ParallelConfig(workers=None, min_items_per_worker=1)
+        assert cfg.resolved_workers(10_000) == min(os.cpu_count() or 1, 10_000)
+
+    def test_workers_capped_by_items(self):
+        cfg = ParallelConfig(workers=64, min_items_per_worker=1)
+        # 3 items < 64 workers * 1 item each -> serial is cheaper
+        assert cfg.resolved_workers(3) == 1
+        # with enough items, the cap is the item count vs worker count
+        assert cfg.resolved_workers(64) == 64
+        assert cfg.resolved_workers(100) == 64

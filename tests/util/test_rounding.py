@@ -1,0 +1,88 @@
+"""Tests for largest-remainder apportionment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rounding import largest_remainder, proportional_ints, round_preserving_sum
+
+
+class TestLargestRemainder:
+    def test_exact_division(self):
+        out = largest_remainder(np.array([1.0, 1.0]), 10)
+        assert out.tolist() == [5, 5]
+
+    def test_remainder_goes_to_largest_fraction(self):
+        # quotas 3.3, 6.7 -> floor 3, 6; leftover goes to the .7
+        out = largest_remainder(np.array([3.3, 6.7]), 10)
+        assert out.tolist() == [3, 7]
+
+    def test_zero_total(self):
+        assert largest_remainder(np.array([1.0, 2.0]), 0).sum() == 0
+
+    def test_zero_weight_cells_get_nothing(self):
+        out = largest_remainder(np.array([0.0, 1.0]), 5)
+        assert out.tolist() == [0, 5]
+
+    def test_2d_shape_preserved(self):
+        w = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = largest_remainder(w, 10)
+        assert out.shape == (2, 2)
+        assert out.sum() == 10
+
+    def test_negative_total_raises(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.array([1.0]), -1)
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.array([-1.0, 2.0]), 3)
+
+    def test_all_zero_weights_with_positive_total_raise(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.array([0.0, 0.0]), 3)
+
+    def test_tie_broken_by_index(self):
+        out = largest_remainder(np.array([1.0, 1.0, 1.0]), 2)
+        assert out.tolist() == [1, 1, 0]
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_sum_invariant(self, weights, total):
+        out = largest_remainder(np.array(weights), total)
+        assert out.sum() == total
+        assert (out >= 0).all()
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=2, max_size=10),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_within_one_of_quota(self, weights, total):
+        w = np.array(weights)
+        out = largest_remainder(w, total)
+        quota = w * total / w.sum()
+        assert (np.abs(out - quota) < 1.0 + 1e-9).all()
+
+
+class TestRoundPreservingSum:
+    def test_identity_on_integers(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert round_preserving_sum(v).tolist() == [1, 2, 3]
+
+    def test_sum_is_rounded_total(self):
+        v = np.array([1.4, 1.4, 1.4])  # sum 4.2 -> 4
+        out = round_preserving_sum(v)
+        assert out.sum() == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            round_preserving_sum(np.array([-0.5, 1.0]))
+
+    def test_all_zero(self):
+        assert round_preserving_sum(np.zeros(3)).sum() == 0
+
+
+def test_proportional_ints_alias():
+    assert proportional_ints(np.array([2.0, 1.0]), 9).tolist() == [6, 3]
