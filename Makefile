@@ -1,14 +1,19 @@
 # Canonical targets for the reproduction.
 
 PYTHON ?= python
+FAULT_RATE ?= 0.5
 
-.PHONY: install test bench examples artifact report verify-all clean
+.PHONY: install test faults bench examples artifact report verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test:
+test: faults
 	$(PYTHON) -m pytest tests/
+
+# resilience suite at an elevated, env-tunable fault rate
+faults:
+	REPRO_FAULT_RATE=$(FAULT_RATE) $(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,139 @@
+"""Offline PEP 517/660 build backend (see pyproject's ``backend-path``).
+
+No network in this environment: build isolation cannot fetch setuptools,
+and the installed setuptools cannot build editable wheels without
+``wheel``.  This zero-dependency backend implements just enough of
+PEP 517 (``build_wheel``) and PEP 660 (``build_editable``) for plain
+``pip install -e .`` to work offline: a ``.pth`` file pointing at
+``src/`` for editable installs, a straight copy of ``src/repro`` for
+regular wheels, and spec-compliant METADATA/WHEEL/RECORD files with
+sha256 digests.
+"""
+
+from __future__ import annotations
+
+import base64
+import csv
+import hashlib
+import io
+import zipfile
+from pathlib import Path
+
+NAME = "repro"
+VERSION = "1.0.0"
+DEPENDENCIES = ["numpy>=1.23", "scipy>=1.9"]
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+_DIST_INFO = f"{NAME}-{VERSION}.dist-info"
+
+
+# ------------------------------------------------------------ PEP 517 hooks
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def _metadata_text() -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {NAME}",
+        f"Version: {VERSION}",
+        "Summary: Reproduction of 'Representation of Women in HPC Conferences'",
+        "Requires-Python: >=3.10",
+        "License: MIT",
+    ]
+    lines.extend(f"Requires-Dist: {dep}" for dep in DEPENDENCIES)
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_text(tag: str) -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: offline_backend (repro)\n"
+        f"Root-Is-Purelib: true\nTag: {tag}\n"
+    )
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    di = Path(metadata_directory) / _DIST_INFO
+    di.mkdir(parents=True, exist_ok=True)
+    (di / "METADATA").write_text(_metadata_text(), encoding="utf-8")
+    return _DIST_INFO
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return prepare_metadata_for_build_wheel(metadata_directory, config_settings)
+
+
+# ------------------------------------------------------------ wheel writing
+
+
+def _digest(data: bytes) -> str:
+    raw = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(raw).rstrip(b"=").decode()
+
+
+class _WheelWriter:
+    """Accumulate files, then close with a spec-compliant RECORD."""
+
+    def __init__(self, path: Path) -> None:
+        self._zf = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        self._records: list[tuple[str, str, int]] = []
+
+    def add(self, arcname: str, data: bytes) -> None:
+        self._zf.writestr(arcname, data)
+        self._records.append((arcname, _digest(data), len(data)))
+
+    def close(self) -> None:
+        record_name = f"{_DIST_INFO}/RECORD"
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        for row in self._records:
+            writer.writerow(row)
+        writer.writerow((record_name, "", ""))
+        self._zf.writestr(record_name, buf.getvalue())
+        self._zf.close()
+
+
+def _wheel_name(tag: str) -> str:
+    return f"{NAME}-{VERSION}-{tag}.whl"
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    tag = "py3-none-any"
+    name = _wheel_name(tag)
+    w = _WheelWriter(Path(wheel_directory) / name)
+    w.add(f"__editable__.{NAME}.pth", f"{SRC.resolve()}\n".encode())
+    w.add(f"{_DIST_INFO}/METADATA", _metadata_text().encode())
+    w.add(f"{_DIST_INFO}/WHEEL", _wheel_text(tag).encode())
+    w.close()
+    return name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    tag = "py3-none-any"
+    name = _wheel_name(tag)
+    w = _WheelWriter(Path(wheel_directory) / name)
+    for path in sorted((SRC / NAME).rglob("*")):
+        if not path.is_file() or path.suffix == ".pyc" or "__pycache__" in path.parts:
+            continue
+        w.add(str(path.relative_to(SRC)), path.read_bytes())
+    w.add(f"{_DIST_INFO}/METADATA", _metadata_text().encode())
+    w.add(f"{_DIST_INFO}/WHEEL", _wheel_text(tag).encode())
+    w.close()
+    return name
+
+
+def build_sdist(sdist_directory, config_settings=None):  # pragma: no cover
+    raise NotImplementedError("sdists are not needed offline; build a wheel")

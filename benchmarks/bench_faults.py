@@ -1,0 +1,41 @@
+"""Benchmark FAULT: cost of the resilience layer.
+
+Two questions: what does the fault plumbing cost when it injects
+nothing (rate 0 vs the plain fast path), and what does a realistic
+fault regime cost end-to-end (retries and losses are virtual-clock, so
+any slowdown is real bookkeeping, not sleeping).
+"""
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.pipeline import run_pipeline
+from repro.synth import WorldConfig, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(seed=7, scale=1.0, include_timeline=False))
+
+
+def test_pipeline_plain(benchmark, world):
+    """Baseline: the fault-free fast path."""
+    res = benchmark(run_pipeline, world=world)
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+
+def test_pipeline_faults_rate_zero(benchmark, world):
+    """Resilience plumbing live but inert — measures pure overhead."""
+    res = benchmark(run_pipeline, world=world, faults=FaultConfig(rate=0.0))
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+
+def test_pipeline_faults_rate_moderate(benchmark, world):
+    """A realistic degraded regime: retries, breakers, losses."""
+    res = benchmark(
+        run_pipeline, world=world, faults=FaultConfig(rate=0.2, seed=5)
+    )
+    dc = res.degraded
+    benchmark.extra_info["losses"] = len(dc.losses)
+    benchmark.extra_info["retries"] = dc.retries
+    benchmark.extra_info["virtual_time_s"] = round(dc.virtual_time, 2)

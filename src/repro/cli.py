@@ -9,6 +9,11 @@
     python -m repro universe               # §6: 56-conference expansion
 
 Common options: ``--seed`` (default 7), ``--scale`` (default 1.0).
+Resilience options: ``--fault-rate``/``--fault-seed`` run the pipeline
+under the deterministic fault model (degraded coverage is reported, the
+run never aborts); ``--checkpoint-dir``/``--resume`` checkpoint each
+stage so an interrupted run picks up where it stopped; ``--workers``
+parallelizes the ingest stage deterministically.
 """
 
 from __future__ import annotations
@@ -30,6 +35,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
     parser.add_argument(
         "--scale", type=float, default=1.0, help="population scale (default 1.0)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the ingest stage (default: serial)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability that any one simulated service call fails (default 0)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed of the deterministic fault plan (default: the world seed)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-stage pipeline checkpoints",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse matching checkpoints in --checkpoint-dir",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -53,7 +86,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _result(args):
-    return run_pipeline(WorldConfig(seed=args.seed, scale=args.scale))
+    from repro.faults import FaultConfig
+    from repro.util.parallel import ParallelConfig
+
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    faults = None
+    if args.fault_rate > 0.0 or args.fault_seed is not None:
+        faults = FaultConfig(
+            rate=args.fault_rate,
+            seed=args.fault_seed if args.fault_seed is not None else args.seed,
+        )
+    parallel = None
+    if args.workers is not None:
+        parallel = ParallelConfig(workers=args.workers, min_items_per_worker=1)
+    return run_pipeline(
+        WorldConfig(seed=args.seed, scale=args.scale),
+        parallel=parallel,
+        policy=None,
+        faults=faults,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
 
 
 def _cmd_run(args) -> int:
@@ -71,6 +125,8 @@ def _cmd_run(args) -> int:
     print(f"PC:  {pc.memberships}  (paper: 18.46%)")
     print(f"coverage: manual {100*cov['manual']:.2f}% / genderize "
           f"{100*cov['genderize']:.2f}% / none {100*cov['none']:.2f}%")
+    if result.degraded is not None:
+        print(f"degraded: {result.degraded.summary()}")
     return 0
 
 

@@ -1,0 +1,86 @@
+"""Deterministic fault injection and resilience for the pipeline.
+
+The original study harvested flaky real-world services — conference
+websites, genderize.io, Google Scholar (68.3% coverage) — and its
+numbers describe the partial dataset that survived.  This package lets
+the reproduction model that reality on purpose:
+
+- :mod:`repro.faults.plan`       — seed-derived :class:`FaultPlan`:
+  which call fails, and how (transient / timeout / rate limit /
+  malformed payload).  Pure function of ``(seed, service, key,
+  attempt)`` — independent of scheduling.
+- :mod:`repro.faults.session`    — :class:`FaultSession`: retries with
+  exponential backoff + deterministic jitter on a virtual clock, a
+  per-service circuit breaker, call/fault counters.
+- :mod:`repro.faults.breaker`    — the call-counted circuit breaker.
+- :mod:`repro.faults.corrupt`    — the malformation matrix (truncated
+  pages, missing sections, CSS drift, broken email markup, garbage
+  API payloads).
+- :mod:`repro.faults.wrappers`   — resilient facades over the
+  genderize / Google Scholar / Semantic Scholar clients.
+- :mod:`repro.faults.degradation` — :class:`LossRecord`,
+  :class:`FaultStats` and the :class:`DegradedCoverage` report that
+  :class:`~repro.pipeline.runner.PipelineResult` carries.
+
+Nothing here can raise out of :func:`repro.pipeline.run_pipeline`: every
+exhausted retry becomes a loss record, never an abort.
+"""
+
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.corrupt import (
+    CORRUPTION_TAGS,
+    corrupt_edition,
+    corrupt_genderize_response,
+    genderize_response_wellformed,
+)
+from repro.faults.degradation import DegradedCoverage, FaultStats, LossRecord
+from repro.faults.errors import (
+    CircuitOpenError,
+    FaultError,
+    MalformedPayloadError,
+    RateLimitError,
+    RetryExhaustedError,
+    ServiceTimeout,
+    TransientServiceError,
+)
+from repro.faults.plan import (
+    BreakerConfig,
+    FaultConfig,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.faults.session import FaultSession
+from repro.faults.wrappers import (
+    ResilientGenderizeClient,
+    ResilientGoogleScholar,
+    ResilientSemanticScholar,
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultConfig",
+    "FaultPlan",
+    "RetryPolicy",
+    "BreakerConfig",
+    "FaultSession",
+    "CircuitBreaker",
+    "BreakerState",
+    "FaultError",
+    "TransientServiceError",
+    "ServiceTimeout",
+    "RateLimitError",
+    "MalformedPayloadError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+    "LossRecord",
+    "FaultStats",
+    "DegradedCoverage",
+    "CORRUPTION_TAGS",
+    "corrupt_edition",
+    "corrupt_genderize_response",
+    "genderize_response_wellformed",
+    "ResilientGenderizeClient",
+    "ResilientGoogleScholar",
+    "ResilientSemanticScholar",
+]

@@ -1,0 +1,71 @@
+"""Per-service circuit breaker.
+
+Classic three-state breaker (closed → open → half-open) with one twist:
+the cooldown is measured in *rejected calls*, not wall time, so breaker
+behaviour is a pure function of the call sequence and therefore
+deterministic across runs, platforms, and worker counts.  (Within the
+pipeline a breaker is scoped to one :class:`~repro.faults.session.FaultSession`,
+and sessions are scoped so that scheduling cannot reorder their calls:
+one per harvest task, one per serial stage.)
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.faults.errors import CircuitOpenError
+from repro.faults.plan import BreakerConfig
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trips after consecutive failures; recovers via a single probe."""
+
+    __slots__ = ("service", "config", "state", "consecutive_failures",
+                 "rejected_since_open", "times_opened")
+
+    def __init__(self, service: str, config: BreakerConfig | None = None) -> None:
+        self.service = service
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.rejected_since_open = 0
+        self.times_opened = 0
+
+    def check(self) -> None:
+        """Gate a call: raise :class:`CircuitOpenError` while cooling down."""
+        if self.state is BreakerState.CLOSED or self.state is BreakerState.HALF_OPEN:
+            return
+        self.rejected_since_open += 1
+        if self.rejected_since_open >= self.config.cooldown_calls:
+            self.state = BreakerState.HALF_OPEN  # let the next call probe
+            return
+        raise CircuitOpenError(
+            self.service, (), f"open ({self.rejected_since_open} rejected)"
+        )
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.rejected_since_open = 0
+
+    def record_failure(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()  # failed probe: back to cooling down
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.config.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.rejected_since_open = 0
+        self.consecutive_failures = 0
+        self.times_opened += 1

@@ -1,0 +1,134 @@
+"""Deterministic payload corruption for harvest and service responses.
+
+The malformation matrix mirrors what real conference-site scrapes run
+into: truncated pages, missing sections, CSS drift, non-numeric counts,
+and proceedings headers with broken email markup.  Every corruption is
+a pure function of the supplied generator, so the same fault seed
+always breaks the same pages the same way.
+
+:func:`corrupt_edition` returns the corrupted artifacts *plus the tags
+of the operations applied*, which is how
+:class:`~repro.faults.degradation.DegradedCoverage` accounts for every
+loss the scraper later swallows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import numpy as np
+
+from repro.gender.genderize import GenderizeResponse
+from repro.harvest.proceedings import ProceedingsRecord
+from repro.harvest.sitegen import ConferenceSite
+
+__all__ = [
+    "CORRUPTION_TAGS",
+    "corrupt_edition",
+    "corrupt_genderize_response",
+    "genderize_response_wellformed",
+]
+
+_EMPTY_PAGE = "<html><head></head><body></body></html>"
+_COUNT_RE = re.compile(r'(<p class="conf-(?:accepted|submitted)">)[^<]*(</p>)')
+
+
+def _truncate(page: str, rng: np.random.Generator) -> str:
+    if len(page) < 8:
+        return ""
+    cut = int(rng.integers(len(page) // 3, len(page)))
+    return page[:cut]
+
+
+def _op_truncate_index(site, proceedings, rng):
+    return dataclasses.replace(site, index_html=_truncate(site.index_html, rng)), proceedings
+
+
+def _op_truncate_papers(site, proceedings, rng):
+    return dataclasses.replace(site, papers_html=_truncate(site.papers_html, rng)), proceedings
+
+
+def _op_drop_committees(site, proceedings, rng):
+    return dataclasses.replace(site, committees_html=_EMPTY_PAGE), proceedings
+
+
+def _op_empty_program(site, proceedings, rng):
+    return dataclasses.replace(site, program_html=_EMPTY_PAGE), proceedings
+
+
+def _op_drop_papers_page(site, proceedings, rng):
+    return dataclasses.replace(site, papers_html=""), proceedings
+
+
+def _op_garble_counts(site, proceedings, rng):
+    junk = ["TBD", "n/a", "many", ""][int(rng.integers(0, 4))]
+    mangled = _COUNT_RE.sub(rf"\g<1>{junk}\g<2>", site.index_html)
+    return dataclasses.replace(site, index_html=mangled), proceedings
+
+
+def _op_css_drift(site, proceedings, rng):
+    # the site redesign renamed a role class: scraper finds nothing there
+    cls = ["pc-member", "pc-chair", "keynote", "session-chair"][int(rng.integers(0, 4))]
+    out = site
+    for attr in ("committees_html", "program_html"):
+        page = getattr(out, attr).replace(f'class="{cls}"', f'class="x-{cls}"')
+        out = dataclasses.replace(out, **{attr: page})
+    return out, proceedings
+
+
+def _op_break_email_brackets(site, proceedings, rng):
+    # scanned front pages lose the closing '>' of "Name <email>" lines
+    broken = [
+        dataclasses.replace(r, fulltext_header=r.fulltext_header.replace(">", ""))
+        for r in proceedings
+    ]
+    return site, broken
+
+
+_OPERATIONS = {
+    "truncate-index": _op_truncate_index,
+    "truncate-papers": _op_truncate_papers,
+    "drop-committees": _op_drop_committees,
+    "empty-program": _op_empty_program,
+    "drop-papers-page": _op_drop_papers_page,
+    "garble-counts": _op_garble_counts,
+    "css-drift": _op_css_drift,
+    "break-email-brackets": _op_break_email_brackets,
+}
+
+CORRUPTION_TAGS: tuple[str, ...] = tuple(_OPERATIONS)
+
+
+def corrupt_edition(
+    site: ConferenceSite,
+    proceedings: list[ProceedingsRecord],
+    rng: np.random.Generator,
+    max_ops: int = 3,
+) -> tuple[ConferenceSite, list[ProceedingsRecord], tuple[str, ...]]:
+    """Apply 1..max_ops distinct corruptions; return artifacts + tags."""
+    n_ops = int(rng.integers(1, max_ops + 1))
+    chosen = rng.choice(len(CORRUPTION_TAGS), size=n_ops, replace=False)
+    tags = tuple(CORRUPTION_TAGS[int(i)] for i in sorted(chosen))
+    for tag in tags:
+        site, proceedings = _OPERATIONS[tag](site, proceedings, rng)
+    return site, proceedings, tags
+
+
+# --------------------------------------------------------------- genderize
+
+def corrupt_genderize_response(
+    resp: GenderizeResponse, rng: np.random.Generator
+) -> GenderizeResponse:
+    """A genderize payload a real client would reject and retry."""
+    mode = int(rng.integers(0, 3))
+    if mode == 0:  # impossible probability
+        return dataclasses.replace(resp, probability=1.0 + float(rng.random()) * 9.0)
+    if mode == 1:  # negative record count
+        return dataclasses.replace(resp, count=-int(rng.integers(1, 1000)))
+    return dataclasses.replace(resp, name="")  # empty echo field
+
+
+def genderize_response_wellformed(resp: GenderizeResponse) -> bool:
+    """Client-side validation of a genderize payload."""
+    return 0.0 <= resp.probability <= 1.0 and resp.count >= 0 and resp.name != ""

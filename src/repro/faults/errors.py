@@ -1,0 +1,86 @@
+"""Exception taxonomy of the fault-injection layer.
+
+Every injected failure is a :class:`FaultError`; the concrete subclasses
+mirror the failure modes real harvesting pipelines see from
+conference-website scrapes, genderize.io, and the scholar services:
+transient connection errors, timeouts, rate limiting (HTTP 429), and
+syntactically broken payloads.  Two further classes belong to the
+resilience machinery itself: :class:`CircuitOpenError` (a fast-fail from
+an open circuit breaker) and :class:`RetryExhaustedError` (the retry
+budget ran out).
+
+Nothing in this module ever escapes :func:`repro.pipeline.run_pipeline`:
+callers catch :class:`FaultError` at the service boundary and convert it
+into a :class:`~repro.faults.degradation.LossRecord`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "TransientServiceError",
+    "ServiceTimeout",
+    "RateLimitError",
+    "MalformedPayloadError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
+]
+
+
+class FaultError(Exception):
+    """Base class of every injected or resilience-layer failure."""
+
+    def __init__(self, service: str, key: tuple, detail: str = "") -> None:
+        self.service = service
+        self.key = key
+        self.detail = detail
+        super().__init__(f"{service}{list(key)}: {detail or type(self).__name__}")
+
+    @property
+    def reason(self) -> str:
+        """Short machine-readable tag used in loss records."""
+        return _REASONS.get(type(self), "fault")
+
+
+class TransientServiceError(FaultError):
+    """A one-off failure (connection reset, HTTP 5xx)."""
+
+
+class ServiceTimeout(FaultError):
+    """The service did not answer within the (virtual) deadline."""
+
+
+class RateLimitError(FaultError):
+    """The service throttled the client (HTTP 429)."""
+
+
+class MalformedPayloadError(FaultError):
+    """The response arrived but failed client-side validation."""
+
+
+class CircuitOpenError(FaultError):
+    """The per-service circuit breaker is open; the call was not made."""
+
+
+class RetryExhaustedError(FaultError):
+    """All retry attempts failed; the work item is degraded, not fatal."""
+
+    def __init__(
+        self, service: str, key: tuple, attempts: int, last: FaultError | None = None
+    ) -> None:
+        self.attempts = attempts
+        self.last = last
+        detail = f"gave up after {attempts} attempts"
+        if last is not None:
+            detail += f" (last: {last.reason})"
+        super().__init__(service, key, detail)
+
+
+_REASONS: dict[type, str] = {
+    TransientServiceError: "transient",
+    ServiceTimeout: "timeout",
+    RateLimitError: "rate-limit",
+    MalformedPayloadError: "malformed",
+    CircuitOpenError: "circuit-open",
+    RetryExhaustedError: "exhausted-retries",
+}

@@ -1,0 +1,118 @@
+"""Drop-in resilient wrappers around the simulated remote services.
+
+Each wrapper keeps the wrapped object's query interface, routes every
+call through a :class:`~repro.faults.session.FaultSession`, and — when
+retries are exhausted or the breaker is open — records a
+:class:`~repro.faults.degradation.LossRecord` and returns the service's
+natural "no data" value instead of raising.  Downstream pipeline code is
+untouched: a lost genderize lookup is an unknown name, a lost Google
+Scholar search is an unlinkable profile, exactly the degradation modes
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.faults.corrupt import (
+    corrupt_genderize_response,
+    genderize_response_wellformed,
+)
+from repro.faults.errors import FaultError
+from repro.faults.session import FaultSession
+from repro.gender.genderize import GenderizeClient, GenderizeResponse
+from repro.scholar.gscholar import GoogleScholarStore, GSProfile
+from repro.scholar.semanticscholar import S2Record, SemanticScholarStore
+
+__all__ = [
+    "ResilientGenderizeClient",
+    "ResilientGoogleScholar",
+    "ResilientSemanticScholar",
+]
+
+_GARBAGE = object()  # sentinel: a payload mangled beyond client-side repair
+
+
+def _mangle(result, rng):
+    return _GARBAGE
+
+
+def _not_garbage(result) -> bool:
+    return result is not _GARBAGE
+
+
+class ResilientGenderizeClient:
+    """A :class:`GenderizeClient` facade that survives injected faults."""
+
+    SERVICE = "genderize"
+
+    def __init__(self, inner: GenderizeClient, session: FaultSession) -> None:
+        self._inner = inner
+        self._session = session
+
+    @property
+    def queries(self) -> int:
+        return self._inner.queries
+
+    def query(self, full_name: str) -> GenderizeResponse:
+        validate = genderize_response_wellformed if full_name else None
+        try:
+            return self._session.call(
+                self.SERVICE,
+                (full_name,),
+                lambda: self._inner.query(full_name),
+                malform=corrupt_genderize_response,
+                validate=validate,
+            )
+        except FaultError as exc:
+            self._session.record_loss(self.SERVICE, full_name, exc.reason)
+            return GenderizeResponse(full_name, None, 0.0, 0)
+
+    def batch(self, names: list[str]) -> list[GenderizeResponse]:
+        return [self.query(n) for n in names]
+
+
+class ResilientGoogleScholar:
+    """Fault-tolerant profile search over a :class:`GoogleScholarStore`."""
+
+    SERVICE = "gscholar"
+
+    def __init__(self, inner: GoogleScholarStore, session: FaultSession) -> None:
+        self._inner = inner
+        self._session = session
+
+    def _call(self, full_name: str, fn, fallback):
+        try:
+            return self._session.call(
+                self.SERVICE, (full_name,), fn, malform=_mangle, validate=_not_garbage
+            )
+        except FaultError as exc:
+            self._session.record_loss(self.SERVICE, full_name, exc.reason)
+            return fallback
+
+    def search(self, full_name: str) -> list[GSProfile]:
+        return self._call(full_name, lambda: self._inner.search(full_name), [])
+
+    def unique_match(self, full_name: str) -> GSProfile | None:
+        return self._call(full_name, lambda: self._inner.unique_match(full_name), None)
+
+
+class ResilientSemanticScholar:
+    """Fault-tolerant author search over a :class:`SemanticScholarStore`."""
+
+    SERVICE = "semanticscholar"
+
+    def __init__(self, inner: SemanticScholarStore, session: FaultSession) -> None:
+        self._inner = inner
+        self._session = session
+
+    def search_name(self, full_name: str) -> list[S2Record]:
+        try:
+            return self._session.call(
+                self.SERVICE,
+                (full_name,),
+                lambda: self._inner.search_name(full_name),
+                malform=_mangle,
+                validate=_not_garbage,
+            )
+        except FaultError as exc:
+            self._session.record_loss(self.SERVICE, full_name, exc.reason)
+            return []

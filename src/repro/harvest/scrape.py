@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.harvest.html import parse_html
+from repro.harvest.html import HtmlParseError, parse_html
 from repro.harvest.proceedings import ProceedingsRecord
 from repro.harvest.sitegen import ConferenceSite
 
@@ -55,9 +55,10 @@ class HarvestedConference:
 
     @property
     def acceptance_rate(self) -> float | None:
-        if self.accepted and self.submitted:
-            return self.accepted / self.submitted
-        return None
+        # None means *missing data*; a real zero-accept edition is 0.0.
+        if self.accepted is None or self.submitted is None or self.submitted == 0:
+            return None
+        return self.accepted / self.submitted
 
 
 _ROLE_CLASSES = ("pc-chair", "pc-member", "keynote", "panelist", "session-chair")
@@ -77,6 +78,28 @@ def _first_text(root, cls: str) -> str | None:
     return node.text() if node is not None else None
 
 
+def _safe_parse(page: str):
+    """Parse a page; a syntactically broken one reads as empty."""
+    try:
+        return parse_html(page)
+    except HtmlParseError:
+        return parse_html("")
+
+
+def _email_between_brackets(line: str) -> str | None:
+    """The address in a ``Name <addr>`` contact line, if well-formed.
+
+    Scanned headers routinely lose characters; a line with ``<`` but no
+    closing ``>`` (or with the brackets inverted) is malformed and
+    yields no email rather than an exception.
+    """
+    lo = line.find("<")
+    hi = line.rfind(">")
+    if lo == -1 or hi == -1 or hi <= lo:
+        return None
+    return line[lo + 1 : hi]
+
+
 def scrape_site(
     site: ConferenceSite, proceedings: list[ProceedingsRecord] | None = None
 ) -> HarvestedConference:
@@ -84,7 +107,7 @@ def scrape_site(
     out = HarvestedConference(conference=site.conference, year=site.year)
 
     # ---- index ------------------------------------------------------------
-    index = parse_html(site.index_html)
+    index = _safe_parse(site.index_html)
     out.date = _first_text(index, "conf-date")
     out.country = _first_text(index, "conf-country")
     out.accepted = _maybe_int(_first_text(index, "conf-accepted"))
@@ -96,7 +119,7 @@ def scrape_site(
 
     # ---- roles --------------------------------------------------------------
     for page in (site.committees_html, site.program_html):
-        root = parse_html(page)
+        root = _safe_parse(page)
         for cls in _ROLE_CLASSES:
             for node in root.find_all(tag="li", cls=cls):
                 name = node.text()
@@ -104,7 +127,7 @@ def scrape_site(
                     out.roles.append(HarvestedRole(full_name=name, role=cls))
 
     # ---- papers ----------------------------------------------------------------
-    papers_root = parse_html(site.papers_html)
+    papers_root = _safe_parse(site.papers_html)
     by_id = {r.paper_id: r for r in (proceedings or [])}
     for node in papers_root.find_all(cls="paper"):
         title = _first_text(node, "paper-title") or ""
@@ -117,7 +140,9 @@ def scrape_site(
             for line in rec.fulltext_header.splitlines():
                 for name in names:
                     if line.startswith(name) and "<" in line and "@" in line:
-                        found[name] = line[line.index("<") + 1 : line.rindex(">")]
+                        email = _email_between_brackets(line)
+                        if email is not None:
+                            found[name] = email
             emails = tuple(found.get(n) for n in names)
         else:
             emails = tuple(None for _ in names)

@@ -18,15 +18,24 @@ are recomputed from harvested artifacts, so pipeline defects show up as
 deviations from the paper, not as silent self-confirmation.
 """
 
-from repro.pipeline.ingest import ingest_world
+from repro.pipeline.ingest import (
+    ingest_world,
+    ingest_world_resilient,
+    IngestReport,
+    HarvestOutcome,
+)
 from repro.pipeline.link import link_identities, LinkedData, ResearcherRecord
 from repro.pipeline.enrich import enrich_researchers, Enrichment
 from repro.pipeline.infer import infer_genders, InferenceOutcome
 from repro.pipeline.dataset import AnalysisDataset
+from repro.pipeline.checkpoint import CheckpointStore, CheckpointMismatch
 from repro.pipeline.runner import run_pipeline, PipelineResult
 
 __all__ = [
     "ingest_world",
+    "ingest_world_resilient",
+    "IngestReport",
+    "HarvestOutcome",
     "link_identities",
     "LinkedData",
     "ResearcherRecord",
@@ -35,6 +44,8 @@ __all__ = [
     "infer_genders",
     "InferenceOutcome",
     "AnalysisDataset",
+    "CheckpointStore",
+    "CheckpointMismatch",
     "run_pipeline",
     "PipelineResult",
 ]

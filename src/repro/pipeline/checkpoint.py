@@ -1,0 +1,108 @@
+"""Per-stage checkpoint/resume for the pipeline.
+
+Harvesting is the pipeline's slowest and flakiest stage, so checkpoints
+are grained two ways:
+
+- **per item** — each harvested conference edition is pickled (atomic
+  ``os.replace``) the moment its task finishes, *from the worker
+  process*; a run killed mid-ingest leaves the completed editions on
+  disk and a ``--resume`` run only re-harvests the missing ones;
+- **per stage** — a completed stage saves one artifact (ingest report,
+  enrichment) so a resumed run can skip it entirely.
+
+A checkpoint directory carries a fingerprint (seed, scale, year, fault
+configuration); resuming against a different configuration raises a
+:class:`CheckpointMismatch` instead of silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CheckpointMismatch", "CheckpointStore", "save_item_file"]
+
+
+class CheckpointMismatch(ValueError):
+    """Resume was requested against a checkpoint from a different run."""
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def save_item_file(stage_dir: str | Path, key: str, obj: Any) -> None:
+    """Pickle one work item's result (callable from worker processes)."""
+    d = Path(stage_dir)
+    d.mkdir(parents=True, exist_ok=True)
+    _atomic_write(d / f"{key}.pkl", pickle.dumps(obj))
+
+
+class CheckpointStore:
+    """Filesystem layout and fingerprint discipline for one run."""
+
+    META = "meta.json"
+
+    def __init__(self, root: str | Path, fingerprint: dict[str, Any]) -> None:
+        self.root = Path(root)
+        self.fingerprint = {k: fingerprint[k] for k in sorted(fingerprint)}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def begin(self, resume: bool = False) -> None:
+        """Prepare the directory: reuse on matching resume, else start clean."""
+        meta_path = self.root / self.META
+        if resume and meta_path.exists():
+            on_disk = json.loads(meta_path.read_text(encoding="utf-8"))
+            if on_disk != self.fingerprint:
+                raise CheckpointMismatch(
+                    f"checkpoint at {self.root} was written by a different run: "
+                    f"{on_disk} != {self.fingerprint}"
+                )
+            return
+        if self.root.exists():
+            for p in sorted(self.root.rglob("*"), reverse=True):
+                p.unlink() if p.is_file() else p.rmdir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        _atomic_write(
+            meta_path, json.dumps(self.fingerprint, indent=2).encode("utf-8")
+        )
+
+    # ------------------------------------------------------------ per item
+
+    def item_dir(self, stage: str) -> Path:
+        d = self.root / stage
+        d.mkdir(parents=True, exist_ok=True)
+        return d
+
+    def save_item(self, stage: str, key: str, obj: Any) -> None:
+        save_item_file(self.item_dir(stage), key, obj)
+
+    def load_items(self, stage: str) -> dict[str, Any]:
+        """All completed items of a stage, keyed by item key."""
+        d = self.root / stage
+        if not d.is_dir():
+            return {}
+        out: dict[str, Any] = {}
+        for p in sorted(d.glob("*.pkl")):
+            out[p.stem] = pickle.loads(p.read_bytes())
+        return out
+
+    # ------------------------------------------------------------ per stage
+
+    def _stage_path(self, stage: str) -> Path:
+        return self.root / f"{stage}.stage.pkl"
+
+    def has_stage(self, stage: str) -> bool:
+        return self._stage_path(stage).exists()
+
+    def save_stage(self, stage: str, obj: Any) -> None:
+        _atomic_write(self._stage_path(stage), pickle.dumps(obj))
+
+    def load_stage(self, stage: str) -> Any:
+        return pickle.loads(self._stage_path(stage).read_bytes())

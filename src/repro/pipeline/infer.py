@@ -36,11 +36,18 @@ def infer_genders(
     seed: int,
     policy: ResolverPolicy | None = None,
     photo_error_rate: float = 0.01,
+    session: "FaultSession | None" = None,
 ) -> InferenceOutcome:
     """Run the cascade for every researcher in ``linked``.
 
     ``name_evidence``/``name_truth`` are keyed by normalized name key
     (see :mod:`repro.harvest.webindex`).
+
+    With a :class:`~repro.faults.session.FaultSession` the genderize
+    client runs behind a resilient wrapper: injected failures are
+    retried, and a name whose lookups all fail resolves to *unassigned*
+    (the paper's 3.03% "none" bucket) with the loss recorded on the
+    session.
     """
     web = WebEvidenceSource(
         availability=name_evidence,
@@ -49,7 +56,13 @@ def infer_genders(
         seed=seed,
     )
     client = GenderizeClient(service_seed=seed)
-    resolver = GenderResolver(web, client, policy)
+    if session is not None:
+        from repro.faults.wrappers import ResilientGenderizeClient
+
+        resolver_client = ResilientGenderizeClient(client, session)
+    else:
+        resolver_client = client
+    resolver = GenderResolver(web, resolver_client, policy)
     assignments: dict[str, GenderAssignment] = {}
     for rid, rec in linked.researchers.items():
         # the resolver's person key is the name key: the manual search

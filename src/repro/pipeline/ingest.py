@@ -4,17 +4,49 @@ One task per conference edition — the natural decomposition for the
 deterministic parallel map (results are ordered by the edition list, and
 site generation is a pure function of the registry, so worker count
 cannot change the output).
+
+Two entry points:
+
+- :func:`ingest_world` — the fault-free fast path, unchanged semantics.
+- :func:`ingest_world_resilient` — the same harvest under a
+  :class:`~repro.faults.plan.FaultConfig`: injected fetch failures are
+  retried (virtual-clock backoff), malformed pages are scraped as-is,
+  an edition that exhausts its retries is *dropped and recorded* in the
+  returned :class:`IngestReport` instead of aborting the run, and each
+  completed edition can be checkpointed for ``--resume``.
+
+Every harvest task owns its own :class:`~repro.faults.session.FaultSession`,
+so breaker state and virtual time are per-item and the report is
+bit-identical across worker counts.  Tasks run under
+``parallel_map(..., capture_errors=True)``: even a genuine bug in one
+edition's scrape surfaces as a loss record, not a dead pool.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+from repro.faults.corrupt import corrupt_edition
+from repro.faults.degradation import FaultStats, LossRecord
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultConfig
+from repro.faults.session import FaultSession
 from repro.harvest.proceedings import build_proceedings
 from repro.harvest.scrape import HarvestedConference, scrape_site
 from repro.harvest.sitegen import generate_site
+from repro.pipeline.checkpoint import CheckpointStore, save_item_file
 from repro.synth.world import SyntheticWorld
-from repro.util.parallel import ParallelConfig, parallel_map
+from repro.util.parallel import ParallelConfig, TaskError, parallel_map
 
-__all__ = ["ingest_world", "harvest_one"]
+__all__ = [
+    "ingest_world",
+    "ingest_world_resilient",
+    "harvest_one",
+    "HarvestOutcome",
+    "IngestReport",
+]
+
+_STAGE = "ingest"
 
 
 def harvest_one(args: tuple[SyntheticWorld, str, int]) -> HarvestedConference:
@@ -25,15 +57,145 @@ def harvest_one(args: tuple[SyntheticWorld, str, int]) -> HarvestedConference:
     return scrape_site(site, proceedings)
 
 
+def _editions_of(world: SyntheticWorld, year: int):
+    return sorted(
+        (e for e in world.registry.editions.values() if e.year == year),
+        key=lambda e: e.date,
+    )
+
+
 def ingest_world(
     world: SyntheticWorld,
     year: int = 2017,
     parallel: ParallelConfig | None = None,
 ) -> list[HarvestedConference]:
-    """Scrape every conference edition of ``year``."""
-    editions = sorted(
-        (e for e in world.registry.editions.values() if e.year == year),
-        key=lambda e: e.date,
-    )
+    """Scrape every conference edition of ``year`` (fault-free path)."""
+    editions = _editions_of(world, year)
     tasks = [(world, e.name, e.year) for e in editions]
     return parallel_map(harvest_one, tasks, parallel)
+
+
+# ----------------------------------------------------------- resilient path
+
+
+@dataclass
+class HarvestOutcome:
+    """One task's result: a conference, or its documented absence."""
+
+    key: str
+    conference: HarvestedConference | None
+    losses: tuple[LossRecord, ...]
+    stats: FaultStats
+
+
+@dataclass
+class IngestReport:
+    """Everything the runner needs to account for the harvest stage."""
+
+    conferences: list[HarvestedConference] = field(default_factory=list)
+    losses: list[LossRecord] = field(default_factory=list)
+    stats: FaultStats = field(default_factory=FaultStats)
+    total_editions: int = 0
+    resumed: tuple[str, ...] = ()
+
+
+def _harvest_resilient(
+    args: tuple[SyntheticWorld, str, int, FaultConfig | None, str | None],
+) -> HarvestOutcome:
+    """Harvest one edition under the fault plan (module-level: picklable)."""
+    world, conference, year, faults, stage_dir = args
+    key = f"{conference}-{year}"
+    session = FaultSession(faults)
+
+    def fetch():
+        site = generate_site(world.registry, conference, year)
+        proceedings = build_proceedings(world.registry, conference, year)
+        return site, proceedings
+
+    applied_tags: list[str] = []
+
+    def malform(payload, rng):
+        site, proceedings = payload
+        site, proceedings, tags = corrupt_edition(site, proceedings, rng)
+        applied_tags.extend(tags)
+        return site, proceedings
+
+    try:
+        site, proceedings = session.call(
+            "harvest", (conference, year), fetch, malform=malform
+        )
+    except FaultError as exc:
+        session.record_loss("harvest", key, exc.reason)
+        return HarvestOutcome(key, None, tuple(session.losses), session.snapshot)
+    for tag in applied_tags:
+        session.record_loss("harvest", key, f"malformed:{tag}")
+    conf = scrape_site(site, proceedings)
+    outcome = HarvestOutcome(key, conf, tuple(session.losses), session.snapshot)
+    if stage_dir is not None:
+        # checkpoint from the worker: a kill after this point never
+        # re-harvests this edition (losses ride along; stats stay per-run)
+        save_item_file(stage_dir, key, (conf, outcome.losses))
+    return outcome
+
+
+def ingest_world_resilient(
+    world: SyntheticWorld,
+    year: int = 2017,
+    parallel: ParallelConfig | None = None,
+    faults: FaultConfig | None = None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool = False,
+) -> IngestReport:
+    """Scrape every edition of ``year`` under faults, never raising."""
+    editions = _editions_of(world, year)
+    keys = [f"{e.name}-{e.year}" for e in editions]
+    report = IngestReport(total_editions=len(editions))
+
+    if checkpoint is not None and resume and checkpoint.has_stage(_STAGE):
+        done: IngestReport = checkpoint.load_stage(_STAGE)
+        # data-coverage facts carry over; effort counters are per-run
+        return IngestReport(
+            conferences=done.conferences,
+            losses=done.losses,
+            stats=FaultStats(),
+            total_editions=done.total_editions,
+            resumed=tuple(keys),
+        )
+
+    loaded: dict[str, tuple] = {}
+    if checkpoint is not None and resume:
+        loaded = checkpoint.load_items(_STAGE)
+
+    stage_dir = str(checkpoint.item_dir(_STAGE)) if checkpoint is not None else None
+    pending = [e for e in editions if f"{e.name}-{e.year}" not in loaded]
+    tasks = [(world, e.name, e.year, faults, stage_dir) for e in pending]
+    results = parallel_map(_harvest_resilient, tasks, parallel, capture_errors=True)
+    by_key = {
+        f"{e.name}-{e.year}": r for e, r in zip(pending, results)
+    }
+
+    resumed: list[str] = []
+    for key in keys:
+        if key in loaded:
+            conf, losses = loaded[key]
+            report.conferences.append(conf)
+            report.losses.extend(losses)
+            resumed.append(key)
+            continue
+        result = by_key[key]
+        if isinstance(result, TaskError):
+            # a genuine defect in this edition's harvest, not an
+            # injected fault: degrade it like any other loss
+            report.losses.append(
+                LossRecord("harvest", key, f"task-error:{result.kind}: {result.message}")
+            )
+            continue
+        report.losses.extend(result.losses)
+        report.stats.merge(result.stats)
+        if result.conference is not None:
+            report.conferences.append(result.conference)
+    report.resumed = tuple(resumed)
+
+    if checkpoint is not None:
+        checkpoint.save_stage(_STAGE, report)
+    return report

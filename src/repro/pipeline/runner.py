@@ -1,15 +1,37 @@
-"""End-to-end pipeline driver."""
+"""End-to-end pipeline driver.
+
+Beyond the happy path, the runner owns the pipeline's resilience
+contract:
+
+- pass a :class:`~repro.faults.plan.FaultConfig` and every simulated
+  service call (harvest fetches, genderize, Google Scholar, Semantic
+  Scholar) runs under the deterministic fault plan — retried with
+  virtual-clock backoff, circuit-broken, and, when lost for good,
+  recorded in :attr:`PipelineResult.degraded` rather than raised;
+- pass ``checkpoint_dir`` and the expensive stages checkpoint as they
+  complete (harvest per *edition*, from the workers), so a killed run
+  resumes with ``resume=True`` without re-doing finished work.
+
+With ``faults=None`` and no checkpointing the runner executes exactly
+the fault-free code path; with ``FaultConfig(rate=0.0)`` the resilience
+plumbing is live but injects nothing, and the output is bit-identical
+to the fault-free run.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.degradation import DegradedCoverage, FaultStats
+from repro.faults.plan import FaultConfig
+from repro.faults.session import FaultSession
 from repro.gender.resolver import ResolverPolicy
 from repro.harvest.webindex import build_name_keyed_evidence
+from repro.pipeline.checkpoint import CheckpointStore
 from repro.pipeline.dataset import AnalysisDataset
 from repro.pipeline.enrich import enrich_researchers
 from repro.pipeline.infer import InferenceOutcome, infer_genders
-from repro.pipeline.ingest import ingest_world
+from repro.pipeline.ingest import IngestReport, ingest_world, ingest_world_resilient
 from repro.pipeline.link import LinkedData, link_identities
 from repro.synth.config import WorldConfig
 from repro.synth.world import SyntheticWorld, build_world
@@ -28,10 +50,19 @@ class PipelineResult:
     dataset: AnalysisDataset
     inference: InferenceOutcome
     timer: StageTimer = field(default_factory=StageTimer)
+    degraded: DegradedCoverage | None = None
 
     @property
     def coverage(self) -> dict[str, float]:
         return self.inference.coverage
+
+
+def _fingerprint(world: SyntheticWorld, faults: FaultConfig | None) -> dict:
+    return {
+        "seed": world.seed,
+        "scale": world.config.scale,
+        "faults": repr(faults) if faults is not None else "none",
+    }
 
 
 def run_pipeline(
@@ -39,6 +70,9 @@ def run_pipeline(
     world: SyntheticWorld | None = None,
     parallel: ParallelConfig | None = None,
     policy: ResolverPolicy | None = None,
+    faults: FaultConfig | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
 ) -> PipelineResult:
     """Build (or reuse) a world and run every pipeline stage.
 
@@ -52,17 +86,64 @@ def run_pipeline(
         Parallel policy for the ingest stage (serial by default).
     policy:
         Gender-resolver policy (paper defaults: manual + genderize@0.70).
+    faults:
+        Fault-injection configuration.  When given, the run cannot be
+        aborted by injected faults: exhausted work items are dropped and
+        accounted in :attr:`PipelineResult.degraded`.
+    checkpoint_dir:
+        Directory for per-stage checkpoints; implies the resilient path.
+    resume:
+        Reuse matching checkpoints in ``checkpoint_dir`` instead of
+        recomputing (raises
+        :class:`~repro.pipeline.checkpoint.CheckpointMismatch` if the
+        directory belongs to a different run).
     """
     timer = StageTimer()
     if world is None:
         with timer.stage("build_world"):
             world = build_world(config)
-    with timer.stage("ingest"):
-        harvested = ingest_world(world, parallel=parallel)
-    with timer.stage("link"):
-        linked = link_identities(harvested)
-    with timer.stage("enrich"):
-        enrichment = enrich_researchers(linked, world.gs_store, world.s2_store)
+
+    resilient = faults is not None or checkpoint_dir is not None
+    if not resilient:
+        with timer.stage("ingest"):
+            harvested = ingest_world(world, parallel=parallel)
+        with timer.stage("link"):
+            linked = link_identities(harvested)
+        with timer.stage("enrich"):
+            enrichment = enrich_researchers(linked, world.gs_store, world.s2_store)
+        enrich_session = infer_session = None
+        ingest_report = None
+    else:
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = CheckpointStore(checkpoint_dir, _fingerprint(world, faults))
+            checkpoint.begin(resume=resume)
+        with timer.stage("ingest"):
+            ingest_report = ingest_world_resilient(
+                world,
+                parallel=parallel,
+                faults=faults,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
+            harvested = ingest_report.conferences
+        with timer.stage("link"):
+            linked = link_identities(harvested)
+        enrich_session = FaultSession(faults)
+        with timer.stage("enrich"):
+            if checkpoint is not None and resume and checkpoint.has_stage("enrich"):
+                enrichment, enrich_losses = checkpoint.load_stage("enrich")
+                enrich_session.losses.extend(enrich_losses)
+            else:
+                enrichment = enrich_researchers(
+                    linked, world.gs_store, world.s2_store, session=enrich_session
+                )
+                if checkpoint is not None:
+                    checkpoint.save_stage(
+                        "enrich", (enrichment, list(enrich_session.losses))
+                    )
+        infer_session = FaultSession(faults)
+
     with timer.stage("infer"):
         name_evidence, name_truth = build_name_keyed_evidence(
             world.registry, world.evidence_availability, world.true_genders
@@ -74,13 +155,44 @@ def run_pipeline(
             seed=world.seed,
             policy=policy,
             photo_error_rate=world.config.photo_error_rate,
+            session=infer_session,
         )
     with timer.stage("dataset"):
         dataset = AnalysisDataset.build(linked, enrichment, inference.assignments)
+
+    degraded = None
+    if resilient:
+        degraded = _assemble_degraded(ingest_report, enrich_session, infer_session)
+
     return PipelineResult(
         world=world,
         linked=linked,
         dataset=dataset,
         inference=inference,
         timer=timer,
+        degraded=degraded,
+    )
+
+
+def _assemble_degraded(
+    ingest_report: IngestReport,
+    enrich_session: FaultSession,
+    infer_session: FaultSession,
+) -> DegradedCoverage:
+    """Fold the per-stage sessions into one comparable report."""
+    stats = FaultStats()
+    stats.merge(ingest_report.stats)
+    stats.merge(enrich_session.snapshot)
+    stats.merge(infer_session.snapshot)
+    losses = (
+        list(ingest_report.losses)
+        + list(enrich_session.losses)
+        + list(infer_session.losses)
+    )
+    return DegradedCoverage.from_parts(
+        total_editions=ingest_report.total_editions,
+        harvested_editions=len(ingest_report.conferences),
+        losses=losses,
+        stats=stats,
+        resumed_editions=ingest_report.resumed,
     )

@@ -23,6 +23,7 @@ from repro.report.compare import ComparisonRow, compare_headlines
 from repro.report.experiments import EXPERIMENTS, run_experiment
 from repro.report.export import export_artifact
 from repro.report.textreport import full_report
+from repro.report.degraded import render_degraded
 from repro.report.stability import stability_report
 
 __all__ = [
@@ -43,5 +44,6 @@ __all__ = [
     "run_experiment",
     "export_artifact",
     "full_report",
+    "render_degraded",
     "stability_report",
 ]

@@ -156,4 +156,10 @@ def full_report(result: PipelineResult) -> str:
     add(f"{close}/{len(rows)} headline statistics within 25% relative error; "
         "see EXPERIMENTS.md for the full ledger.")
     add("")
+
+    if result.degraded is not None:
+        from repro.report.degraded import render_degraded
+
+        add(render_degraded(result.degraded))
+        add("")
     return "\n".join(lines)

@@ -27,10 +27,43 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ParallelConfig", "parallel_map"]
+__all__ = ["ParallelConfig", "TaskError", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """A captured per-task failure.
+
+    Holds only the exception's class name and message — both identical
+    whether the task ran in-process or in a worker — so the serial and
+    parallel paths produce *equal* result lists for the same poisoned
+    input, and the error occupies the failed item's slot without
+    disturbing the ordering of surviving results.
+    """
+
+    kind: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}: {self.message}"
+
+
+class _CaptureErrors:
+    """Picklable wrapper turning task exceptions into :class:`TaskError`."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self._fn = fn
+
+    def __call__(self, item):
+        try:
+            return self._fn(item)
+        except Exception as exc:
+            return TaskError(kind=type(exc).__name__, message=str(exc))
 
 
 @dataclass(frozen=True)
@@ -67,15 +100,23 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     config: ParallelConfig | None = None,
+    capture_errors: bool = False,
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving input order.
 
     ``fn`` must be picklable (module-level) when running with more than
     one worker.  The output is identical to ``[fn(x) for x in items]`` by
     construction.
+
+    With ``capture_errors=True`` a raising task yields a
+    :class:`TaskError` in its slot instead of poisoning the whole map:
+    one bad item no longer kills the ``ProcessPoolExecutor`` (or the
+    serial loop), and both paths return the same captured error.
     """
     seq: Sequence[T] = list(items)
     cfg = config or ParallelConfig()
+    if capture_errors:
+        fn = _CaptureErrors(fn)
     workers = cfg.resolved_workers(len(seq))
     if workers <= 1 or not seq:
         return [fn(x) for x in seq]

@@ -1,11 +1,30 @@
-"""Minimal wall-clock stage timing for the pipeline and benchmarks."""
+"""Minimal wall-clock stage timing for the pipeline and benchmarks,
+plus the virtual clock the resilience layer's backoff runs on."""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["StageTimer"]
+__all__ = ["StageTimer", "VirtualClock"]
+
+
+@dataclass
+class VirtualClock:
+    """A clock that only moves when told to.
+
+    Retry backoff and rate-limit penalties "sleep" on this clock, so a
+    faulted run is charged realistic latency without any process ever
+    blocking — and the accumulated time is bit-identical across worker
+    counts because each work item owns its own clock.
+    """
+
+    now: float = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.now += seconds
 
 
 @dataclass

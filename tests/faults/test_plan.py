@@ -1,0 +1,66 @@
+"""The fault plan must be a pure function of (seed, service, key, attempt)."""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultKind, FaultPlan
+
+
+class TestFaultPlan:
+    def test_rate_zero_never_faults(self):
+        plan = FaultPlan(FaultConfig(rate=0.0, seed=1))
+        assert all(plan.draw("svc", i) is None for i in range(500))
+
+    def test_rate_one_always_faults(self):
+        plan = FaultPlan(FaultConfig(rate=1.0, seed=1))
+        assert all(plan.draw("svc", i) is not None for i in range(500))
+
+    def test_decisions_independent_of_query_order(self):
+        plan = FaultPlan(FaultConfig(rate=0.5, seed=9))
+        forward = {k: plan.draw("svc", k) for k in range(100)}
+        backward = {k: plan.draw("svc", k) for k in reversed(range(100))}
+        assert forward == backward
+
+    def test_same_seed_same_plan(self):
+        a = FaultPlan(FaultConfig(rate=0.5, seed=4))
+        b = FaultPlan(FaultConfig(rate=0.5, seed=4))
+        assert [a.draw("s", i) for i in range(200)] == [
+            b.draw("s", i) for i in range(200)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(FaultConfig(rate=0.5, seed=4))
+        b = FaultPlan(FaultConfig(rate=0.5, seed=5))
+        assert [a.draw("s", i) for i in range(200)] != [
+            b.draw("s", i) for i in range(200)
+        ]
+
+    def test_attempts_are_independent_draws(self):
+        plan = FaultPlan(FaultConfig(rate=0.5, seed=4))
+        draws = [plan.draw("s", "k", attempt=a) for a in range(1, 50)]
+        assert len(set(draws)) > 1  # not all attempts fail the same way
+
+    def test_empirical_rate(self):
+        plan = FaultPlan(FaultConfig(rate=0.4, seed=9))
+        frac = sum(plan.draw("svc", i) is not None for i in range(2000)) / 2000
+        assert 0.35 < frac < 0.45
+
+    def test_zero_weight_kind_never_drawn(self):
+        plan = FaultPlan(FaultConfig(rate=1.0, seed=3, weights=(1.0, 1.0, 0.0, 1.0)))
+        kinds = {plan.draw("svc", i) for i in range(500)}
+        assert FaultKind.RATE_LIMIT not in kinds
+        assert kinds == {FaultKind.TRANSIENT, FaultKind.TIMEOUT, FaultKind.MALFORMED}
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(rate=0.5, weights=(0.0, 0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            FaultConfig(rate=0.5, weights=(1.0, 1.0))
+
+    def test_payload_rng_deterministic(self):
+        plan = FaultPlan(FaultConfig(rate=1.0, seed=3))
+        a = plan.payload_rng("svc", "key").random()
+        b = plan.payload_rng("svc", "key").random()
+        assert a == b
+        assert plan.payload_rng("svc", "other").random() != a

@@ -1,0 +1,110 @@
+"""Resilient service wrappers: passthrough at rate 0, graceful at rate 1."""
+
+import pytest
+
+from repro.faults import (
+    FaultConfig,
+    FaultSession,
+    ResilientGenderizeClient,
+    ResilientGoogleScholar,
+    ResilientSemanticScholar,
+)
+from repro.gender.genderize import GenderizeClient
+from repro.scholar.gscholar import GoogleScholarStore, GSProfile
+from repro.scholar.semanticscholar import S2Record, SemanticScholarStore
+
+NAMES = ["Alice Smith", "Bob Jones", "Wei Zhang", "Maria Garcia", "John Doe"]
+
+TRANSIENT_ONLY = (1.0, 0.0, 0.0, 0.0)
+
+
+@pytest.fixture
+def gs_store():
+    store = GoogleScholarStore()
+    for i, name in enumerate(NAMES):
+        store.add(
+            GSProfile(
+                profile_id=f"gs{i}",
+                display_name=name,
+                affiliation="MIT, USA",
+                publications=10 + i,
+                h_index=5,
+                i10_index=3,
+                citations=100,
+            )
+        )
+    return store
+
+
+@pytest.fixture
+def s2_store():
+    store = SemanticScholarStore()
+    for i, name in enumerate(NAMES):
+        store.put(f"p{i}", S2Record(author_id=f"s2{i}", display_name=name,
+                                    publications=20 + i))
+    return store
+
+
+class TestResilientGenderize:
+    def test_rate_zero_passthrough(self):
+        bare = GenderizeClient(service_seed=3)
+        wrapped = ResilientGenderizeClient(
+            GenderizeClient(service_seed=3), FaultSession(FaultConfig(rate=0.0))
+        )
+        for name in NAMES:
+            assert wrapped.query(name) == bare.query(name)
+
+    def test_rate_one_degrades_to_unknown_without_raising(self):
+        session = FaultSession(FaultConfig(rate=1.0, seed=7, weights=TRANSIENT_ONLY))
+        wrapped = ResilientGenderizeClient(GenderizeClient(service_seed=3), session)
+        for name in NAMES:
+            resp = wrapped.query(name)
+            assert resp.gender is None and resp.count == 0
+        assert len(session.losses) == len(NAMES)
+        assert {r.stage for r in session.losses} == {"genderize"}
+
+    def test_malformed_payloads_are_detected_and_retried(self):
+        # malformed-only injection: every corrupted payload is rejected
+        # client-side; the name is either answered by a clean retry or lost
+        session = FaultSession(
+            FaultConfig(rate=0.5, seed=11, weights=(0.0, 0.0, 0.0, 1.0))
+        )
+        wrapped = ResilientGenderizeClient(GenderizeClient(service_seed=3), session)
+        for name in NAMES * 4:
+            resp = wrapped.query(name)
+            assert 0.0 <= resp.probability <= 1.0  # garbage never escapes
+            assert resp.count >= 0
+        assert session.snapshot.faults.get("malformed", 0) > 0
+
+    def test_deterministic_across_sessions(self):
+        def run():
+            session = FaultSession(FaultConfig(rate=0.6, seed=21))
+            wrapped = ResilientGenderizeClient(GenderizeClient(service_seed=3), session)
+            return [wrapped.query(n) for n in NAMES * 3], list(session.losses)
+
+        out_a, losses_a = run()
+        out_b, losses_b = run()
+        assert out_a == out_b
+        assert losses_a == losses_b
+
+
+class TestResilientScholar:
+    def test_rate_zero_passthrough(self, gs_store, s2_store):
+        session = FaultSession(FaultConfig(rate=0.0))
+        gs = ResilientGoogleScholar(gs_store, session)
+        s2 = ResilientSemanticScholar(s2_store, session)
+        for name in NAMES:
+            assert gs.unique_match(name) == gs_store.unique_match(name)
+            assert s2.search_name(name) == s2_store.search_name(name)
+
+    def test_rate_one_returns_no_data(self, gs_store, s2_store):
+        session = FaultSession(FaultConfig(rate=1.0, seed=7, weights=TRANSIENT_ONLY))
+        gs = ResilientGoogleScholar(gs_store, session)
+        s2 = ResilientSemanticScholar(s2_store, session)
+        for name in NAMES:
+            assert gs.unique_match(name) is None
+            assert gs.search(name) == []
+            assert s2.search_name(name) == []
+        stages = {r.stage for r in session.losses}
+        assert stages == {"gscholar", "semanticscholar"}
+        assert len(session.losses) == 3 * len(NAMES)

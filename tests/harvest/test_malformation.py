@@ -1,0 +1,169 @@
+"""Malformation matrix: the scraper survives every corruption we inject.
+
+Covers the two historical scraper bugs (the ``Name <addr`` header crash
+and the zero-acceptance truthiness bug) plus a fuzz sweep of
+:func:`repro.faults.corrupt.corrupt_edition` over real generated sites,
+and the pipeline-level guarantee that every lost edition is accounted
+for in the ingest report.
+"""
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.faults.corrupt import CORRUPTION_TAGS, corrupt_edition
+from repro.harvest.html import el, render
+from repro.harvest.proceedings import ProceedingsRecord, build_proceedings
+from repro.harvest.scrape import HarvestedConference, scrape_site
+from repro.harvest.sitegen import ConferenceSite, generate_site
+from repro.pipeline.ingest import ingest_world_resilient
+from repro.util.rng import spawn_rng
+
+TRANSIENT_ONLY = (1.0, 0.0, 0.0, 0.0)
+
+
+def _single_paper_site(papers_html: str) -> ConferenceSite:
+    return ConferenceSite(
+        conference="CONF",
+        year=2017,
+        index_html="<html><body></body></html>",
+        committees_html="<html><body></body></html>",
+        program_html="<html><body></body></html>",
+        papers_html=papers_html,
+    )
+
+
+def _paper_page(*author_names: str) -> str:
+    paper = el(
+        "div",
+        el("p", "p1", cls="paper-id"),
+        el("p", "A Study", cls="paper-title"),
+        el("ul", *[el("li", n, cls="paper-author") for n in author_names]),
+        cls="paper",
+    )
+    return render(el("html", el("body", paper)))
+
+
+def _record(header: str, *author_names: str) -> ProceedingsRecord:
+    return ProceedingsRecord(
+        paper_id="p1",
+        conference="CONF",
+        year=2017,
+        title="A Study",
+        author_names=tuple(author_names),
+        fulltext_header=header,
+        citations_36mo=3,
+        is_hpc_topic=True,
+    )
+
+
+class TestEmailHeaderParsing:
+    """Satellite: ``Name <addr`` without ``>`` used to crash the scraper."""
+
+    def test_unclosed_bracket_yields_no_email(self):
+        site = _single_paper_site(_paper_page("Alice Smith"))
+        rec = _record("A Study\n\nAlice Smith <alice@mit.edu", "Alice Smith")
+        conf = scrape_site(site, [rec])  # must not raise
+        assert conf.papers[0].author_emails == (None,)
+
+    def test_inverted_brackets_yield_no_email(self):
+        site = _single_paper_site(_paper_page("Alice Smith"))
+        rec = _record("A Study\n\nAlice Smith >alice@mit.edu<", "Alice Smith")
+        conf = scrape_site(site, [rec])
+        assert conf.papers[0].author_emails == (None,)
+
+    def test_well_formed_line_still_extracts(self):
+        site = _single_paper_site(_paper_page("Alice Smith", "Bob Jones"))
+        rec = _record(
+            "A Study\n\nAlice Smith <alice@mit.edu>\nBob Jones <bob@cmu.edu",
+            "Alice Smith",
+            "Bob Jones",
+        )
+        conf = scrape_site(site, [rec])
+        # the broken line degrades alone; the good one still parses
+        assert conf.papers[0].author_emails == ("alice@mit.edu", None)
+
+
+class TestAcceptanceRate:
+    """Satellite: accepted=0 is a real rate of 0.0, not missing data."""
+
+    def test_zero_accepted_is_zero_not_none(self):
+        conf = HarvestedConference("C", 2017, accepted=0, submitted=100)
+        assert conf.acceptance_rate == 0.0
+
+    def test_missing_counts_are_none(self):
+        assert HarvestedConference("C", 2017, accepted=None, submitted=100).acceptance_rate is None
+        assert HarvestedConference("C", 2017, accepted=10, submitted=None).acceptance_rate is None
+
+    def test_zero_submitted_is_none_not_crash(self):
+        conf = HarvestedConference("C", 2017, accepted=0, submitted=0)
+        assert conf.acceptance_rate is None
+
+    def test_normal_rate(self):
+        conf = HarvestedConference("C", 2017, accepted=25, submitted=100)
+        assert conf.acceptance_rate == pytest.approx(0.25)
+
+
+@pytest.mark.faults
+class TestMalformationMatrix:
+    """Fuzz sweep: scrape_site never raises on any corrupted edition."""
+
+    def test_every_corruption_on_every_edition(self, small_world):
+        editions = [
+            e for e in small_world.registry.editions.values() if e.year == 2017
+        ]
+        assert editions, "small_world must have 2017 editions"
+        seen_tags = set()
+        for edition in editions:
+            site = generate_site(small_world.registry, edition.name, edition.year)
+            proceedings = build_proceedings(
+                small_world.registry, edition.name, edition.year
+            )
+            for trial in range(8):
+                rng = spawn_rng(99, "fuzz", edition.name, trial)
+                bad_site, bad_proc, tags = corrupt_edition(
+                    site, proceedings, rng, max_ops=3
+                )
+                seen_tags.update(tags)
+                conf = scrape_site(bad_site, bad_proc)  # must not raise
+                assert conf.conference == edition.name
+                assert conf.year == edition.year
+        # the sweep actually exercised the corruption matrix
+        assert len(seen_tags) >= len(CORRUPTION_TAGS) // 2
+
+    def test_corruption_is_deterministic(self, small_world):
+        edition = next(
+            e for e in small_world.registry.editions.values() if e.year == 2017
+        )
+        site = generate_site(small_world.registry, edition.name, edition.year)
+        proceedings = build_proceedings(
+            small_world.registry, edition.name, edition.year
+        )
+        a = corrupt_edition(site, proceedings, spawn_rng(5, "det"))
+        b = corrupt_edition(site, proceedings, spawn_rng(5, "det"))
+        assert a == b
+
+
+@pytest.mark.faults
+class TestIngestAccounting:
+    """Every edition is either harvested or recorded as a loss."""
+
+    @pytest.mark.parametrize("rate", [0.3, 0.7, 1.0])
+    def test_editions_all_accounted(self, small_world, rate):
+        report = ingest_world_resilient(
+            small_world,
+            faults=FaultConfig(rate=rate, seed=3, weights=TRANSIENT_ONLY),
+        )
+        dropped = {r.key for r in report.losses if r.stage == "harvest"}
+        assert len(report.conferences) + len(dropped) == report.total_editions
+        harvested = {f"{c.conference}-{c.year}" for c in report.conferences}
+        assert not harvested & dropped
+
+    def test_malformed_editions_harvest_but_are_recorded(self, small_world):
+        # malformed-only: no edition is ever dropped, but corruption is logged
+        report = ingest_world_resilient(
+            small_world,
+            faults=FaultConfig(rate=1.0, seed=3, weights=(0.0, 0.0, 0.0, 1.0)),
+        )
+        assert len(report.conferences) == report.total_editions
+        assert report.losses
+        assert all(r.reason.startswith("malformed:") for r in report.losses)

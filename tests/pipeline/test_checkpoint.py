@@ -1,0 +1,123 @@
+"""Checkpoint/resume: a killed run picks up without re-doing finished work.
+
+The service-call counters in ``DegradedCoverage`` are the witness: a
+full resume must make *zero* harvest calls, a partial resume exactly as
+many as there are missing editions.
+"""
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.pipeline import CheckpointMismatch, CheckpointStore, run_pipeline
+
+NO_FAULTS = FaultConfig(rate=0.0, seed=1)
+
+
+def _datasets_equal(a, b) -> bool:
+    tables = (
+        "researchers",
+        "author_positions",
+        "conf_authors",
+        "papers",
+        "conferences",
+        "role_slots",
+    )
+    return all(getattr(a, t).equals(getattr(b, t)) for t in tables)
+
+
+class TestCheckpointStore:
+    def test_stage_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+        assert not store.has_stage("ingest")
+        store.save_stage("ingest", {"payload": [1, 2, 3]})
+        assert store.has_stage("ingest")
+        assert store.load_stage("ingest") == {"payload": [1, 2, 3]}
+
+    def test_item_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+        store.save_item("ingest", "SC-2017", ("conf", "losses"))
+        store.save_item("ingest", "ICS-2017", ("other", "losses"))
+        items = store.load_items("ingest")
+        assert set(items) == {"SC-2017", "ICS-2017"}
+        assert items["SC-2017"] == ("conf", "losses")
+
+    def test_begin_without_resume_wipes(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+        store.save_stage("ingest", "old")
+        store.begin(resume=False)
+        assert not store.has_stage("ingest")
+
+    def test_resume_against_other_fingerprint_raises(self, tmp_path):
+        CheckpointStore(tmp_path / "ck", {"seed": 1}).begin()
+        other = CheckpointStore(tmp_path / "ck", {"seed": 2})
+        with pytest.raises(CheckpointMismatch):
+            other.begin(resume=True)
+
+    def test_resume_on_fresh_dir_starts_clean(self, tmp_path):
+        store = CheckpointStore(tmp_path / "never-written", {"seed": 1})
+        store.begin(resume=True)  # nothing to reuse: behaves like a first run
+        assert store.load_items("ingest") == {}
+
+
+class TestPipelineResume:
+    def test_full_resume_makes_no_harvest_calls(self, small_world, tmp_path):
+        ck = str(tmp_path / "ck")
+        first = run_pipeline(
+            world=small_world, faults=NO_FAULTS, checkpoint_dir=ck
+        )
+        n = first.degraded.total_editions
+        assert first.degraded.service_calls.get("harvest", 0) == n
+        assert first.degraded.resumed_editions == ()
+
+        again = run_pipeline(
+            world=small_world, faults=NO_FAULTS, checkpoint_dir=ck, resume=True
+        )
+        assert again.degraded.service_calls.get("harvest", 0) == 0
+        assert len(again.degraded.resumed_editions) == n
+        assert _datasets_equal(first.dataset, again.dataset)
+        assert first.coverage == again.coverage
+
+    def test_partial_resume_only_reharvests_missing(self, small_world, tmp_path):
+        from pathlib import Path
+
+        ck = tmp_path / "ck"
+        first = run_pipeline(
+            world=small_world, faults=NO_FAULTS, checkpoint_dir=str(ck)
+        )
+        n = first.degraded.total_editions
+
+        # simulate a kill after three editions: drop the stage summaries
+        # and all but three per-item files
+        for stage_file in ck.glob("*.stage.pkl"):
+            stage_file.unlink()
+        items = sorted(Path(ck, "ingest").glob("*.pkl"))
+        assert len(items) == n
+        for surplus in items[3:]:
+            surplus.unlink()
+
+        resumed = run_pipeline(
+            world=small_world, faults=NO_FAULTS, checkpoint_dir=str(ck), resume=True
+        )
+        assert resumed.degraded.service_calls.get("harvest", 0) == n - 3
+        assert len(resumed.degraded.resumed_editions) == 3
+        assert _datasets_equal(first.dataset, resumed.dataset)
+
+    def test_resume_with_different_faults_is_refused(self, small_world, tmp_path):
+        ck = str(tmp_path / "ck")
+        run_pipeline(world=small_world, faults=NO_FAULTS, checkpoint_dir=ck)
+        with pytest.raises(CheckpointMismatch):
+            run_pipeline(
+                world=small_world,
+                faults=FaultConfig(rate=0.2, seed=9),
+                checkpoint_dir=ck,
+                resume=True,
+            )
+
+    def test_checkpointed_run_matches_plain_run(self, small_world, small_result, tmp_path):
+        ck = str(tmp_path / "ck")
+        result = run_pipeline(world=small_world, faults=NO_FAULTS, checkpoint_dir=ck)
+        assert _datasets_equal(result.dataset, small_result.dataset)
+        assert result.coverage == small_result.coverage

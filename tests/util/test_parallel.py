@@ -4,10 +4,16 @@ import os
 
 import pytest
 
-from repro.util.parallel import ParallelConfig, parallel_map
+from repro.util.parallel import ParallelConfig, TaskError, parallel_map
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _square_unless_13(x: int) -> int:
+    if x == 13:
+        raise ValueError(f"unlucky item {x}")
     return x * x
 
 
@@ -63,3 +69,43 @@ class TestParallel:
         # with enough items, the cap is the item count vs worker count
         assert cfg.resolved_workers(64) == 64
         assert cfg.resolved_workers(100) == 64
+
+
+class TestCaptureErrors:
+    def test_error_becomes_task_error_in_place(self):
+        out = parallel_map(_square_unless_13, [12, 13, 14], capture_errors=True)
+        assert out[0] == 144 and out[2] == 196
+        assert out[1] == TaskError(kind="ValueError", message="unlucky item 13")
+
+    def test_serial_and_parallel_capture_identically(self):
+        items = list(range(20))
+        serial = parallel_map(_square_unless_13, items, capture_errors=True)
+        par = parallel_map(
+            _square_unless_13,
+            items,
+            ParallelConfig(workers=4, min_items_per_worker=1),
+            capture_errors=True,
+        )
+        assert serial == par
+        assert sum(isinstance(r, TaskError) for r in serial) == 1
+
+    def test_surviving_results_keep_their_order(self):
+        out = parallel_map(_square_unless_13, [13, 1, 13, 2], capture_errors=True)
+        survivors = [r for r in out if not isinstance(r, TaskError)]
+        assert survivors == [1, 4]
+
+    def test_without_capture_the_error_propagates(self):
+        with pytest.raises(ValueError, match="unlucky item 13"):
+            parallel_map(_square_unless_13, [13])
+        with pytest.raises(ValueError, match="unlucky item 13"):
+            parallel_map(
+                _square_unless_13,
+                list(range(20)),
+                ParallelConfig(workers=4, min_items_per_worker=1),
+            )
+
+    def test_task_error_is_picklable(self):
+        import pickle
+
+        err = TaskError(kind="ValueError", message="boom")
+        assert pickle.loads(pickle.dumps(err)) == err
