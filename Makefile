@@ -3,17 +3,29 @@
 PYTHON ?= python
 FAULT_RATE ?= 0.5
 
-.PHONY: install test faults bench examples artifact report verify-all clean
+# run straight from the source tree; harmless when pip-installed
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test faults contracts audit bench examples artifact report verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test: faults
+test: faults contracts
 	$(PYTHON) -m pytest tests/
 
 # resilience suite at an elevated, env-tunable fault rate
 faults:
 	REPRO_FAULT_RATE=$(FAULT_RATE) $(PYTHON) -m pytest tests/ -m faults
+
+# data-contract suite (schemas, repair heuristics, integrity audit)
+contracts:
+	$(PYTHON) -m pytest tests/ -m contracts
+
+# strict end-to-end validation of the seed world: any contract
+# violation or unbalanced conservation check exits non-zero
+audit:
+	$(PYTHON) -m repro --validate=strict run
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -14,6 +14,11 @@ under the deterministic fault model (degraded coverage is reported, the
 run never aborts); ``--checkpoint-dir``/``--resume`` checkpoint each
 stage so an interrupted run picks up where it stopped; ``--workers``
 parallelizes the ingest stage deterministically.
+Contract options: ``--validate={strict,repair,audit,off}`` (default
+``repair``) runs every stage hand-off under the data contracts —
+``strict`` exits non-zero at the first violating record or failing
+integrity-audit check, ``repair`` quarantines/repairs, ``audit`` only
+records, ``off`` disables contracts entirely.
 """
 
 from __future__ import annotations
@@ -21,10 +26,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.contracts import ContractViolationError
 from repro.pipeline import run_pipeline
 from repro.synth import WorldConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CONTRACT_VIOLATION"]
+
+EXIT_CONTRACT_VIOLATION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse matching checkpoints in --checkpoint-dir",
     )
+    parser.add_argument(
+        "--validate",
+        choices=["strict", "repair", "audit", "off"],
+        default="repair",
+        help="data-contract mode at every stage hand-off: strict fails "
+        "fast (non-zero exit), repair quarantines and repairs (default), "
+        "audit only records, off disables contracts",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("run", help="run the pipeline and print the headline summary")
@@ -100,6 +116,7 @@ def _result(args):
     parallel = None
     if args.workers is not None:
         parallel = ParallelConfig(workers=args.workers, min_items_per_worker=1)
+    validation = None if args.validate == "off" else args.validate
     return run_pipeline(
         WorldConfig(seed=args.seed, scale=args.scale),
         parallel=parallel,
@@ -107,6 +124,7 @@ def _result(args):
         faults=faults,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        validation=validation,
     )
 
 
@@ -127,6 +145,8 @@ def _cmd_run(args) -> int:
           f"{100*cov['genderize']:.2f}% / none {100*cov['none']:.2f}%")
     if result.degraded is not None:
         print(f"degraded: {result.degraded.summary()}")
+    if result.contracts is not None:
+        print(result.contracts.summary())
     return 0
 
 
@@ -221,7 +241,16 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ContractViolationError as exc:
+        # strict mode: surface the machine-readable violations and fail
+        print(f"contract violation: {exc}", file=sys.stderr)
+        for v in exc.violations[:10]:
+            print(f"  - {v.code}: {v.message}", file=sys.stderr)
+        if len(exc.violations) > 10:
+            print(f"  ... and {len(exc.violations) - 10} more", file=sys.stderr)
+        return EXIT_CONTRACT_VIOLATION
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,98 @@
+"""Data contracts, quarantine-and-repair, and run integrity auditing.
+
+The paper's conclusions rest on exact hand-curated counts; a
+reproduction that silently drops or mangles records produces wrong
+numbers without failing.  This package guarantees that every record
+crossing a stage boundary is well-formed — or accounted for:
+
+- :mod:`repro.contracts.schema`    — the declarative schema engine
+  (field specs, cross-field invariants, machine-readable violations);
+- :mod:`repro.contracts.entities`  — the concrete contracts for
+  editions, papers, roles, researchers, enrichment rows, and gender
+  assignments;
+- :mod:`repro.contracts.repair`    — conservative repair heuristics
+  (whitespace/encoding cleanup, swapped counts, clamped confidences,
+  deduplicated author keys);
+- :mod:`repro.contracts.quarantine` — the quarantine store every
+  violating record lands in, with disposition and provenance;
+- :mod:`repro.contracts.validators` — stage-boundary validators wired
+  into the pipeline runner at each hand-off;
+- :mod:`repro.contracts.audit`     — the end-of-run integrity audit
+  (conservation invariants, FAR cross-checks, category closure).
+
+Select behaviour with :class:`ValidationMode`: ``strict`` fails fast on
+the first violation, ``repair`` (the default when validation is on)
+repairs or quarantines, ``audit`` only records.
+"""
+
+from repro.contracts.audit import (
+    AuditCheck,
+    ContractReport,
+    IntegrityAudit,
+    run_integrity_audit,
+)
+from repro.contracts.entities import (
+    ASSIGNMENT_SCHEMA,
+    EDITION_SCHEMA,
+    ENRICHMENT_SCHEMA,
+    PAPER_SCHEMA,
+    RESEARCHER_SCHEMA,
+    ROLE_SCHEMA,
+)
+from repro.contracts.quarantine import Disposition, QuarantineEntry, QuarantineStore
+from repro.contracts.repair import (
+    repair_assignment,
+    repair_edition,
+    repair_enrichment,
+    repair_paper,
+    repair_researcher,
+    repair_role,
+)
+from repro.contracts.schema import (
+    ContractViolationError,
+    FieldSpec,
+    Invariant,
+    RecordSchema,
+    ValidationMode,
+    Violation,
+)
+from repro.contracts.validators import (
+    ContractSession,
+    validate_assignments,
+    validate_enrichment,
+    validate_harvest,
+    validate_linked,
+)
+
+__all__ = [
+    "AuditCheck",
+    "ContractReport",
+    "IntegrityAudit",
+    "run_integrity_audit",
+    "ASSIGNMENT_SCHEMA",
+    "EDITION_SCHEMA",
+    "ENRICHMENT_SCHEMA",
+    "PAPER_SCHEMA",
+    "RESEARCHER_SCHEMA",
+    "ROLE_SCHEMA",
+    "Disposition",
+    "QuarantineEntry",
+    "QuarantineStore",
+    "repair_assignment",
+    "repair_edition",
+    "repair_enrichment",
+    "repair_paper",
+    "repair_researcher",
+    "repair_role",
+    "ContractViolationError",
+    "FieldSpec",
+    "Invariant",
+    "RecordSchema",
+    "ValidationMode",
+    "Violation",
+    "ContractSession",
+    "validate_assignments",
+    "validate_enrichment",
+    "validate_harvest",
+    "validate_linked",
+]

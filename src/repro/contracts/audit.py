@@ -1,0 +1,329 @@
+"""The end-of-run integrity audit: conservation, not vibes.
+
+After every stage has run (and every contract has had its say), the
+audit checks that *counts are conserved end-to-end* — the property whose
+silent failure produces systematically wrong demographic numbers without
+a single crash:
+
+- every harvested edition is analyzed, quarantined, or lost to faults;
+- every scraped paper is in the papers table or in quarantine, per
+  conference, with counts cross-checked against the proceedings;
+- authorship positions equal the sum of per-paper author counts;
+- FAR numerators and denominators recomputed independently from the
+  tables match the analysis module's report;
+- no gender category appears in any table that inference never emitted;
+- every researcher row keeps exactly one gender assignment, and the
+  coverage fractions remain a partition.
+
+The result is plain data on :class:`ContractReport` (attached to
+``PipelineResult.contracts``), rendered in the run report next to the
+degraded-coverage section, and — in strict mode — escalated to a
+non-zero CLI exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.contracts.quarantine import QuarantineStore
+from repro.contracts.validators import ContractSession
+from repro.faults.degradation import DegradedCoverage
+
+__all__ = ["AuditCheck", "IntegrityAudit", "ContractReport", "run_integrity_audit"]
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One conservation invariant: expected vs actual, machine-readable."""
+
+    name: str
+    ok: bool
+    expected: str
+    actual: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class IntegrityAudit:
+    """All conservation checks for one run."""
+
+    checks: tuple[AuditCheck, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> tuple[AuditCheck, ...]:
+        return tuple(c for c in self.checks if not c.ok)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"integrity audit: {len(self.checks)}/{len(self.checks)} checks balanced"
+        names = ", ".join(c.name for c in self.failures)
+        return (
+            f"integrity audit: {len(self.checks) - len(self.failures)}"
+            f"/{len(self.checks)} checks balanced; FAILED: {names}"
+        )
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "checks": [c.to_dict() for c in self.checks]}
+
+
+@dataclass
+class ContractReport:
+    """Everything the contracts layer learned about one run."""
+
+    mode: str
+    quarantine: QuarantineStore = field(default_factory=QuarantineStore)
+    audit: IntegrityAudit = field(default_factory=IntegrityAudit)
+
+    @property
+    def ok(self) -> bool:
+        return self.audit.ok
+
+    def summary(self) -> str:
+        counts = self.quarantine.counts()
+        if counts:
+            per = ", ".join(
+                f"{entity}: " + "/".join(f"{n} {d}" for d, n in dispositions.items())
+                for entity, dispositions in counts.items()
+            )
+            q = f"quarantine({per})"
+        else:
+            q = "quarantine empty"
+        return f"contracts[{self.mode}]: {q}; {self.audit.summary()}"
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "quarantine": self.quarantine.to_dict(),
+            "audit": self.audit.to_dict(),
+        }
+
+
+def _check(
+    checks: list[AuditCheck],
+    name: str,
+    expected,
+    actual,
+    detail: str = "",
+) -> None:
+    checks.append(
+        AuditCheck(
+            name=name,
+            ok=expected == actual,
+            expected=str(expected),
+            actual=str(actual),
+            detail=detail,
+        )
+    )
+
+
+def run_integrity_audit(
+    dataset,
+    inference,
+    session: ContractSession,
+    degraded: DegradedCoverage | None = None,
+    proceedings_counts: dict[str, int] | None = None,
+    enrichment_rows: int | None = None,
+) -> IntegrityAudit:
+    """Check every conservation invariant for a finished run."""
+    checks: list[AuditCheck] = []
+    store = session.store
+    base = session.baselines
+
+    # ---- edition conservation --------------------------------------------
+    admitted_editions = dataset.conferences.num_rows
+    held_editions = store.held_count("edition")
+    _check(
+        checks,
+        "edition-conservation",
+        base.get("edition", 0),
+        admitted_editions + held_editions,
+        "validated editions == analyzed + quarantined",
+    )
+    if degraded is not None:
+        dropped = len(degraded.dropped_editions)
+        _check(
+            checks,
+            "edition-accounting",
+            degraded.total_editions,
+            base.get("edition", 0) + dropped,
+            "harvest targets == validated + lost-to-faults",
+        )
+
+    # ---- paper conservation ----------------------------------------------
+    admitted_papers = dataset.papers.num_rows
+    held_papers = store.held_count("paper")
+    _check(
+        checks,
+        "paper-conservation",
+        base.get("paper", 0),
+        admitted_papers + held_papers,
+        "scraped papers (admitted editions) == analyzed + quarantined",
+    )
+
+    # ---- per-conference paper counts vs proceedings ----------------------
+    held_paper_keys = store.held_keys("paper")
+    by_conf: dict[str, int] = {}
+    for conf, year in zip(
+        dataset.papers["conference"], dataset.papers["year"]
+    ):
+        k = f"{conf}-{year}"
+        by_conf[k] = by_conf.get(k, 0) + 1
+    mismatches: list[str] = []
+    presumed_lost = 0
+    held_edition_keys = set(store.held_keys("edition"))
+    for key, scraped in sorted(session.papers_scraped.items()):
+        if key in held_edition_keys:
+            continue  # a held edition withdraws its papers wholesale
+        held_here = sum(1 for hk in held_paper_keys if hk.startswith(f"{key}/"))
+        analyzed = by_conf.get(key, 0)
+        if analyzed + held_here != scraped:
+            mismatches.append(f"{key}: {analyzed}+{held_here}!={scraped}")
+        if proceedings_counts and key in proceedings_counts:
+            expected = proceedings_counts[key]
+            if key in session.malformed_editions:
+                presumed_lost += max(0, expected - scraped)
+            elif scraped != expected:
+                mismatches.append(f"{key}: scraped {scraped} != proceedings {expected}")
+    checks.append(
+        AuditCheck(
+            name="conf-paper-counts",
+            ok=not mismatches,
+            expected="per-conference papers match proceedings",
+            actual="; ".join(mismatches) or "all match",
+            detail=(
+                f"{presumed_lost} papers presumed lost to page corruption "
+                f"on {len(session.malformed_editions)} malformed editions"
+                if presumed_lost
+                else ""
+            ),
+        )
+    )
+
+    # ---- authorship-position conservation --------------------------------
+    import numpy as np
+
+    positions = dataset.author_positions.num_rows
+    from_papers = int(np.sum(dataset.papers["num_authors"]))
+    _check(
+        checks,
+        "position-conservation",
+        from_papers,
+        positions,
+        "author positions == sum of per-paper author counts",
+    )
+
+    # ---- researcher conservation -----------------------------------------
+    if "researcher" in base:
+        _check(
+            checks,
+            "researcher-conservation",
+            base["researcher"],
+            dataset.researchers.num_rows + store.held_count("researcher"),
+            "linked researchers == table rows + quarantined",
+        )
+
+    # ---- role conservation ------------------------------------------------
+    if "role" in base:
+        lost_via_researcher = base.get("role_held_via_researcher", 0)
+        _check(
+            checks,
+            "role-conservation",
+            base["role"],
+            dataset.role_slots.num_rows
+            + store.held_count("role")
+            + lost_via_researcher,
+            "harvested role seats == slots + quarantined (+ held researchers')",
+        )
+
+    # ---- enrichment conservation -----------------------------------------
+    if enrichment_rows is not None and "enrichment_row" in base:
+        _check(
+            checks,
+            "enrichment-conservation",
+            base["enrichment_row"],
+            enrichment_rows + store.held_count("enrichment_row"),
+            "enrichment rows == admitted + quarantined",
+        )
+
+    # ---- FAR numerators/denominators -------------------------------------
+    from repro.analysis import far_report
+
+    far = far_report(dataset)
+    genders = np.asarray(dataset.author_positions["gender"], dtype=object)
+    n_f = int(np.count_nonzero(genders == "F"))
+    n_known = n_f + int(np.count_nonzero(genders == "M"))
+    _check(
+        checks,
+        "far-overall",
+        (n_f, n_known),
+        (far.overall.hits, far.overall.n),
+        "FAR numerator/denominator recomputed from author_positions",
+    )
+    firsts = genders[np.asarray(dataset.author_positions["is_first"], dtype=bool)]
+    lead_f = int(np.count_nonzero(firsts == "F"))
+    _check(
+        checks,
+        "far-lead",
+        (lead_f, lead_f + int(np.count_nonzero(firsts == "M"))),
+        (far.lead_overall.hits, far.lead_overall.n),
+        "lead-author FAR recomputed from first positions",
+    )
+
+    # ---- gender category closure -----------------------------------------
+    emitted = {a.gender.value for a in inference.assignments.values() if a.known}
+    observed = set()
+    for table in (
+        dataset.researchers,
+        dataset.author_positions,
+        dataset.conf_authors,
+        dataset.role_slots,
+    ):
+        observed.update(np.asarray(table["gender"], dtype=object).tolist())
+    observed.discard(None)
+    phantom = sorted(observed - emitted)
+    checks.append(
+        AuditCheck(
+            name="gender-category-closure",
+            ok=not phantom,
+            expected=f"categories within {sorted(emitted)}",
+            actual=f"phantom categories: {phantom}" if phantom else "closed",
+            detail="no table may contain a gender inference never emitted",
+        )
+    )
+
+    # ---- assignment coverage ---------------------------------------------
+    rids = set(dataset.researchers["researcher_id"])
+    missing = sorted(rids - set(inference.assignments))
+    checks.append(
+        AuditCheck(
+            name="assignment-coverage",
+            ok=not missing,
+            expected="every researcher row has a gender assignment",
+            actual=f"{len(missing)} missing ({missing[:5]})" if missing else "complete",
+        )
+    )
+    cov_sum = sum(inference.coverage.values())
+    checks.append(
+        AuditCheck(
+            name="coverage-partition",
+            ok=abs(cov_sum - 1.0) < 1e-9 or not inference.assignments,
+            expected="1.0",
+            actual=f"{cov_sum:.12f}",
+            detail="manual + genderize + none must partition the population",
+        )
+    )
+
+    return IntegrityAudit(checks=tuple(checks))

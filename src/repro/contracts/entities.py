@@ -1,0 +1,222 @@
+"""The concrete contracts for the pipeline's core entities.
+
+One :class:`~repro.contracts.schema.RecordSchema` per record kind that
+crosses a stage boundary: conference editions, papers, roles (harvest →
+link), researchers (link → enrich/infer), enrichment rows (enrich →
+dataset), and gender assignments (infer → dataset).
+
+Contracts encode what the *analysis* relies on, not what the scraper
+happens to emit: a paper with no authors cannot contribute authorship
+positions, an edition whose accepted count exceeds its submissions
+produces an impossible acceptance rate, a confidence outside [0, 1]
+breaks the genderize threshold semantics.  Missing data (``None``) is
+legitimate throughout — the paper itself reasons over missing values —
+so contracts only reject values that are *present and wrong*.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from functools import lru_cache
+
+from repro.contracts.schema import FieldSpec, Invariant, RecordSchema
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.names.parsing import name_key as _raw_name_key
+
+# every researcher's key-consistency check and every paper's
+# author-key-uniqueness check canonicalize the same few thousand names;
+# name_key is pure, so memoize it for the validation hot path
+name_key = lru_cache(maxsize=16384)(_raw_name_key)
+
+__all__ = [
+    "EDITION_SCHEMA",
+    "ROLE_SCHEMA",
+    "PAPER_SCHEMA",
+    "RESEARCHER_SCHEMA",
+    "ENRICHMENT_SCHEMA",
+    "ASSIGNMENT_SCHEMA",
+]
+
+_ROLE_CLASSES = ("pc-chair", "pc-member", "keynote", "panelist", "session-chair")
+_COUNTRY_CODE = re.compile(r"^[A-Z]{2}$")
+
+
+def _accepted_le_submitted(conf) -> bool:
+    if conf.accepted is None or conf.submitted is None:
+        return True
+    return conf.accepted <= conf.submitted
+
+
+EDITION_SCHEMA = RecordSchema(
+    name="edition",
+    fields=(
+        FieldSpec("conference", (str,), required=True, nonempty=True),
+        FieldSpec("year", (int,), required=True, year=True),
+        FieldSpec("date", (str,), nonempty=True),
+        FieldSpec("country", (str,), nonempty=True),
+        FieldSpec("accepted", (int,), min_value=0),
+        FieldSpec("submitted", (int,), min_value=0),
+        FieldSpec("review_policy", (str,), choices=("single", "double")),
+    ),
+    invariants=(
+        Invariant(
+            "accepted-le-submitted",
+            "accepted papers cannot exceed submissions",
+            _accepted_le_submitted,
+        ),
+        Invariant(
+            "date-matches-year",
+            "the edition date must fall in the edition year",
+            lambda c: c.date is None or c.year is None
+            or c.date[:4] == str(c.year),
+        ),
+    ),
+)
+
+
+ROLE_SCHEMA = RecordSchema(
+    name="role",
+    fields=(
+        FieldSpec("full_name", (str,), required=True, nonempty=True),
+        FieldSpec("role", (str,), required=True, choices=_ROLE_CLASSES),
+    ),
+)
+
+
+def _emails_aligned(paper) -> bool:
+    return len(paper.author_emails) == len(paper.author_names)
+
+
+def _author_names_nonblank(paper) -> bool:
+    return all(isinstance(n, str) and n.strip() for n in paper.author_names)
+
+
+def _author_keys_unique(paper) -> bool:
+    keys = [name_key(n) for n in paper.author_names if isinstance(n, str)]
+    return len(keys) == len(set(keys))
+
+
+PAPER_SCHEMA = RecordSchema(
+    name="paper",
+    fields=(
+        FieldSpec("paper_id", (str,), required=True, nonempty=True),
+        FieldSpec("title", (str,), required=True, nonempty=True),
+        FieldSpec("author_names", (tuple,), required=True, nonempty=True),
+        FieldSpec("author_emails", (tuple,), required=True),
+        FieldSpec("citations_36mo", (int,), min_value=0),
+        FieldSpec("is_hpc_topic", (bool,)),
+    ),
+    invariants=(
+        Invariant(
+            "emails-aligned",
+            "author_emails must align one-to-one with author_names",
+            _emails_aligned,
+        ),
+        Invariant(
+            "authors-nonblank",
+            "every author name must be a non-blank string",
+            _author_names_nonblank,
+        ),
+        Invariant(
+            "author-keys-unique",
+            "the same normalized author key appears twice on one paper",
+            _author_keys_unique,
+        ),
+    ),
+)
+
+
+RESEARCHER_SCHEMA = RecordSchema(
+    name="researcher",
+    fields=(
+        FieldSpec("researcher_id", (str,), required=True, nonempty=True),
+        FieldSpec("full_name", (str,), required=True, nonempty=True),
+        FieldSpec("name_key", (str,), required=True, nonempty=True),
+    ),
+    invariants=(
+        Invariant(
+            "key-consistent",
+            "name_key must be the canonical key of full_name",
+            lambda r: r.name_key == name_key(r.full_name),
+        ),
+        Invariant(
+            "emails-wellformed",
+            "every recorded email must contain exactly one '@'",
+            lambda r: all(
+                isinstance(e, str) and e.count("@") == 1 for e in r.emails
+            ),
+        ),
+    ),
+)
+
+
+def _h_le_pubs(e) -> bool:
+    if e.gs_h_index is None or e.gs_publications is None:
+        return True
+    return e.gs_h_index <= e.gs_publications
+
+
+def _i10_le_pubs(e) -> bool:
+    if e.gs_i10 is None or e.gs_publications is None:
+        return True
+    return e.gs_i10 <= e.gs_publications
+
+
+ENRICHMENT_SCHEMA = RecordSchema(
+    name="enrichment",
+    fields=(
+        FieldSpec("researcher_id", (str,), required=True, nonempty=True),
+        FieldSpec("sector", (str,), choices=("COM", "EDU", "GOV")),
+        FieldSpec("gs_publications", (int,), min_value=0),
+        FieldSpec("gs_h_index", (int,), min_value=0),
+        FieldSpec("gs_i10", (int,), min_value=0),
+        FieldSpec("gs_citations", (int,), min_value=0),
+        FieldSpec("s2_publications", (int,), min_value=0),
+    ),
+    invariants=(
+        Invariant(
+            "country-code-shape",
+            "country_code must be a two-letter uppercase ISO code",
+            lambda e: e.country_code is None
+            or bool(_COUNTRY_CODE.match(e.country_code)),
+        ),
+        Invariant("h-le-pubs", "h-index cannot exceed publications", _h_le_pubs),
+        Invariant("i10-le-pubs", "i10 cannot exceed publications", _i10_le_pubs),
+    ),
+)
+
+
+def _confidence_lawful(a: GenderAssignment) -> bool:
+    if a.method is InferenceMethod.NONE:
+        return math.isnan(a.confidence)
+    return 0.0 <= a.confidence <= 1.0
+
+
+ASSIGNMENT_SCHEMA = RecordSchema(
+    name="assignment",
+    fields=(),
+    invariants=(
+        Invariant(
+            "gender-enum",
+            "gender must be a Gender enum member",
+            lambda a: isinstance(a.gender, Gender),
+        ),
+        Invariant(
+            "method-enum",
+            "method must be an InferenceMethod enum member",
+            lambda a: isinstance(a.method, InferenceMethod),
+        ),
+        Invariant(
+            "confidence-lawful",
+            "confidence must lie in [0, 1] (NaN only when unassigned)",
+            _confidence_lawful,
+        ),
+        Invariant(
+            "unassigned-consistent",
+            "method 'none' implies gender UNKNOWN and vice versa",
+            lambda a: (a.method is InferenceMethod.NONE)
+            == (a.gender is Gender.UNKNOWN),
+        ),
+    ),
+)

@@ -1,0 +1,228 @@
+"""Repair heuristics for contract-violating records.
+
+Each ``repair_*`` function takes a broken record and returns
+``(best_effort_record, tags)`` where ``tags`` names every heuristic that
+actually changed something (empty tuple == nothing to do).  Repairs are
+deliberately conservative: they fix *representation* problems (mangled
+whitespace, swapped fields, out-of-range confidences, duplicated author
+keys) and never invent data.  A record the heuristics cannot bring back
+into contract stays quarantined.
+
+The heuristics mirror the dirt the original study scrubbed by hand:
+scanned proceedings with NBSP-ridden names, conference pages that
+transposed accepted/submitted counts, digit-reversed years from OCR, and
+author lists where the same person appears twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Any
+
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.names.parsing import clean_person_name, name_key
+
+if TYPE_CHECKING:  # pipeline imports stay lazy: contracts ↔ pipeline cycle
+    from repro.harvest.scrape import HarvestedConference, HarvestedPaper
+    from repro.pipeline.enrich import Enrichment
+    from repro.pipeline.link import ResearcherRecord
+
+__all__ = [
+    "repair_edition",
+    "repair_paper",
+    "repair_role",
+    "repair_researcher",
+    "repair_enrichment",
+    "repair_assignment",
+]
+
+Repair = tuple[Any, tuple[str, ...]]
+
+_YEAR_LO, _YEAR_HI = 1960, 2035
+
+
+def _unreverse_year(year: int) -> int | None:
+    """7102 → 2017: recover a digit-reversed (OCR-swapped) year."""
+    flipped = int(str(abs(year))[::-1])
+    if _YEAR_LO <= flipped <= _YEAR_HI:
+        return flipped
+    return None
+
+
+def repair_edition(conf: HarvestedConference) -> Repair:
+    tags: list[str] = []
+    changes: dict[str, Any] = {}
+
+    if conf.year is not None and not _YEAR_LO <= conf.year <= _YEAR_HI:
+        flipped = _unreverse_year(conf.year)
+        if flipped is not None:
+            changes["year"] = flipped
+            tags.append("unreversed-year")
+
+    if (
+        conf.accepted is not None
+        and conf.submitted is not None
+        and conf.accepted > conf.submitted
+    ):
+        # the two counts sit in adjacent template slots; a swap is the
+        # overwhelmingly likely explanation for accepted > submitted
+        changes["accepted"] = conf.submitted
+        changes["submitted"] = conf.accepted
+        tags.append("swapped-accept-counts")
+
+    if conf.conference is not None:
+        cleaned = clean_person_name(conf.conference)
+        if cleaned != conf.conference and cleaned:
+            changes["conference"] = cleaned
+            tags.append("cleaned-conference-name")
+
+    if not tags:
+        return conf, ()
+    return dataclasses.replace(conf, **changes), tuple(tags)
+
+
+def repair_role(role) -> Repair:
+    cleaned = clean_person_name(role.full_name or "")
+    if cleaned and cleaned != role.full_name:
+        return dataclasses.replace(role, full_name=cleaned), ("cleaned-name",)
+    return role, ()
+
+
+def repair_paper(paper: HarvestedPaper) -> Repair:
+    tags: list[str] = []
+    names = list(paper.author_names)
+    emails = list(paper.author_emails)
+
+    if len(emails) != len(names):
+        # keep the prefix that is aligned; pad the remainder with None
+        emails = emails[: len(names)] + [None] * max(0, len(names) - len(emails))
+        tags.append("realigned-emails")
+
+    cleaned = [clean_person_name(n) if isinstance(n, str) else n for n in names]
+    if cleaned != names:
+        names = cleaned
+        tags.append("cleaned-author-names")
+
+    kept_names: list[str] = []
+    kept_emails: list[str | None] = []
+    seen: set[str] = set()
+    dropped_blank = dropped_dup = False
+    for n, e in zip(names, emails):
+        if not isinstance(n, str) or not n.strip():
+            dropped_blank = True
+            continue
+        key = name_key(n)
+        if key in seen:
+            dropped_dup = True
+            # keep the earlier occurrence; salvage its email if missing
+            if e is not None:
+                idx = [name_key(k) for k in kept_names].index(key)
+                if kept_emails[idx] is None:
+                    kept_emails[idx] = e
+            continue
+        seen.add(key)
+        kept_names.append(n)
+        kept_emails.append(e)
+    if dropped_blank:
+        tags.append("dropped-blank-authors")
+    if dropped_dup:
+        tags.append("deduplicated-author-keys")
+
+    title = paper.title
+    if isinstance(title, str):
+        stripped = clean_person_name(title)
+        if stripped != title and stripped:
+            title = stripped
+            tags.append("cleaned-title")
+
+    if not tags:
+        return paper, ()
+    return (
+        dataclasses.replace(
+            paper,
+            title=title,
+            author_names=tuple(kept_names),
+            author_emails=tuple(kept_emails),
+        ),
+        tuple(tags),
+    )
+
+
+def repair_researcher(rec: ResearcherRecord) -> Repair:
+    tags: list[str] = []
+    full_name = rec.full_name
+    if isinstance(full_name, str):
+        cleaned = clean_person_name(full_name)
+        if cleaned != full_name and cleaned:
+            full_name = cleaned
+            tags.append("cleaned-name")
+    key = name_key(full_name) if isinstance(full_name, str) else rec.name_key
+    if key != rec.name_key:
+        tags.append("rekeyed")
+    emails = [e for e in rec.emails if isinstance(e, str) and e.count("@") == 1]
+    if emails != rec.emails:
+        tags.append("dropped-malformed-emails")
+    if not tags:
+        return rec, ()
+    from repro.pipeline.link import ResearcherRecord
+
+    repaired = ResearcherRecord(
+        researcher_id=rec.researcher_id,
+        full_name=full_name,
+        name_key=key,
+        emails=emails,
+        roles=list(rec.roles),
+    )
+    return repaired, tuple(tags)
+
+
+def repair_enrichment(e: Enrichment) -> Repair:
+    tags: list[str] = []
+    changes: dict[str, Any] = {}
+    for fld in (
+        "gs_publications",
+        "gs_h_index",
+        "gs_i10",
+        "gs_citations",
+        "s2_publications",
+    ):
+        value = getattr(e, fld)
+        if value is not None and value < 0:
+            # a negative counter is transmission damage, not information
+            changes[fld] = None
+            tags.append(f"nulled-negative:{fld}")
+    if e.country_code is not None and isinstance(e.country_code, str):
+        upper = e.country_code.strip().upper()
+        if upper != e.country_code and len(upper) == 2:
+            changes["country_code"] = upper
+            tags.append("uppercased-country")
+    if not tags:
+        return e, ()
+    return dataclasses.replace(e, **changes), tuple(tags)
+
+
+def repair_assignment(a: GenderAssignment) -> Repair:
+    tags: list[str] = []
+    gender, method, confidence = a.gender, a.method, a.confidence
+
+    if not isinstance(gender, Gender) or not isinstance(method, InferenceMethod):
+        # unsalvageable provenance: reset to an honest "unassigned"
+        return GenderAssignment.unassigned(), ("reset-to-unassigned",)
+
+    if method is InferenceMethod.NONE and not math.isnan(confidence):
+        confidence = float("nan")
+        tags.append("nulled-confidence")
+    elif method is not InferenceMethod.NONE:
+        if math.isnan(confidence):
+            return GenderAssignment.unassigned(), ("reset-to-unassigned",)
+        if not 0.0 <= confidence <= 1.0:
+            confidence = min(1.0, max(0.0, confidence))
+            tags.append("clamped-confidence")
+
+    if (method is InferenceMethod.NONE) != (gender is Gender.UNKNOWN):
+        return GenderAssignment.unassigned(), ("reset-to-unassigned",)
+
+    if not tags:
+        return a, ()
+    return GenderAssignment(gender, method, confidence), tuple(tags)

@@ -1,0 +1,279 @@
+"""Declarative record schemas for the pipeline's data contracts.
+
+A :class:`RecordSchema` is a pure description of what a well-formed
+record looks like: per-field type/None-ness/range/choice constraints
+(:class:`FieldSpec`) plus named cross-field invariants
+(:class:`Invariant`).  Validating a record yields a list of
+:class:`Violation` values — machine-readable, stable, comparable — and
+never raises, so the caller (:mod:`repro.contracts.validators`) decides
+whether to fail fast, repair, or merely record.
+
+The field checks reuse :mod:`repro.util.validation` helpers through
+their ``quarantine`` callback, so argument validation and data contracts
+share one set of predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.util.validation import (
+    check_nonempty_str,
+    check_nonnegative,
+    check_year_range,
+)
+
+__all__ = [
+    "ValidationMode",
+    "Violation",
+    "FieldSpec",
+    "Invariant",
+    "RecordSchema",
+    "ContractViolationError",
+]
+
+
+class ValidationMode(str, enum.Enum):
+    """What the pipeline does about a record that violates its contract."""
+
+    STRICT = "strict"    # fail fast on the first violation
+    REPAIR = "repair"    # try heuristics; quarantine what stays broken
+    AUDIT = "audit"      # record violations, change nothing
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One contract violation, machine-readable.
+
+    ``code`` is a stable dotted identifier (``"paper.field.paper_id.empty"``,
+    ``"edition.invariant.accepted-le-submitted"``); ``message`` is the
+    human rendering; ``value`` is a short repr of the offending value.
+    """
+
+    contract: str
+    code: str
+    field: str | None
+    message: str
+    value: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "contract": self.contract,
+            "code": self.code,
+            "field": self.field or "",
+            "message": self.message,
+            "value": self.value,
+        }
+
+
+def _short(value: Any, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Constraints on one attribute of a record.
+
+    ``types`` is the accepted type set (``None`` is governed separately
+    by ``required``); numeric bounds and string/sequence non-emptiness
+    apply only when the value is present and of an accepted type.
+    """
+
+    name: str
+    types: tuple[type, ...]
+    required: bool = False          # False: None is an accepted value
+    nonempty: bool = False          # strings/sequences must have content
+    min_value: float | None = None
+    max_value: float | None = None
+    choices: tuple[Any, ...] | None = None
+    year: bool = False              # plausibility-check as a year
+
+    def ok(self, value: Any) -> bool:
+        """Allocation-free conformance check — the hot path.
+
+        Must agree exactly with :meth:`validate` returning no violations;
+        the schema's validate() only falls back to the slow,
+        Violation-constructing path when this returns False.
+        """
+        if value is None:
+            return not self.required
+        if not isinstance(value, self.types) or (
+            isinstance(value, bool) and bool not in self.types
+        ):
+            return False
+        if self.nonempty:
+            if isinstance(value, str):
+                if not value.strip():
+                    return False
+            elif isinstance(value, Sequence) and len(value) == 0:
+                return False
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if not (isinstance(value, float) and math.isnan(value)):
+                if self.year and not 1960 <= value <= 2035:
+                    return False
+                if self.min_value is not None and value < self.min_value:
+                    return False
+                if self.max_value is not None and value > self.max_value:
+                    return False
+        if self.choices is not None and value not in self.choices:
+            return False
+        return True
+
+    def validate(self, contract: str, record: Any) -> list[Violation]:
+        violations: list[Violation] = []
+
+        def vio(code: str, message: str, value: Any) -> None:
+            violations.append(
+                Violation(
+                    contract=contract,
+                    code=f"{contract}.field.{self.name}.{code}",
+                    field=self.name,
+                    message=message,
+                    value=_short(value),
+                )
+            )
+
+        value = getattr(record, self.name, None)
+        if value is None:
+            if self.required:
+                vio("missing", f"{self.name} is required", None)
+            return violations
+        if not isinstance(value, self.types):
+            # bool is an int subclass; reject it for numeric fields
+            vio(
+                "type",
+                f"{self.name} must be {self._type_names()}, "
+                f"got {type(value).__name__}",
+                value,
+            )
+            return violations
+        if isinstance(value, bool) and bool not in self.types:
+            vio("type", f"{self.name} must be {self._type_names()}, got bool", value)
+            return violations
+
+        collect = lambda msg: vio("range", msg, value)  # noqa: E731
+        if self.nonempty:
+            if isinstance(value, str):
+                check_nonempty_str(value, self.name, quarantine=lambda m: vio("empty", m, value))
+            elif isinstance(value, Sequence) and len(value) == 0:
+                vio("empty", f"{self.name} must not be empty", value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if isinstance(value, float) and math.isnan(value):
+                pass  # NaN legality is an invariant concern, not a range one
+            else:
+                if self.year:
+                    check_year_range(value, self.name, quarantine=collect)
+                if self.min_value is not None and self.min_value == 0:
+                    check_nonnegative(value, self.name, quarantine=collect)
+                elif self.min_value is not None and value < self.min_value:
+                    vio("range", f"{self.name} must be >= {self.min_value}", value)
+                if self.max_value is not None and value > self.max_value:
+                    vio("range", f"{self.name} must be <= {self.max_value}", value)
+        if self.choices is not None and value not in self.choices:
+            vio(
+                "choice",
+                f"{self.name} must be one of {sorted(map(repr, self.choices))}",
+                value,
+            )
+        return violations
+
+    def _type_names(self) -> str:
+        return "/".join(t.__name__ for t in self.types)
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A named cross-field predicate; truthy means the record is fine."""
+
+    code: str
+    message: str
+    check: Callable[[Any], bool]
+
+    def validate(self, contract: str, record: Any) -> Violation | None:
+        try:
+            ok = bool(self.check(record))
+        except Exception as exc:  # a crashing invariant is itself a violation
+            return Violation(
+                contract=contract,
+                code=f"{contract}.invariant.{self.code}",
+                field=None,
+                message=f"{self.message} (check crashed: {exc})",
+            )
+        if ok:
+            return None
+        return Violation(
+            contract=contract,
+            code=f"{contract}.invariant.{self.code}",
+            field=None,
+            message=self.message,
+        )
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """A full record contract: field specs plus cross-field invariants."""
+
+    name: str
+    fields: tuple[FieldSpec, ...]
+    invariants: tuple[Invariant, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        # pre-bound (name, check) pairs keep the per-record loop free of
+        # attribute lookups — this path runs once per record per boundary
+        object.__setattr__(
+            self, "_field_checks", tuple((s.name, s.ok, s) for s in self.fields)
+        )
+        object.__setattr__(
+            self, "_inv_checks", tuple((i.check, i) for i in self.invariants)
+        )
+
+    def validate(self, record: Any) -> list[Violation]:
+        """All violations for ``record`` (empty list == conforming)."""
+        out: list[Violation] = []
+        # hot path: almost every record conforms, so check cheaply first
+        # and only build Violation objects on failure
+        for fname, ok, spec in self._field_checks:
+            if ok(getattr(record, fname, None)):
+                continue
+            out.extend(spec.validate(self.name, record))
+        for check, inv in self._inv_checks:
+            try:
+                if check(record):
+                    continue
+            except Exception:
+                pass
+            v = inv.validate(self.name, record)
+            if v is not None:
+                out.append(v)
+        return out
+
+    def conforms(self, record: Any) -> bool:
+        return not self.validate(record)
+
+
+class ContractViolationError(Exception):
+    """Raised in strict mode at the first contract violation.
+
+    Carries the machine-readable violations so a caller (the CLI) can
+    render them and exit non-zero.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        entity: str,
+        key: str,
+        violations: Sequence[Violation],
+    ) -> None:
+        self.stage = stage
+        self.entity = entity
+        self.key = key
+        self.violations = tuple(violations)
+        codes = ", ".join(v.code for v in self.violations) or "unspecified"
+        super().__init__(
+            f"contract violation at stage {stage!r} ({entity} {key!r}): {codes}"
+        )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.harvest.html import HtmlParseError, parse_html
 from repro.harvest.proceedings import ProceedingsRecord
 from repro.harvest.sitegen import ConferenceSite
+from repro.names.parsing import clean_person_name
 
 __all__ = ["HarvestedRole", "HarvestedPaper", "HarvestedConference", "scrape_site"]
 
@@ -122,7 +123,10 @@ def scrape_site(
         root = _safe_parse(page)
         for cls in _ROLE_CLASSES:
             for node in root.find_all(tag="li", cls=cls):
-                name = node.text()
+                # scrub NBSP/zero-width junk *before* the name becomes a
+                # record: identity resolution keys on this string, and one
+                # invisible character would split a person in two
+                name = clean_person_name(node.text())
                 if name:
                     out.roles.append(HarvestedRole(full_name=name, role=cls))
 
@@ -132,14 +136,22 @@ def scrape_site(
     for node in papers_root.find_all(cls="paper"):
         title = _first_text(node, "paper-title") or ""
         pid = _first_text(node, "paper-id") or ""
-        names = tuple(a.text() for a in node.find_all(tag="li", cls="paper-author"))
+        # raw spellings match the proceedings header lines; the cleaned
+        # spellings are what downstream identity resolution keys on
+        raw_names = tuple(a.text() for a in node.find_all(tag="li", cls="paper-author"))
+        names = tuple(clean_person_name(n) for n in raw_names)
         rec = by_id.get(pid)
         emails: tuple[str | None, ...]
         if rec is not None:
             found = {}
             for line in rec.fulltext_header.splitlines():
-                for name in names:
-                    if line.startswith(name) and "<" in line and "@" in line:
+                for raw, name in zip(raw_names, names):
+                    cleaned = clean_person_name(line)
+                    if (
+                        (line.startswith(raw) or cleaned.startswith(name))
+                        and "<" in line
+                        and "@" in line
+                    ):
                         email = _email_between_brackets(line)
                         if email is not None:
                             found[name] = email

@@ -9,15 +9,31 @@ from __future__ import annotations
 import re
 import unicodedata
 
-__all__ = ["forename_of", "normalize_name", "name_key"]
+__all__ = ["clean_person_name", "forename_of", "normalize_name", "name_key"]
 
 _WS = re.compile(r"\s+")
 _INITIAL = re.compile(r"^[A-Za-z]\.?$")
+
+# Invisible/format characters that survive ``\s`` collapsing: zero-width
+# space/joiners, the BOM, and soft hyphens.  Scraped pages carry these
+# routinely, and a single one splits an author into two researchers.
+_ZERO_WIDTH = re.compile("[\u200b\u200c\u200d\u2060\ufeff\u00ad]")
 
 
 def normalize_name(name: str) -> str:
     """Collapse whitespace and strip; preserves case and diacritics."""
     return _WS.sub(" ", name).strip()
+
+
+def clean_person_name(name: str) -> str:
+    """Scrub a scraped person name for record-keeping and keying.
+
+    Removes zero-width/format characters, maps every Unicode whitespace
+    (NBSP, thin/ideographic spaces, ...) to a plain space, and collapses
+    internal runs — so "Ada  Lovelace" and "Ada Lovelace" key to
+    the same researcher instead of splitting into two.
+    """
+    return normalize_name(_ZERO_WIDTH.sub("", name))
 
 
 def forename_of(full_name: str) -> str | None:

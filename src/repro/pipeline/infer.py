@@ -28,6 +28,23 @@ class InferenceOutcome:
     genderize_queries: int
     manual_lookups: int
 
+    def with_assignments(
+        self, assignments: dict[str, GenderAssignment]
+    ) -> "InferenceOutcome":
+        """The same outcome under different assignments, coverage recomputed.
+
+        Used by the contracts layer (:mod:`repro.contracts.validators`)
+        when repaired/substituted assignments re-enter the pipeline: the
+        coverage split must always describe the assignments the dataset
+        actually carries.
+        """
+        return InferenceOutcome(
+            assignments=assignments,
+            coverage=GenderResolver.coverage(assignments),
+            genderize_queries=self.genderize_queries,
+            manual_lookups=self.manual_lookups,
+        )
+
 
 def infer_genders(
     linked: LinkedData,

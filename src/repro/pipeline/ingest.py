@@ -86,6 +86,7 @@ class HarvestOutcome:
     conference: HarvestedConference | None
     losses: tuple[LossRecord, ...]
     stats: FaultStats
+    proceedings_count: int = 0
 
 
 @dataclass
@@ -97,6 +98,9 @@ class IngestReport:
     stats: FaultStats = field(default_factory=FaultStats)
     total_editions: int = 0
     resumed: tuple[str, ...] = ()
+    # per-edition proceedings record counts — the harvest-side paper
+    # denominator the integrity audit cross-checks the tables against
+    proceedings_counts: dict[str, int] = field(default_factory=dict)
 
 
 def _harvest_resilient(
@@ -130,11 +134,17 @@ def _harvest_resilient(
     for tag in applied_tags:
         session.record_loss("harvest", key, f"malformed:{tag}")
     conf = scrape_site(site, proceedings)
-    outcome = HarvestOutcome(key, conf, tuple(session.losses), session.snapshot)
+    outcome = HarvestOutcome(
+        key,
+        conf,
+        tuple(session.losses),
+        session.snapshot,
+        proceedings_count=len(proceedings),
+    )
     if stage_dir is not None:
         # checkpoint from the worker: a kill after this point never
         # re-harvests this edition (losses ride along; stats stay per-run)
-        save_item_file(stage_dir, key, (conf, outcome.losses))
+        save_item_file(stage_dir, key, (conf, outcome.losses, outcome.proceedings_count))
     return outcome
 
 
@@ -160,6 +170,7 @@ def ingest_world_resilient(
             stats=FaultStats(),
             total_editions=done.total_editions,
             resumed=tuple(keys),
+            proceedings_counts=dict(getattr(done, "proceedings_counts", {})),
         )
 
     loaded: dict[str, tuple] = {}
@@ -177,9 +188,11 @@ def ingest_world_resilient(
     resumed: list[str] = []
     for key in keys:
         if key in loaded:
-            conf, losses = loaded[key]
+            conf, losses, *rest = loaded[key]
             report.conferences.append(conf)
             report.losses.extend(losses)
+            if rest:
+                report.proceedings_counts[key] = rest[0]
             resumed.append(key)
             continue
         result = by_key[key]
@@ -194,6 +207,7 @@ def ingest_world_resilient(
         report.stats.merge(result.stats)
         if result.conference is not None:
             report.conferences.append(result.conference)
+            report.proceedings_counts[key] = result.proceedings_count
     report.resumed = tuple(resumed)
 
     if checkpoint is not None:

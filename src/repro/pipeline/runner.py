@@ -10,18 +10,37 @@ contract:
   recorded in :attr:`PipelineResult.degraded` rather than raised;
 - pass ``checkpoint_dir`` and the expensive stages checkpoint as they
   complete (harvest per *edition*, from the workers), so a killed run
-  resumes with ``resume=True`` without re-doing finished work.
+  resumes with ``resume=True`` without re-doing finished work;
+- pass ``validation`` and every stage hand-off runs under the data
+  contracts of :mod:`repro.contracts`: violating records are repaired
+  or quarantined (``"repair"``), merely recorded (``"audit"``), or
+  fail the run fast (``"strict"``), and an end-of-run integrity audit
+  checks that counts are conserved — the result lands in
+  :attr:`PipelineResult.contracts`.
 
-With ``faults=None`` and no checkpointing the runner executes exactly
-the fault-free code path; with ``FaultConfig(rate=0.0)`` the resilience
-plumbing is live but injects nothing, and the output is bit-identical
-to the fault-free run.
+With ``faults=None``, no checkpointing, and ``validation=None`` the
+runner executes exactly the fault-free code path; with
+``FaultConfig(rate=0.0)`` the resilience plumbing is live but injects
+nothing, and the output is bit-identical to the fault-free run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.contracts.audit import ContractReport, run_integrity_audit
+from repro.contracts.schema import (
+    ContractViolationError,
+    ValidationMode,
+    Violation,
+)
+from repro.contracts.validators import (
+    ContractSession,
+    validate_assignments,
+    validate_enrichment,
+    validate_harvest,
+    validate_linked,
+)
 from repro.faults.degradation import DegradedCoverage, FaultStats
 from repro.faults.plan import FaultConfig
 from repro.faults.session import FaultSession
@@ -51,6 +70,7 @@ class PipelineResult:
     inference: InferenceOutcome
     timer: StageTimer = field(default_factory=StageTimer)
     degraded: DegradedCoverage | None = None
+    contracts: ContractReport | None = None
 
     @property
     def coverage(self) -> dict[str, float]:
@@ -65,6 +85,16 @@ def _fingerprint(world: SyntheticWorld, faults: FaultConfig | None) -> dict:
     }
 
 
+def _validation_mode(
+    validation: ValidationMode | str | None,
+) -> ValidationMode | None:
+    if validation is None:
+        return None
+    if isinstance(validation, ValidationMode):
+        return validation
+    return ValidationMode(str(validation))
+
+
 def run_pipeline(
     config: WorldConfig | None = None,
     world: SyntheticWorld | None = None,
@@ -73,6 +103,7 @@ def run_pipeline(
     faults: FaultConfig | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    validation: ValidationMode | str | None = None,
 ) -> PipelineResult:
     """Build (or reuse) a world and run every pipeline stage.
 
@@ -97,22 +128,29 @@ def run_pipeline(
         recomputing (raises
         :class:`~repro.pipeline.checkpoint.CheckpointMismatch` if the
         directory belongs to a different run).
+    validation:
+        Data-contract mode (``"strict"``/``"repair"``/``"audit"`` or a
+        :class:`~repro.contracts.schema.ValidationMode`).  ``None``
+        disables contracts entirely.  Strict mode raises
+        :class:`~repro.contracts.schema.ContractViolationError` at the
+        first violating record (or failing audit check); the other modes
+        attach a :class:`~repro.contracts.audit.ContractReport` to the
+        result.
     """
     timer = StageTimer()
     if world is None:
         with timer.stage("build_world"):
             world = build_world(config)
 
+    mode = _validation_mode(validation)
+    contracts_session = ContractSession(mode=mode) if mode is not None else None
+
     resilient = faults is not None or checkpoint_dir is not None
+    ingest_report: IngestReport | None = None
     if not resilient:
         with timer.stage("ingest"):
             harvested = ingest_world(world, parallel=parallel)
-        with timer.stage("link"):
-            linked = link_identities(harvested)
-        with timer.stage("enrich"):
-            enrichment = enrich_researchers(linked, world.gs_store, world.s2_store)
         enrich_session = infer_session = None
-        ingest_report = None
     else:
         checkpoint = None
         if checkpoint_dir is not None:
@@ -127,8 +165,33 @@ def run_pipeline(
                 resume=resume,
             )
             harvested = ingest_report.conferences
-        with timer.stage("link"):
-            linked = link_identities(harvested)
+
+    if contracts_session is not None:
+        with timer.stage("contracts"):
+            malformed = ()
+            if ingest_report is not None:
+                malformed = tuple(
+                    sorted(
+                        {
+                            r.key
+                            for r in ingest_report.losses
+                            if r.stage == "harvest"
+                            and r.reason.startswith("malformed:")
+                        }
+                    )
+                )
+            harvested = validate_harvest(harvested, contracts_session, malformed)
+
+    with timer.stage("link"):
+        linked = link_identities(harvested)
+    if contracts_session is not None:
+        with timer.stage("contracts"):
+            linked = validate_linked(linked, contracts_session)
+
+    if not resilient:
+        with timer.stage("enrich"):
+            enrichment = enrich_researchers(linked, world.gs_store, world.s2_store)
+    else:
         enrich_session = FaultSession(faults)
         with timer.stage("enrich"):
             if checkpoint is not None and resume and checkpoint.has_stage("enrich"):
@@ -143,6 +206,9 @@ def run_pipeline(
                         "enrich", (enrichment, list(enrich_session.losses))
                     )
         infer_session = FaultSession(faults)
+    if contracts_session is not None:
+        with timer.stage("contracts"):
+            enrichment = validate_enrichment(enrichment, contracts_session)
 
     with timer.stage("infer"):
         name_evidence, name_truth = build_name_keyed_evidence(
@@ -157,12 +223,56 @@ def run_pipeline(
             photo_error_rate=world.config.photo_error_rate,
             session=infer_session,
         )
+    if contracts_session is not None:
+        with timer.stage("contracts"):
+            assignments = validate_assignments(
+                inference.assignments, contracts_session
+            )
+            if assignments != inference.assignments:
+                inference = inference.with_assignments(assignments)
+
     with timer.stage("dataset"):
         dataset = AnalysisDataset.build(linked, enrichment, inference.assignments)
 
     degraded = None
     if resilient:
         degraded = _assemble_degraded(ingest_report, enrich_session, infer_session)
+
+    contracts = None
+    if contracts_session is not None:
+        with timer.stage("audit"):
+            audit = run_integrity_audit(
+                dataset,
+                inference,
+                contracts_session,
+                degraded=degraded,
+                proceedings_counts=(
+                    ingest_report.proceedings_counts
+                    if ingest_report is not None
+                    else None
+                ),
+                enrichment_rows=len(enrichment),
+            )
+        contracts = ContractReport(
+            mode=mode.value,
+            quarantine=contracts_session.store,
+            audit=audit,
+        )
+        if mode is ValidationMode.STRICT and not audit.ok:
+            raise ContractViolationError(
+                "audit",
+                "run",
+                "integrity",
+                [
+                    Violation(
+                        contract="audit",
+                        code=f"audit.{c.name}",
+                        field=None,
+                        message=f"expected {c.expected}, got {c.actual}",
+                    )
+                    for c in audit.failures
+                ],
+            )
 
     return PipelineResult(
         world=world,
@@ -171,6 +281,7 @@ def run_pipeline(
         inference=inference,
         timer=timer,
         degraded=degraded,
+        contracts=contracts,
     )
 
 

@@ -24,6 +24,7 @@ from repro.report.experiments import EXPERIMENTS, run_experiment
 from repro.report.export import export_artifact
 from repro.report.textreport import full_report
 from repro.report.degraded import render_degraded
+from repro.report.integrity import render_integrity
 from repro.report.stability import stability_report
 
 __all__ = [
@@ -45,5 +46,6 @@ __all__ = [
     "export_artifact",
     "full_report",
     "render_degraded",
+    "render_integrity",
     "stability_report",
 ]

@@ -79,6 +79,13 @@ def export_artifact(result: PipelineResult, out_dir: str | Path) -> Path:
         "artifacts": artifact_files,
         "comparison": "comparison.csv",
     }
+    if result.contracts is not None:
+        # machine-readable quarantine + integrity audit alongside the tables
+        (out / "contracts.json").write_text(
+            json.dumps(result.contracts.to_dict(), indent=2), encoding="utf-8"
+        )
+        manifest["contracts"] = "contracts.json"
+        manifest["integrity_ok"] = result.contracts.ok
     (out / "MANIFEST.json").write_text(
         json.dumps(manifest, indent=2), encoding="utf-8"
     )

@@ -1,0 +1,57 @@
+"""Rendering of the contracts/integrity report.
+
+Turns a :class:`~repro.contracts.audit.ContractReport` into the markdown
+section the run report prints next to the degraded-coverage section: the
+quarantine ledger (what was repaired, what was withheld, what was merely
+flagged) followed by the end-of-run conservation checks.
+"""
+
+from __future__ import annotations
+
+from repro.contracts.audit import ContractReport
+from repro.contracts.quarantine import Disposition
+
+__all__ = ["render_integrity"]
+
+_MAX_ENTRIES = 8
+
+
+def render_integrity(report: ContractReport) -> str:
+    """Markdown section describing what the contracts layer found."""
+    lines: list[str] = []
+    add = lines.append
+    add("## Data contracts and integrity audit")
+    add("")
+    add(f"- validation mode: `{report.mode}`")
+
+    entries = report.quarantine.entries
+    if not entries:
+        add("- quarantine: empty (every record conformed on first contact)")
+    else:
+        counts = report.quarantine.counts()
+        per = "; ".join(
+            f"{entity}: " + ", ".join(f"{n} {d}" for d, n in dispositions.items())
+            for entity, dispositions in sorted(counts.items())
+        )
+        add(f"- quarantine: {per}")
+        shown = 0
+        for e in entries:
+            if shown >= _MAX_ENTRIES:
+                add(f"  - … and {len(entries) - shown} more entries")
+                break
+            codes = ", ".join(sorted({v.code for v in e.violations}))
+            suffix = ""
+            if e.disposition == Disposition.REPAIRED and e.repairs:
+                suffix = f" → repaired via {', '.join(e.repairs)}"
+            add(f"  - [{e.disposition}] {e.entity} `{e.key}`: {codes}{suffix}")
+            shown += 1
+
+    audit = report.audit
+    add(f"- {audit.summary()}")
+    for check in audit.checks:
+        mark = "✓" if check.ok else "✗"
+        line = f"  - {mark} {check.name}: expected {check.expected}, got {check.actual}"
+        if check.detail:
+            line += f"  ({check.detail})"
+        add(line)
+    return "\n".join(lines)

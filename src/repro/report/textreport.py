@@ -162,4 +162,9 @@ def full_report(result: PipelineResult) -> str:
 
         add(render_degraded(result.degraded))
         add("")
+    if result.contracts is not None:
+        from repro.report.integrity import render_integrity
+
+        add(render_integrity(result.contracts))
+        add("")
     return "\n".join(lines)

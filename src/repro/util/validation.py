@@ -1,39 +1,98 @@
-"""Argument validation helpers with consistent error messages."""
+"""Argument validation helpers with consistent error messages.
+
+Every helper accepts an optional ``quarantine`` callback.  Without one,
+a failed check raises ``ValueError`` (the argument-validation use).
+With one, the helper *reports* the failure by calling
+``quarantine(message)`` and returns the offending value unchanged — the
+contract-validation use (:mod:`repro.contracts`), where the caller
+collects violations instead of crashing on the first dirty record.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Collection
+from typing import Any, Callable, Collection
 
-__all__ = ["check_fraction", "check_nonnegative", "check_positive", "check_in"]
+__all__ = [
+    "check_fraction",
+    "check_nonnegative",
+    "check_positive",
+    "check_in",
+    "check_year_range",
+    "check_nonempty_str",
+]
+
+Quarantine = Callable[[str], None]
 
 
-def check_fraction(value: float, name: str) -> float:
+def _fail(message: str, quarantine: Quarantine | None) -> bool:
+    """Dispatch a failed check; returns True so callers can bail out."""
+    if quarantine is None:
+        raise ValueError(message)
+    quarantine(message)
+    return True
+
+
+def check_fraction(
+    value: float, name: str, quarantine: Quarantine | None = None
+) -> float:
     """Ensure ``value`` lies in [0, 1]; return it as float."""
     v = float(value)
     if not 0.0 <= v <= 1.0:
-        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        _fail(f"{name} must be in [0, 1], got {value!r}", quarantine)
     return v
 
 
-def check_nonnegative(value: float, name: str) -> float:
+def check_nonnegative(
+    value: float, name: str, quarantine: Quarantine | None = None
+) -> float:
     """Ensure ``value`` >= 0; return it as float."""
     v = float(value)
     if v < 0:
-        raise ValueError(f"{name} must be nonnegative, got {value!r}")
+        _fail(f"{name} must be nonnegative, got {value!r}", quarantine)
     return v
 
 
-def check_positive(value: float, name: str) -> float:
+def check_positive(
+    value: float, name: str, quarantine: Quarantine | None = None
+) -> float:
     """Ensure ``value`` > 0; return it as float."""
     v = float(value)
     if v <= 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
+        _fail(f"{name} must be positive, got {value!r}", quarantine)
     return v
 
 
-def check_in(value: Any, options: Collection[Any], name: str) -> Any:
+def check_in(
+    value: Any,
+    options: Collection[Any],
+    name: str,
+    quarantine: Quarantine | None = None,
+) -> Any:
     """Ensure ``value`` is one of ``options``; return it unchanged."""
     if value not in options:
         opts = ", ".join(sorted(repr(o) for o in options))
-        raise ValueError(f"{name} must be one of {opts}; got {value!r}")
+        _fail(f"{name} must be one of {opts}; got {value!r}", quarantine)
+    return value
+
+
+def check_year_range(
+    value: int,
+    name: str,
+    lo: int = 1960,
+    hi: int = 2035,
+    quarantine: Quarantine | None = None,
+) -> int:
+    """Ensure ``value`` is a plausible conference year in [lo, hi]."""
+    v = int(value)
+    if not lo <= v <= hi:
+        _fail(f"{name} must be a year in [{lo}, {hi}], got {value!r}", quarantine)
+    return v
+
+
+def check_nonempty_str(
+    value: Any, name: str, quarantine: Quarantine | None = None
+) -> Any:
+    """Ensure ``value`` is a non-blank string; return it unchanged."""
+    if not isinstance(value, str) or not value.strip():
+        _fail(f"{name} must be a non-empty string, got {value!r}", quarantine)
     return value

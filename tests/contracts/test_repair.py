@@ -1,0 +1,174 @@
+"""Round-trip tests: every repair heuristic must re-validate clean.
+
+The contract for a repair is *conservative convergence*: given a broken
+record, the heuristic either returns a record the schema accepts (plus
+the tags of what it changed) or leaves it for quarantine — and given a
+clean record it changes nothing at all.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.contracts import (
+    ASSIGNMENT_SCHEMA,
+    EDITION_SCHEMA,
+    ENRICHMENT_SCHEMA,
+    PAPER_SCHEMA,
+    RESEARCHER_SCHEMA,
+    repair_assignment,
+    repair_edition,
+    repair_enrichment,
+    repair_paper,
+    repair_researcher,
+)
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.names.parsing import name_key
+from repro.pipeline.enrich import Enrichment
+from repro.pipeline.link import ResearcherRecord
+
+from tests.contracts.test_schema import make_edition, make_paper
+
+pytestmark = pytest.mark.contracts
+
+
+class TestRepairEdition:
+    def test_clean_is_untouched(self):
+        conf = make_edition()
+        repaired, tags = repair_edition(conf)
+        assert repaired is conf and tags == ()
+
+    def test_digit_reversed_year(self):
+        repaired, tags = repair_edition(make_edition(year=7102))
+        assert repaired.year == 2017 and "unreversed-year" in tags
+        assert EDITION_SCHEMA.validate(repaired) == []
+
+    def test_swapped_accept_counts(self):
+        repaired, tags = repair_edition(
+            make_edition(accepted=327, submitted=61)
+        )
+        assert (repaired.accepted, repaired.submitted) == (61, 327)
+        assert "swapped-accept-counts" in tags
+        assert EDITION_SCHEMA.validate(repaired) == []
+
+    def test_nbsp_conference_name(self):
+        repaired, tags = repair_edition(make_edition(conference="SC\u00a0"))
+        assert repaired.conference == "SC" and "cleaned-conference-name" in tags
+
+    def test_unrepairable_year_stays_broken(self):
+        repaired, tags = repair_edition(make_edition(year=9999))
+        assert repaired.year == 9999  # 9999 reversed is 9999: no fix
+        assert EDITION_SCHEMA.validate(repaired) != []
+
+
+class TestRepairPaper:
+    def test_clean_is_untouched(self):
+        paper = make_paper()
+        repaired, tags = repair_paper(paper)
+        assert repaired is paper and tags == ()
+
+    def test_misaligned_emails(self):
+        repaired, tags = repair_paper(make_paper(author_emails=("a@b.c",)))
+        assert len(repaired.author_emails) == len(repaired.author_names)
+        assert "realigned-emails" in tags
+        assert PAPER_SCHEMA.validate(repaired) == []
+
+    def test_duplicate_author_dropped_keeps_first_email(self):
+        paper = make_paper(
+            author_names=("Ada Lovelace", "ada  lovelace", "Grace Hopper"),
+            author_emails=(None, "ada@x.edu", None),
+        )
+        repaired, tags = repair_paper(paper)
+        assert "deduplicated-author-keys" in tags
+        assert len(repaired.author_names) == 2
+        # the duplicate's email was salvaged onto the kept occurrence
+        assert repaired.author_emails[0] == "ada@x.edu"
+        assert PAPER_SCHEMA.validate(repaired) == []
+
+    def test_blank_author_dropped(self):
+        paper = make_paper(
+            author_names=("Ada Lovelace", "   "),
+            author_emails=(None, None),
+        )
+        repaired, tags = repair_paper(paper)
+        assert "dropped-blank-authors" in tags
+        assert repaired.author_names == ("Ada Lovelace",)
+        assert PAPER_SCHEMA.validate(repaired) == []
+
+    def test_zero_width_in_author_names(self):
+        paper = make_paper(
+            author_names=("Ada​ Lovelace", "Grace Hopper"),
+            author_emails=(None, None),
+        )
+        repaired, tags = repair_paper(paper)
+        assert "cleaned-author-names" in tags
+        assert repaired.author_names == ("Ada Lovelace", "Grace Hopper")
+
+    def test_all_authors_blank_is_unrepairable(self):
+        paper = make_paper(author_names=("", "  "), author_emails=(None, None))
+        repaired, _tags = repair_paper(paper)
+        assert PAPER_SCHEMA.validate(repaired) != []
+
+
+class TestRepairResearcher:
+    def test_rekey_after_cleanup(self):
+        broken = ResearcherRecord("r1", "Ada\u200b Lovelace", "stale-key")
+        repaired, tags = repair_researcher(broken)
+        assert "rekeyed" in tags
+        assert repaired.name_key == name_key(repaired.full_name)
+        assert RESEARCHER_SCHEMA.validate(repaired) == []
+
+    def test_malformed_emails_dropped(self):
+        broken = ResearcherRecord(
+            "r1", "Ada Lovelace", name_key("Ada Lovelace"),
+            emails=["ada@x.edu", "not-an-email", "a@b@c"],
+        )
+        repaired, tags = repair_researcher(broken)
+        assert "dropped-malformed-emails" in tags
+        assert repaired.emails == ["ada@x.edu"]
+        assert RESEARCHER_SCHEMA.validate(repaired) == []
+
+
+class TestRepairEnrichment:
+    def test_negative_counters_nulled(self):
+        e = Enrichment("r1", "US", "amer", "EDU", -3, 1, 1, 10, 4)
+        repaired, tags = repair_enrichment(e)
+        assert repaired.gs_publications is None
+        assert "nulled-negative:gs_publications" in tags
+        # nulling pubs also disarms the h-le-pubs comparison
+        assert ENRICHMENT_SCHEMA.validate(repaired) == []
+
+    def test_lowercase_country_uppercased(self):
+        e = Enrichment("r1", "us", "amer", "EDU", 5, 2, 1, 10, 4)
+        repaired, tags = repair_enrichment(e)
+        assert repaired.country_code == "US" and "uppercased-country" in tags
+        assert ENRICHMENT_SCHEMA.validate(repaired) == []
+
+
+class TestRepairAssignment:
+    def test_clamped_confidence(self):
+        a = GenderAssignment(Gender.F, InferenceMethod.GENDERIZE, 1.7)
+        repaired, tags = repair_assignment(a)
+        assert repaired.confidence == 1.0 and "clamped-confidence" in tags
+        assert ASSIGNMENT_SCHEMA.validate(repaired) == []
+
+    def test_broken_enum_resets_to_unassigned(self):
+        a = GenderAssignment("F", InferenceMethod.MANUAL, 0.9)
+        repaired, tags = repair_assignment(a)
+        assert tags == ("reset-to-unassigned",)
+        assert repaired.gender is Gender.UNKNOWN
+        assert math.isnan(repaired.confidence)
+        assert ASSIGNMENT_SCHEMA.validate(repaired) == []
+
+    def test_stray_confidence_on_unassigned_nulled(self):
+        a = GenderAssignment(Gender.UNKNOWN, InferenceMethod.NONE, 0.5)
+        repaired, tags = repair_assignment(a)
+        assert math.isnan(repaired.confidence) and "nulled-confidence" in tags
+        assert ASSIGNMENT_SCHEMA.validate(repaired) == []
+
+    def test_clean_is_untouched(self):
+        a = GenderAssignment(Gender.M, InferenceMethod.MANUAL, 1.0)
+        repaired, tags = repair_assignment(a)
+        assert repaired is a and tags == ()

@@ -1,0 +1,213 @@
+"""Unit tests for the declarative schema layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.contracts import (
+    ASSIGNMENT_SCHEMA,
+    EDITION_SCHEMA,
+    ENRICHMENT_SCHEMA,
+    PAPER_SCHEMA,
+    RESEARCHER_SCHEMA,
+    ContractViolationError,
+    FieldSpec,
+    Invariant,
+    RecordSchema,
+    ValidationMode,
+    Violation,
+)
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.harvest.scrape import HarvestedConference, HarvestedPaper
+from repro.pipeline.enrich import Enrichment
+from repro.pipeline.link import ResearcherRecord
+
+pytestmark = pytest.mark.contracts
+
+
+def make_edition(**overrides) -> HarvestedConference:
+    base = HarvestedConference(
+        conference="SC",
+        year=2017,
+        date="2017-11-12",
+        country="US",
+        accepted=61,
+        submitted=327,
+        review_policy="double",
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def make_paper(**overrides) -> HarvestedPaper:
+    base = HarvestedPaper(
+        paper_id="SC-2017-p1",
+        title="Exascale Something",
+        author_names=("Ada Lovelace", "Grace Hopper"),
+        author_emails=("ada@example.edu", None),
+        citations_36mo=12,
+        is_hpc_topic=True,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestFieldSpec:
+    def test_missing_required(self):
+        spec = FieldSpec("conference", (str,), required=True)
+        vs = spec.validate("edition", make_edition(conference=None))
+        assert [v.code for v in vs] == ["edition.field.conference.missing"]
+
+    def test_none_ok_when_optional(self):
+        spec = FieldSpec("accepted", (int,), min_value=0)
+        assert spec.validate("edition", make_edition(accepted=None)) == []
+
+    def test_type_violation(self):
+        spec = FieldSpec("year", (int,), required=True)
+        vs = spec.validate("edition", make_edition(year="2017"))
+        assert vs[0].code == "edition.field.year.type"
+
+    def test_bool_rejected_for_int_field(self):
+        spec = FieldSpec("accepted", (int,), min_value=0)
+        vs = spec.validate("edition", make_edition(accepted=True))
+        assert vs and "bool" in vs[0].message
+
+    def test_year_range(self):
+        spec = FieldSpec("year", (int,), required=True, year=True)
+        assert spec.validate("edition", make_edition(year=2017)) == []
+        vs = spec.validate("edition", make_edition(year=7102))
+        assert vs[0].code == "edition.field.year.range"
+
+    def test_choices(self):
+        spec = FieldSpec("review_policy", (str,), choices=("single", "double"))
+        vs = spec.validate("edition", make_edition(review_policy="triple"))
+        assert vs[0].code == "edition.field.review_policy.choice"
+
+    def test_ok_agrees_with_validate(self):
+        """The allocation-free fast path must match the slow path exactly."""
+        specs = [
+            FieldSpec("x", (str,), required=True, nonempty=True),
+            FieldSpec("x", (int,), min_value=0, max_value=100),
+            FieldSpec("x", (int,), year=True),
+            FieldSpec("x", (str,), choices=("a", "b")),
+            FieldSpec("x", (tuple,), required=True, nonempty=True),
+            FieldSpec("x", (bool,)),
+            FieldSpec("x", (float,), min_value=0.0),
+        ]
+        values = [
+            None, "", "  ", "a", "c", "hello", 0, -1, 5, 101, 1959, 2017,
+            2036, True, False, (), ("x",), 0.5, -0.5, float("nan"), [], b"x",
+        ]
+        for spec in specs:
+            for value in values:
+                record = type("R", (), {"x": value})()
+                slow_clean = not spec.validate("t", record)
+                assert spec.ok(value) == slow_clean, (spec, value)
+
+
+class TestInvariant:
+    def test_crashing_check_is_a_violation(self):
+        inv = Invariant("boom", "must not crash", lambda r: r.no_such_attr)
+        v = inv.validate("edition", make_edition())
+        assert v is not None and "crashed" in v.message
+
+    def test_pass_and_fail(self):
+        inv = Invariant("t", "m", lambda r: r.accepted <= r.submitted)
+        assert inv.validate("edition", make_edition()) is None
+        assert inv.validate("edition", make_edition(accepted=400)) is not None
+
+
+class TestEntitySchemas:
+    def test_clean_edition_conforms(self):
+        assert EDITION_SCHEMA.validate(make_edition()) == []
+
+    def test_accepted_exceeds_submitted(self):
+        vs = EDITION_SCHEMA.validate(make_edition(accepted=400))
+        assert "edition.invariant.accepted-le-submitted" in [v.code for v in vs]
+
+    def test_date_year_mismatch(self):
+        vs = EDITION_SCHEMA.validate(make_edition(date="2016-11-12"))
+        assert "edition.invariant.date-matches-year" in [v.code for v in vs]
+
+    def test_clean_paper_conforms(self):
+        assert PAPER_SCHEMA.validate(make_paper()) == []
+
+    def test_paper_misaligned_emails(self):
+        vs = PAPER_SCHEMA.validate(make_paper(author_emails=("a@b.c",)))
+        assert "paper.invariant.emails-aligned" in [v.code for v in vs]
+
+    def test_paper_duplicate_author_keys(self):
+        vs = PAPER_SCHEMA.validate(
+            make_paper(
+                author_names=("Ada Lovelace", "ada  lovelace"),
+                author_emails=(None, None),
+            )
+        )
+        assert "paper.invariant.author-keys-unique" in [v.code for v in vs]
+
+    def test_paper_no_authors(self):
+        vs = PAPER_SCHEMA.validate(
+            make_paper(author_names=(), author_emails=())
+        )
+        assert "paper.field.author_names.empty" in [v.code for v in vs]
+
+    def test_researcher_key_consistency(self):
+        rec = ResearcherRecord("r1", "Ada Lovelace", "wrong-key")
+        vs = RESEARCHER_SCHEMA.validate(rec)
+        assert "researcher.invariant.key-consistent" in [v.code for v in vs]
+
+    def test_enrichment_negative_counter(self):
+        e = Enrichment("r1", "US", "amer", "EDU", -3, 1, 1, 10, 4)
+        vs = ENRICHMENT_SCHEMA.validate(e)
+        assert "enrichment.field.gs_publications.range" in [v.code for v in vs]
+
+    def test_enrichment_h_exceeds_pubs(self):
+        e = Enrichment("r1", "US", "amer", "EDU", 5, 9, 1, 10, 4)
+        vs = ENRICHMENT_SCHEMA.validate(e)
+        assert "enrichment.invariant.h-le-pubs" in [v.code for v in vs]
+
+    def test_assignment_confidence_out_of_range(self):
+        a = GenderAssignment(Gender.F, InferenceMethod.GENDERIZE, 1.7)
+        vs = ASSIGNMENT_SCHEMA.validate(a)
+        assert "assignment.invariant.confidence-lawful" in [v.code for v in vs]
+
+    def test_assignment_unassigned_is_lawful(self):
+        assert ASSIGNMENT_SCHEMA.validate(GenderAssignment.unassigned()) == []
+
+    def test_assignment_nan_with_method(self):
+        a = GenderAssignment(Gender.M, InferenceMethod.MANUAL, float("nan"))
+        assert ASSIGNMENT_SCHEMA.validate(a) != []
+
+
+class TestViolationPlumbing:
+    def test_violation_to_dict_roundtrip_fields(self):
+        v = Violation("edition", "edition.field.year.range", "year", "msg", "7102")
+        d = v.to_dict()
+        assert d["code"] == "edition.field.year.range" and d["field"] == "year"
+
+    def test_error_message_carries_codes(self):
+        err = ContractViolationError(
+            "harvest",
+            "edition",
+            "SC-2017",
+            [Violation("edition", "edition.field.year.range", "year", "m")],
+        )
+        assert "edition.field.year.range" in str(err)
+        assert err.stage == "harvest" and err.key == "SC-2017"
+
+    def test_validation_mode_coercion(self):
+        assert ValidationMode("strict") is ValidationMode.STRICT
+        with pytest.raises(ValueError):
+            ValidationMode("bogus")
+
+    def test_schema_conforms(self):
+        schema = RecordSchema(
+            "t",
+            fields=(FieldSpec("x", (int,), required=True),),
+            invariants=(Invariant("pos", "x must be positive", lambda r: r.x > 0),),
+        )
+        good = type("R", (), {"x": 3})()
+        bad = type("R", (), {"x": -3})()
+        assert schema.conforms(good) and not schema.conforms(bad)
+        assert math.isnan(GenderAssignment.unassigned().confidence)

@@ -1,0 +1,198 @@
+"""Property-style tests: corrupted harvests through the stage validators.
+
+The generator is :func:`repro.faults.corrupt.corrupt_edition` — the same
+malformation matrix the fault layer uses — driven across many seeds, so
+the validators face exactly the dirt the resilient scraper emits.  The
+property under test is *conservation*: whatever the corruption did,
+``admitted + held == baseline`` per entity, and the quarantine ledger is
+deterministic in the corruption seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    ContractSession,
+    ContractViolationError,
+    Disposition,
+    ValidationMode,
+    validate_assignments,
+    validate_enrichment,
+    validate_harvest,
+    validate_linked,
+)
+from repro.faults.corrupt import corrupt_edition
+from repro.gender.model import Gender, GenderAssignment, InferenceMethod
+from repro.harvest.proceedings import build_proceedings
+from repro.harvest.scrape import scrape_site
+from repro.harvest.sitegen import generate_site
+from repro.pipeline.link import link_identities
+
+from tests.contracts.test_schema import make_edition, make_paper
+
+pytestmark = pytest.mark.contracts
+
+
+def _scrape_corrupted(world, seed: int):
+    """Every 2017 edition, scraped from deterministically mangled pages."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for e in sorted(world.registry.editions.values(), key=lambda e: e.date):
+        if e.year != 2017:
+            continue
+        site = generate_site(world.registry, e.name, e.year)
+        proceedings = build_proceedings(world.registry, e.name, e.year)
+        site, proceedings, _tags = corrupt_edition(site, proceedings, rng)
+        out.append(scrape_site(site, proceedings))
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_harvest_conservation_under_corruption(small_world, seed):
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    conferences = _scrape_corrupted(small_world, seed)
+    admitted = validate_harvest(conferences, session)
+
+    store = session.store
+    base = session.baselines
+    assert len(admitted) + store.held_count("edition") == base.get("edition", 0)
+    assert sum(len(c.papers) for c in admitted) + store.held_count("paper") == (
+        base.get("paper", 0)
+    )
+    assert sum(len(c.roles) for c in admitted) + store.held_count("role") == (
+        base.get("role", 0)
+    )
+    # everything that came through conforms *now*
+    from repro.contracts import EDITION_SCHEMA, PAPER_SCHEMA, ROLE_SCHEMA
+
+    for conf in admitted:
+        assert EDITION_SCHEMA.validate(conf) == []
+        for p in conf.papers:
+            assert PAPER_SCHEMA.validate(p) == []
+        for r in conf.roles:
+            assert ROLE_SCHEMA.validate(r) == []
+
+
+def test_quarantine_is_deterministic(small_world):
+    def run():
+        session = ContractSession(mode=ValidationMode.REPAIR)
+        validate_harvest(_scrape_corrupted(small_world, 42), session)
+        return session.store
+
+    assert run().entries == run().entries
+
+
+def test_audit_mode_admits_everything(small_world):
+    conferences = _scrape_corrupted(small_world, 7)
+    session = ContractSession(mode=ValidationMode.AUDIT)
+    admitted = validate_harvest([dataclasses.replace(c) for c in conferences], session)
+    assert len(admitted) == len(conferences)
+    for got, want in zip(admitted, conferences):
+        assert got.papers == want.papers and got.roles == want.roles
+    # audit mode never holds, only flags
+    assert not session.store.held()
+    assert all(
+        e.disposition == Disposition.FLAGGED for e in session.store.entries
+    )
+
+
+def test_strict_mode_raises_on_bad_edition():
+    session = ContractSession(mode=ValidationMode.STRICT)
+    bad = make_edition(year=9999)
+    with pytest.raises(ContractViolationError) as err:
+        validate_harvest([bad], session)
+    assert err.value.entity == "edition"
+    assert any("year" in (v.field or "") for v in err.value.violations)
+
+
+def test_strict_mode_refuses_malformed_edition():
+    session = ContractSession(mode=ValidationMode.STRICT)
+    conf = make_edition()
+    with pytest.raises(ContractViolationError) as err:
+        validate_harvest([conf], session, malformed=["SC-2017"])
+    assert err.value.violations[0].code == "edition.corrupted-source"
+
+
+def test_repair_mode_flags_malformed_edition():
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    out = validate_harvest([make_edition()], session, malformed=["SC-2017"])
+    assert len(out) == 1
+    codes = session.store.violation_codes()
+    assert codes.get("edition.corrupted-source") == 1
+
+
+def test_held_edition_withdraws_contents_wholesale():
+    """A quarantined edition's papers never count toward the paper baseline."""
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    hopeless = make_edition(year=9999, papers=[make_paper()])
+    fine = make_edition(conference="ISC", papers=[make_paper(paper_id="ISC-1")])
+    out = validate_harvest([hopeless, fine], session)
+    assert [c.conference for c in out] == ["ISC"]
+    assert session.baselines["edition"] == 2
+    assert session.baselines["paper"] == 1  # only the admitted edition's
+    assert session.store.held_count("edition") == 1
+
+
+def test_validate_linked_strips_held_researcher_ids(small_world):
+    from repro.pipeline.ingest import ingest_world
+
+    linked = link_identities(ingest_world(small_world))
+    # break one researcher irreparably: blank the name entirely
+    rid = next(iter(linked.researchers))
+    rec = linked.researchers[rid]
+    rec_broken = type(rec)(
+        researcher_id=rec.researcher_id,
+        full_name="",
+        name_key="",
+        emails=list(rec.emails),
+        roles=list(rec.roles),
+    )
+    researchers = dict(linked.researchers)
+    researchers[rid] = rec_broken
+    linked = type(linked)(
+        researchers=researchers, papers=linked.papers, conferences=linked.conferences
+    )
+
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    out = validate_linked(linked, session)
+    assert rid not in out.researchers
+    assert session.store.held_count("researcher") == 1
+    for p in out.papers:
+        assert rid not in p.author_ids
+
+
+def test_validate_assignments_substitutes_unassigned():
+    good = GenderAssignment(Gender.F, InferenceMethod.MANUAL, 1.0)
+    hopeless = GenderAssignment("X", "bogus", 3.0)
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    out = validate_assignments({"r1": good, "r2": hopeless}, session)
+    # every researcher keeps an assignment: coverage stays a partition
+    assert set(out) == {"r1", "r2"}
+    assert out["r1"] is good
+    assert out["r2"].gender is Gender.UNKNOWN
+    # the substitution is recorded in the ledger, not silent
+    repaired = session.store.by_disposition(Disposition.REPAIRED)
+    assert [e.key for e in repaired] == ["r2"]
+    assert "reset-to-unassigned" in repaired[0].repairs
+
+
+def test_validate_enrichment_repairs_and_drops(small_world):
+    from repro.pipeline.enrich import Enrichment, enrich_researchers
+    from repro.pipeline.ingest import ingest_world
+
+    linked = link_identities(ingest_world(small_world))
+    enrichment = enrich_researchers(
+        linked, small_world.gs_store, small_world.s2_store
+    )
+    rid = next(iter(enrichment))
+    enrichment[rid] = dataclasses.replace(enrichment[rid], gs_h_index=-4)
+    session = ContractSession(mode=ValidationMode.REPAIR)
+    out = validate_enrichment(enrichment, session)
+    assert out[rid].gs_h_index is None  # nulled, not dropped
+    repaired = session.store.by_disposition(Disposition.REPAIRED)
+    assert [e.key for e in repaired] == [rid]
+    assert len(out) + session.store.held_count("enrichment_row") == len(enrichment)

@@ -1,0 +1,89 @@
+"""Unicode-whitespace hygiene at the scrape boundary.
+
+Scanned proceedings and template-generated pages carry NBSPs, zero-width
+characters, and soft hyphens inside person names; if those survive into
+the records, identity linking forks one researcher into several.  The
+scraper must produce names identical to the clean-page scrape no matter
+which of these characters the pages picked up.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+import pytest
+
+from repro.harvest.proceedings import build_proceedings
+from repro.harvest.scrape import scrape_site
+from repro.harvest.sitegen import generate_site
+from repro.names.parsing import clean_person_name, name_key
+
+pytestmark = pytest.mark.contracts
+
+NBSP = "\u00a0"
+ZWSP = "\u200b"
+ZWJ = "\u200d"
+SOFT_HYPHEN = "\u00ad"
+BOM = "\ufeff"
+
+
+class TestCleanPersonName:
+    def test_plain_name_unchanged(self):
+        assert clean_person_name("Ada Lovelace") == "Ada Lovelace"
+
+    def test_nbsp_collapsed(self):
+        assert clean_person_name(f"Ada{NBSP}Lovelace") == "Ada Lovelace"
+
+    def test_zero_width_stripped(self):
+        assert clean_person_name(f"Ada{ZWSP} Love{ZWJ}lace") == "Ada Lovelace"
+
+    def test_soft_hyphen_and_bom_stripped(self):
+        assert clean_person_name(f"{BOM}Ada Love{SOFT_HYPHEN}lace") == "Ada Lovelace"
+
+    def test_key_stable_under_junk(self):
+        dirty = f"{BOM}Ada{NBSP}{ZWSP}Lovelace"
+        assert name_key(clean_person_name(dirty)) == name_key("Ada Lovelace")
+
+
+_TEXT_NODE = re.compile(r">([^<]+)<")
+
+
+def _pollute(html: str) -> str:
+    """Inject NBSP/zero-width junk into every text node's spaces."""
+    return _TEXT_NODE.sub(
+        lambda m: ">" + m.group(1).replace(" ", f"{NBSP}{ZWSP}") + "<", html
+    )
+
+
+class TestScrapeHygiene:
+    @pytest.fixture(scope="class")
+    def clean_scrape(self, small_world):
+        site = generate_site(small_world.registry, "SC", 2017)
+        proceedings = build_proceedings(small_world.registry, "SC", 2017)
+        return site, proceedings, scrape_site(site, proceedings)
+
+    def test_polluted_pages_scrape_to_identical_names(self, clean_scrape):
+        site, proceedings, clean = clean_scrape
+        polluted = dataclasses.replace(
+            site,
+            committees_html=_pollute(site.committees_html),
+            program_html=_pollute(site.program_html),
+            papers_html=_pollute(site.papers_html),
+        )
+        got = scrape_site(polluted, proceedings)
+        assert [r.full_name for r in got.roles] == [
+            r.full_name for r in clean.roles
+        ]
+        assert [p.author_names for p in got.papers] == [
+            p.author_names for p in clean.papers
+        ]
+
+    def test_no_invisible_characters_in_any_scraped_name(self, clean_scrape):
+        _site, _proceedings, clean = clean_scrape
+        junk = {NBSP, ZWSP, ZWJ, SOFT_HYPHEN, BOM}
+        for r in clean.roles:
+            assert not junk & set(r.full_name)
+        for p in clean.papers:
+            for n in p.author_names:
+                assert not junk & set(n)
