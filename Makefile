@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts audit bench examples artifact report verify-all clean
+.PHONY: install test faults contracts obs audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,10 @@ faults:
 # data-contract suite (schemas, repair heuristics, integrity audit)
 contracts:
 	$(PYTHON) -m pytest tests/ -m contracts
+
+# observability suite (trace spans, metrics registry, export formats)
+obs:
+	$(PYTHON) -m pytest tests/ -m obs
 
 # strict end-to-end validation of the seed world: any contract
 # violation or unbalanced conservation check exits non-zero
@@ -39,6 +43,14 @@ artifact:
 
 report:
 	$(PYTHON) -m repro report --output out/report.md
+
+# Chrome trace + deterministic metrics for one seeded run (chrome://tracing)
+trace:
+	$(PYTHON) -m repro --trace --metrics --obs-dir out run
+
+# per-stage cProfile top-N on stdout
+profile:
+	$(PYTHON) -m repro --profile run
 
 verify-all: test bench
 	$(PYTHON) examples/regenerate_paper.py > out/regenerate.txt

@@ -19,6 +19,10 @@ Contract options: ``--validate={strict,repair,audit,off}`` (default
 ``strict`` exits non-zero at the first violating record or failing
 integrity-audit check, ``repair`` quarantines/repairs, ``audit`` only
 records, ``off`` disables contracts entirely.
+Observability options: ``--trace`` writes a Chrome trace-event
+``trace.json``, ``--metrics`` writes the deterministic ``metrics.json``
+(both under ``--obs-dir``, default ``out/``), ``--profile`` prints a
+per-stage cProfile top-N after the run.
 """
 
 from __future__ import annotations
@@ -80,6 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
         "fast (non-zero exit), repair quarantines and repairs (default), "
         "audit only records, off disables contracts",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record trace spans and write Chrome trace-event trace.json "
+        "under --obs-dir",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record the metrics registry and write metrics.json under "
+        "--obs-dir (deterministic for a given seed, timings excluded)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture a per-stage cProfile and print top cumulative "
+        "functions after the run",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default="out",
+        help="directory for trace.json/metrics.json (default: out/)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("run", help="run the pipeline and print the headline summary")
@@ -125,6 +152,7 @@ def _result(args):
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         validation=validation,
+        obs=getattr(args, "_obs", None),
     )
 
 
@@ -239,9 +267,45 @@ _COMMANDS = {
 }
 
 
+def _finish_obs(args, obs) -> None:
+    """Write the requested observability artifacts after a command."""
+    from pathlib import Path
+
+    from repro.obs import write_metrics, write_trace
+    from repro.version import __version__
+
+    out = Path(args.obs_dir)
+    if args.trace:
+        p = write_trace(obs.tracer, out / "trace.json")
+        print(f"trace written to {p}")
+    if args.metrics:
+        p = write_metrics(
+            obs.metrics,
+            out / "metrics.json",
+            meta={"version": __version__, "seed": args.seed},
+        )
+        print(f"metrics written to {p}")
+    if args.profile and obs.profiler is not None:
+        print(obs.profiler.render())
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    obs = None
+    if args.trace or args.metrics or args.profile:
+        from repro.obs import ObsContext
+        from repro.obs.context import use as obs_use
+
+        obs = ObsContext(seed=args.seed, profile=args.profile)
+        args._obs = obs
     try:
+        if obs is not None:
+            # the whole command runs under the context, so report/analysis
+            # work after the pipeline (tabular kernels included) is counted
+            with obs_use(obs):
+                code = _COMMANDS[args.command](args)
+            _finish_obs(args, obs)
+            return code
         return _COMMANDS[args.command](args)
     except ContractViolationError as exc:
         # strict mode: surface the machine-readable violations and fail

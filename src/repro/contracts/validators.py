@@ -49,6 +49,7 @@ from repro.contracts.schema import (
     Violation,
 )
 from repro.gender.model import GenderAssignment
+from repro.obs.context import current as _obs
 
 if TYPE_CHECKING:  # pipeline imports stay lazy: contracts ↔ pipeline cycle
     from repro.pipeline.enrich import Enrichment
@@ -105,10 +106,13 @@ class ContractSession:
             violations = schema.validate(record)
         if not violations:
             return record
+        metrics = _obs().metrics
+        metrics.inc("contracts.violations", len(violations))
         if self.mode is ValidationMode.STRICT:
             raise ContractViolationError(stage, entity, key, violations)
         if self.mode is ValidationMode.AUDIT:
             self.store.add(stage, entity, key, Disposition.FLAGGED, violations)
+            metrics.inc(f"contracts.flagged.{entity}")
             return record
         # repair mode
         if repairer is not None:
@@ -124,15 +128,18 @@ class ContractSession:
                         violations,
                         repairs=tags,
                     )
+                    metrics.inc(f"contracts.repaired.{entity}")
                     return repaired
                 violations = remaining
         self.store.add(stage, entity, key, Disposition.HELD, violations)
+        metrics.inc(f"contracts.held.{entity}")
         return None
 
     def flag(
         self, stage: str, entity: str, key: str, code: str, message: str
     ) -> None:
         """Record an informational violation without affecting the flow."""
+        _obs().metrics.inc(f"contracts.flagged.{entity}")
         self.store.add(
             stage,
             entity,

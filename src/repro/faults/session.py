@@ -28,6 +28,7 @@ from repro.faults.errors import (
     TransientServiceError,
 )
 from repro.faults.plan import FaultConfig, FaultKind, FaultPlan
+from repro.obs.context import current as _obs
 from repro.util.timing import VirtualClock
 
 __all__ = ["FaultSession"]
@@ -62,6 +63,7 @@ class FaultSession:
 
     def record_loss(self, stage: str, key: str, reason: str) -> None:
         self.losses.append(LossRecord(stage=stage, key=key, reason=reason))
+        _obs().metrics.inc(f"faults.losses.{stage}")
 
     def _finish(self) -> None:
         """Fold clock and breaker state into the stats snapshot."""
@@ -100,19 +102,24 @@ class FaultSession:
         """
         policy = self.config.retry
         breaker = self.breaker(service)
+        metrics = _obs().metrics
         last: FaultError | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self.stats.retries += 1
+                metrics.inc("faults.retries")
             try:
                 breaker.check()
             except CircuitOpenError:
                 self.stats.breaker_rejections += 1
+                metrics.inc("faults.breaker_rejections")
                 raise
             self.stats.count_call(service)
+            metrics.inc(f"faults.calls.{service}")
             kind = self.plan.draw(service, *key, attempt=attempt)
             if kind in _ERROR_BY_KIND:
                 self.stats.count_fault(kind.value)
+                metrics.inc(f"faults.injected.{kind.value}")
                 if kind is FaultKind.TIMEOUT:
                     self.clock.sleep(self.config.timeout_cost)
                 elif kind is FaultKind.RATE_LIMIT:
@@ -123,6 +130,7 @@ class FaultSession:
             result = fn()
             if kind is FaultKind.MALFORMED:
                 self.stats.count_fault(kind.value)
+                metrics.inc(f"faults.injected.{kind.value}")
                 if malform is not None:
                     result = malform(result, self.plan.payload_rng(service, *key, attempt))
             if validate is not None and not validate(result):
@@ -132,9 +140,13 @@ class FaultSession:
             breaker.record_success()
             return result
         self.stats.exhausted += 1
+        metrics.inc("faults.exhausted")
         raise RetryExhaustedError(service, key, policy.max_attempts, last)
 
     def _backoff(self, breaker, policy, service, key, attempt) -> None:
+        opened_before = breaker.times_opened
         breaker.record_failure()
+        if breaker.times_opened > opened_before:
+            _obs().metrics.inc("faults.breaker_opens")
         if attempt < policy.max_attempts:
             self.clock.sleep(policy.delay(attempt, self.config.seed, service, *key))

@@ -1,0 +1,44 @@
+"""``repro.obs`` — tracing, metrics, and profiling for the pipeline.
+
+Three pieces, all deterministic where determinism is possible:
+
+- **spans** (:mod:`repro.obs.span`) — hierarchical monotonic-clock trace
+  spans with seed-derived IDs, nested across ``parallel_map`` workers
+  and exportable as Chrome trace-event JSON;
+- **metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
+  fed by the faults, contracts, pipeline, and tabular layers; two runs
+  with the same seed produce identical registries (timings excluded);
+- **profiling** (:mod:`repro.obs.profile`) — opt-in per-stage cProfile
+  capture behind ``--profile``.
+
+Instrumented code asks for the active context via
+:func:`repro.obs.current`; with no context installed every hook is a
+no-op on a shared null object, keeping the disabled path effectively
+free (see ``benchmarks/bench_obs.py``).
+"""
+
+from repro.obs.context import NULL, ObsContext, ObsEnvelope, capture, current, use
+from repro.obs.export import metrics_payload, write_metrics, write_trace
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.profile import StageProfiler
+from repro.obs.span import NullTracer, Span, Tracer, chrome_trace, derive_span_seed
+
+__all__ = [
+    "NULL",
+    "ObsContext",
+    "ObsEnvelope",
+    "capture",
+    "current",
+    "use",
+    "write_trace",
+    "write_metrics",
+    "metrics_payload",
+    "MetricsRegistry",
+    "NullMetrics",
+    "StageProfiler",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "chrome_trace",
+    "derive_span_seed",
+]

@@ -1,0 +1,146 @@
+"""The active observability context and its propagation.
+
+One :class:`ObsContext` carries the tracer, the metrics registry, and
+(optionally) the stage profiler for a run.  The rest of the codebase
+never threads it through call signatures; instrumented layers ask for
+the *current* context::
+
+    from repro.obs.context import current
+
+    ctx = current()
+    if ctx.enabled:
+        ctx.metrics.inc("tabular.join.calls")
+
+``current()`` returns a shared :data:`NULL` context unless a run
+activated one with :func:`use`, so an un-instrumented process pays a
+module-global read and an attribute check per hook — measured well
+under the <5% overhead budget (``benchmarks/bench_obs.py``).
+
+The context is a plain module global, not a contextvar: the pipeline is
+single-threaded per process, and ``parallel_map`` worker processes start
+fresh at :data:`NULL` — the parallel layer installs a per-task capture
+context (:func:`capture`) whose spans and metrics are shipped back and
+merged in input order, which is what keeps observability output
+independent of worker count.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NullMetrics
+from repro.obs.profile import StageProfiler
+from repro.obs.span import NullTracer, Span, Tracer, derive_span_seed
+
+__all__ = ["ObsContext", "ObsEnvelope", "NULL", "current", "use", "capture"]
+
+
+class _NullProfiledStage:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_STAGE = _NullProfiledStage()
+
+
+class ObsContext:
+    """Tracer + metrics + optional profiler for one pipeline run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        seed: int = 0,
+        profile: bool = False,
+        profile_top: int = 12,
+    ) -> None:
+        self.seed = int(seed)
+        self.tracer = Tracer(seed=seed)
+        self.metrics = MetricsRegistry()
+        self.profiler = StageProfiler(top_n=profile_top) if profile else None
+
+    # thin conveniences so call sites stay one-liners
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def annotate(self, **attrs: Any) -> None:
+        self.tracer.annotate(**attrs)
+
+    def profiled(self, name: str):
+        return self.profiler.stage(name) if self.profiler is not None else _NULL_STAGE
+
+
+class _NullObsContext:
+    """Disabled context: every operation is a no-op (shared singleton)."""
+
+    enabled = False
+    seed = 0
+    profiler = None
+
+    def __init__(self) -> None:
+        self.tracer = NullTracer()
+        self.metrics = NullMetrics()
+
+    def span(self, name: str, **attrs: Any):
+        return NullTracer._NULL_CM
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def profiled(self, name: str):
+        return _NULL_STAGE
+
+
+NULL = _NullObsContext()
+
+_current: Any = NULL
+
+
+def current() -> Any:
+    """The active :class:`ObsContext`, or :data:`NULL` when none is."""
+    return _current
+
+
+@contextmanager
+def use(ctx: ObsContext | None):
+    """Install ``ctx`` as the current context for the dynamic extent."""
+    global _current
+    prev = _current
+    _current = ctx if ctx is not None else NULL
+    try:
+        yield _current
+    finally:
+        _current = prev
+
+
+# ------------------------------------------------- worker-task propagation
+
+
+@dataclass
+class ObsEnvelope:
+    """A worker task's result plus its captured observability artifacts."""
+
+    result: Any
+    spans: list[Span] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+@contextmanager
+def capture(seed: int, path: tuple[str, ...], index: int):
+    """Run one work item under a fresh deterministic capture context.
+
+    The child tracer is seeded from ``(seed, *path, index)`` — the item's
+    *position*, not the worker that ran it — so span IDs are identical
+    across worker counts.  Used by ``parallel_map``; also usable directly
+    by any code that fans work out on its own.
+    """
+    ctx = ObsContext(seed=derive_span_seed(seed, *path, index))
+    with use(ctx):
+        yield ctx

@@ -1,0 +1,145 @@
+"""The metrics registry: counters, gauges, histograms.
+
+Everything here is **deterministic by construction**: metrics count
+*events* (retries, quarantined records, rows joined), never wall-clock
+time, so two runs with the same seed produce identical registries
+regardless of machine, worker count, or load.  Wall-clock quantities are
+allowed in, but only under the reserved ``time.`` prefix, which every
+determinism comparison excludes (:meth:`MetricsRegistry.to_dict` with
+``exclude_timings=True``).
+
+The registry is a plain dict-of-scalars design rather than metric
+objects — the hot paths (fault session calls, per-record contract
+checks, tabular kernels) pay one dict update per event, and per-task
+registries from ``parallel_map`` workers merge associatively in input
+order, the same discipline as :class:`repro.faults.degradation.FaultStats`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["MetricsRegistry", "NullMetrics", "TIMING_PREFIX", "DEFAULT_BUCKETS"]
+
+TIMING_PREFIX = "time."
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one run (or one worker task)."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    # name -> {"buckets": tuple, "counts": list[int] (len+1, last=overflow),
+    #          "count": int, "sum": float}
+    histograms: dict[str, dict] = field(default_factory=dict)
+
+    enabled = True
+
+    # ------------------------------------------------------------ recording
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = {
+                "buckets": tuple(buckets),
+                "counts": [0] * (len(buckets) + 1),
+                "count": 0,
+                "sum": 0.0,
+            }
+        i = 0
+        for i, edge in enumerate(h["buckets"]):
+            if value <= edge:
+                break
+        else:
+            i = len(h["buckets"])
+        h["counts"][i] += 1
+        h["count"] += 1
+        h["sum"] += value
+
+    # -------------------------------------------------------------- merging
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (associative; input-order safe)."""
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        # a later gauge write wins, matching in-process overwrite semantics
+        self.gauges.update(other.gauges)
+        for k, h in other.histograms.items():
+            mine = self.histograms.get(k)
+            if mine is None or mine["buckets"] != h["buckets"]:
+                if mine is not None:
+                    raise ValueError(f"histogram {k!r} merged with mismatched buckets")
+                self.histograms[k] = {
+                    "buckets": h["buckets"],
+                    "counts": list(h["counts"]),
+                    "count": h["count"],
+                    "sum": h["sum"],
+                }
+                continue
+            mine["counts"] = [a + b for a, b in zip(mine["counts"], h["counts"])]
+            mine["count"] += h["count"]
+            mine["sum"] += h["sum"]
+
+    # ------------------------------------------------------------ rendering
+
+    def to_dict(self, exclude_timings: bool = False) -> dict:
+        """Sorted, JSON-ready snapshot; ``exclude_timings`` drops ``time.*``."""
+
+        def keep(name: str) -> bool:
+            return not (exclude_timings and name.startswith(TIMING_PREFIX))
+
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters) if keep(k)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges) if keep(k)},
+            "histograms": {
+                k: {
+                    "buckets": list(h["buckets"]),
+                    "counts": list(h["counts"]),
+                    "count": h["count"],
+                    "sum": h["sum"],
+                }
+                for k, h in sorted(self.histograms.items())
+                if keep(k)
+            },
+        }
+
+    def dumps(self, exclude_timings: bool = False) -> str:
+        return json.dumps(self.to_dict(exclude_timings), indent=2, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+
+class NullMetrics:
+    """No-op registry backing the disabled path (shared singleton)."""
+
+    enabled = False
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float, buckets=DEFAULT_BUCKETS) -> None:
+        return None
+
+    def merge(self, other) -> None:
+        return None
+
+    def to_dict(self, exclude_timings: bool = False) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,238 @@
+"""Hierarchical trace spans with deterministic identities.
+
+A :class:`Tracer` records a tree of timed spans around pipeline work::
+
+    tracer = Tracer(seed=7)
+    with tracer.span("ingest"):
+        with tracer.span("harvest.edition", conf="SC", year=2017):
+            ...
+
+Span *identities* are deterministic: an ID is derived (SHA-256, the same
+scheme as :func:`repro.util.rng.derive_seed`, re-implemented here so this
+package stays stdlib-only and import-cycle-free) from the tracer seed,
+the span's name path from the root, and a per-path occurrence counter.
+Two runs with the same seed produce the same span IDs in the same
+parent/child arrangement; only the timings differ.  That is what makes
+trace output *testable* rather than write-only.
+
+Span *timings* come from the monotonic clock (``time.perf_counter``),
+expressed as offsets from the tracer's epoch so they can be exported
+directly as Chrome trace-event timestamps.
+
+Spans recorded inside ``parallel_map`` worker processes are captured by
+a per-task child tracer (seeded from ``(seed, path, item_index)``, so
+IDs cannot depend on which worker ran the task) and grafted back under
+the parent's active span with :meth:`Tracer.adopt` — in input order,
+like every other per-task artifact in this codebase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Span", "Tracer", "NullTracer", "derive_span_seed", "chrome_trace"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_span_seed(seed: int, *path: str | int) -> int:
+    """Stdlib twin of :func:`repro.util.rng.derive_seed` (same digest)."""
+    h = hashlib.sha256()
+    h.update(str(int(seed)).encode("utf-8"))
+    for part in path:
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+        h.update(str(part).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "little") & _MASK64
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) unit of traced work."""
+
+    span_id: str
+    parent_id: str | None
+    name: str
+    path: tuple[str, ...]
+    start: float                      # seconds since the tracer epoch
+    duration: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    tid: int = 0                      # Chrome track; workers get their own
+
+    def identity(self) -> tuple:
+        """Everything deterministic about the span (timings excluded)."""
+        return (
+            self.span_id,
+            self.parent_id,
+            self.name,
+            self.path,
+            tuple(sorted(self.attrs.items())),
+        )
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(self.span)
+
+
+class Tracer:
+    """Records a deterministic tree of spans for one run."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._seq: dict[tuple[str, ...], int] = {}
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------- recording
+
+    def now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        parent = self._stack[-1] if self._stack else None
+        path = (parent.path if parent else ()) + (name,)
+        seq = self._seq.get(path, 0)
+        self._seq[path] = seq + 1
+        span = Span(
+            span_id=f"{derive_span_seed(self.seed, *path, seq):016x}",
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            path=path,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.duration = self.now() - span.start
+        top = self._stack.pop()
+        assert top is span, f"span {top.name!r} closed out of order"
+        self.finished.append(span)
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op at root)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    # ----------------------------------------------------------- inspection
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def current_path(self) -> tuple[str, ...]:
+        return self._stack[-1].path if self._stack else ()
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.finished if s.name == name]
+
+    def identity(self) -> tuple:
+        """Deterministic fingerprint of the whole finished trace."""
+        return tuple(sorted(s.identity() for s in self.finished))
+
+    # -------------------------------------------------------------- merging
+
+    def adopt(self, spans: Iterable[Span], tid: int = 0) -> None:
+        """Graft finished worker spans under the current open span.
+
+        Roots among ``spans`` are re-parented to the active span, every
+        span is shifted onto this tracer's clock (placed at the adoption
+        instant — cross-process clock offsets are not meaningful), and
+        assigned ``tid`` so each task renders as its own Chrome track.
+        """
+        spans = list(spans)
+        if not spans:
+            return
+        parent = self._stack[-1] if self._stack else None
+        shift = self.now() - min(s.start for s in spans)
+        for s in spans:
+            if s.parent_id is None and parent is not None:
+                s.parent_id = parent.span_id
+                s.path = parent.path + s.path
+            s.start += shift
+            s.tid = tid
+            self.finished.append(s)
+
+
+class NullTracer:
+    """No-op tracer: a single shared instance backs the disabled path."""
+
+    seed = 0
+    finished: list[Span] = []
+
+    class _Null:
+        __slots__ = ()
+
+        def __enter__(self):
+            return None
+
+        def __exit__(self, *exc) -> None:
+            return None
+
+    _NULL_CM = _Null()
+
+    def span(self, name: str, **attrs: Any):
+        return self._NULL_CM
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def adopt(self, spans: Iterable[Span], tid: int = 0) -> None:
+        return None
+
+    def current_path(self) -> tuple[str, ...]:
+        return ()
+
+
+# ------------------------------------------------------------ chrome export
+
+
+def chrome_trace(tracer: Tracer, label: str = "repro") -> dict:
+    """Render finished spans as a Chrome trace-event document.
+
+    The result loads directly in ``chrome://tracing`` / Perfetto:
+    complete events (``ph: "X"``) with microsecond timestamps, one track
+    per worker task, span/parent IDs preserved in ``args``.
+    """
+    events = []
+    for s in sorted(tracer.finished, key=lambda s: (s.tid, s.start)):
+        args = {"span_id": s.span_id, "parent_id": s.parent_id}
+        args.update(s.attrs)
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.path[0] if s.path else s.name,
+                "ph": "X",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": 0,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"label": label, "seed": tracer.seed},
+    }
+
+
+def dumps_chrome_trace(tracer: Tracer, label: str = "repro") -> str:
+    return json.dumps(chrome_trace(tracer, label), indent=2, sort_keys=True)

@@ -19,6 +19,7 @@ from repro.geo.affiliations import classify_affiliation
 from repro.geo.countries import Country
 from repro.geo.domains import email_country, split_email
 from repro.geo.regions import region_of_country
+from repro.obs.context import current as _obs
 from repro.pipeline.link import LinkedData, ResearcherRecord
 from repro.scholar.gscholar import GoogleScholarStore
 from repro.scholar.semanticscholar import SemanticScholarStore
@@ -85,6 +86,19 @@ def enrich_researchers(
 
         gs = ResilientGoogleScholar(gs_store, session)
         s2 = ResilientSemanticScholar(s2_store, session)
+    ctx = _obs()
+    out: dict[str, Enrichment] = {}
+    with ctx.span("enrich.researchers", rows=len(linked.researchers)):
+        out.update(_enrich_all(linked, gs, s2))
+    ctx.metrics.inc("enrich.rows", len(out))
+    ctx.metrics.inc("enrich.gs_hits", sum(1 for e in out.values() if e.has_gs))
+    ctx.metrics.inc(
+        "enrich.s2_hits", sum(1 for e in out.values() if e.s2_publications is not None)
+    )
+    return out
+
+
+def _enrich_all(linked, gs, s2) -> dict[str, Enrichment]:
     out: dict[str, Enrichment] = {}
     for rid, rec in linked.researchers.items():
         profile = gs.unique_match(rec.full_name)

@@ -34,6 +34,7 @@ from repro.faults.session import FaultSession
 from repro.harvest.proceedings import build_proceedings
 from repro.harvest.scrape import HarvestedConference, scrape_site
 from repro.harvest.sitegen import generate_site
+from repro.obs.context import current as _obs
 from repro.pipeline.checkpoint import CheckpointStore, save_item_file
 from repro.synth.world import SyntheticWorld
 from repro.util.parallel import ParallelConfig, TaskError, parallel_map
@@ -52,9 +53,14 @@ _STAGE = "ingest"
 def harvest_one(args: tuple[SyntheticWorld, str, int]) -> HarvestedConference:
     """Generate + scrape one conference edition (module-level: picklable)."""
     world, conference, year = args
-    site = generate_site(world.registry, conference, year)
-    proceedings = build_proceedings(world.registry, conference, year)
-    return scrape_site(site, proceedings)
+    ctx = _obs()
+    with ctx.span("harvest.edition", conf=conference, year=year):
+        site = generate_site(world.registry, conference, year)
+        proceedings = build_proceedings(world.registry, conference, year)
+        conf = scrape_site(site, proceedings)
+    ctx.metrics.inc("harvest.editions")
+    ctx.metrics.observe("harvest.papers_per_edition", len(conf.papers))
+    return conf
 
 
 def _editions_of(world: SyntheticWorld, year: int):
@@ -110,6 +116,7 @@ def _harvest_resilient(
     world, conference, year, faults, stage_dir = args
     key = f"{conference}-{year}"
     session = FaultSession(faults)
+    ctx = _obs()
 
     def fetch():
         site = generate_site(world.registry, conference, year)
@@ -124,16 +131,21 @@ def _harvest_resilient(
         applied_tags.extend(tags)
         return site, proceedings
 
-    try:
-        site, proceedings = session.call(
-            "harvest", (conference, year), fetch, malform=malform
-        )
-    except FaultError as exc:
-        session.record_loss("harvest", key, exc.reason)
-        return HarvestOutcome(key, None, tuple(session.losses), session.snapshot)
-    for tag in applied_tags:
-        session.record_loss("harvest", key, f"malformed:{tag}")
-    conf = scrape_site(site, proceedings)
+    with ctx.span("harvest.edition", conf=conference, year=year):
+        try:
+            site, proceedings = session.call(
+                "harvest", (conference, year), fetch, malform=malform
+            )
+        except FaultError as exc:
+            session.record_loss("harvest", key, exc.reason)
+            ctx.annotate(lost=exc.reason)
+            ctx.metrics.inc("harvest.editions_lost")
+            return HarvestOutcome(key, None, tuple(session.losses), session.snapshot)
+        for tag in applied_tags:
+            session.record_loss("harvest", key, f"malformed:{tag}")
+        conf = scrape_site(site, proceedings)
+    ctx.metrics.inc("harvest.editions")
+    ctx.metrics.observe("harvest.papers_per_edition", len(conf.papers))
     outcome = HarvestOutcome(
         key,
         conf,
@@ -163,6 +175,7 @@ def ingest_world_resilient(
 
     if checkpoint is not None and resume and checkpoint.has_stage(_STAGE):
         done: IngestReport = checkpoint.load_stage(_STAGE)
+        _obs().metrics.inc("harvest.editions_resumed", len(keys))
         # data-coverage facts carry over; effort counters are per-run
         return IngestReport(
             conferences=done.conferences,
@@ -194,6 +207,7 @@ def ingest_world_resilient(
             if rest:
                 report.proceedings_counts[key] = rest[0]
             resumed.append(key)
+            _obs().metrics.inc("harvest.editions_resumed")
             continue
         result = by_key[key]
         if isinstance(result, TaskError):

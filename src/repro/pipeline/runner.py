@@ -46,6 +46,9 @@ from repro.faults.plan import FaultConfig
 from repro.faults.session import FaultSession
 from repro.gender.resolver import ResolverPolicy
 from repro.harvest.webindex import build_name_keyed_evidence
+from repro.obs.context import NULL as _NULL_OBS
+from repro.obs.context import ObsContext
+from repro.obs.context import use as _obs_use
 from repro.pipeline.checkpoint import CheckpointStore
 from repro.pipeline.dataset import AnalysisDataset
 from repro.pipeline.enrich import enrich_researchers
@@ -71,6 +74,7 @@ class PipelineResult:
     timer: StageTimer = field(default_factory=StageTimer)
     degraded: DegradedCoverage | None = None
     contracts: ContractReport | None = None
+    obs: ObsContext | None = None
 
     @property
     def coverage(self) -> dict[str, float]:
@@ -104,6 +108,7 @@ def run_pipeline(
     checkpoint_dir: str | None = None,
     resume: bool = False,
     validation: ValidationMode | str | None = None,
+    obs: ObsContext | None = None,
 ) -> PipelineResult:
     """Build (or reuse) a world and run every pipeline stage.
 
@@ -136,10 +141,44 @@ def run_pipeline(
         first violating record (or failing audit check); the other modes
         attach a :class:`~repro.contracts.audit.ContractReport` to the
         result.
+    obs:
+        Observability context (:class:`~repro.obs.context.ObsContext`).
+        When given, every stage runs under a trace span, the faults /
+        contracts / tabular layers feed its metrics registry, resumed
+        stages carry a ``resumed_from_checkpoint`` marker, and (if the
+        context was built with ``profile=True``) each stage is profiled
+        under cProfile.  ``None`` disables all instrumentation beyond
+        the stage timer.
     """
-    timer = StageTimer()
+    octx = obs if obs is not None else _NULL_OBS
+    with _obs_use(obs):
+        return _run_stages(
+            octx,
+            config=config,
+            world=world,
+            parallel=parallel,
+            policy=policy,
+            faults=faults,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            validation=validation,
+        )
+
+
+def _run_stages(
+    octx,
+    config: WorldConfig | None,
+    world: SyntheticWorld | None,
+    parallel: ParallelConfig | None,
+    policy: ResolverPolicy | None,
+    faults: FaultConfig | None,
+    checkpoint_dir: str | None,
+    resume: bool,
+    validation: ValidationMode | str | None,
+) -> PipelineResult:
+    timer = StageTimer(tracer=octx.tracer if octx.enabled else None)
     if world is None:
-        with timer.stage("build_world"):
+        with timer.stage("build_world"), octx.profiled("build_world"):
             world = build_world(config)
 
     mode = _validation_mode(validation)
@@ -148,7 +187,7 @@ def run_pipeline(
     resilient = faults is not None or checkpoint_dir is not None
     ingest_report: IngestReport | None = None
     if not resilient:
-        with timer.stage("ingest"):
+        with timer.stage("ingest"), octx.profiled("ingest"):
             harvested = ingest_world(world, parallel=parallel)
         enrich_session = infer_session = None
     else:
@@ -156,7 +195,7 @@ def run_pipeline(
         if checkpoint_dir is not None:
             checkpoint = CheckpointStore(checkpoint_dir, _fingerprint(world, faults))
             checkpoint.begin(resume=resume)
-        with timer.stage("ingest"):
+        with timer.stage("ingest"), octx.profiled("ingest"):
             ingest_report = ingest_world_resilient(
                 world,
                 parallel=parallel,
@@ -165,9 +204,18 @@ def run_pipeline(
                 resume=resume,
             )
             harvested = ingest_report.conferences
+            if ingest_report.resumed:
+                # the near-zero duration is checkpoint-load time, not a
+                # fresh harvest — mark it so reports can say so
+                timer.mark_resumed("ingest")
+                octx.annotate(
+                    resumed_from_checkpoint=True,
+                    resumed_editions=len(ingest_report.resumed),
+                )
+                octx.metrics.inc("checkpoint.stages_resumed")
 
     if contracts_session is not None:
-        with timer.stage("contracts"):
+        with timer.stage("contracts"), octx.profiled("contracts"):
             malformed = ()
             if ingest_report is not None:
                 malformed = tuple(
@@ -182,21 +230,24 @@ def run_pipeline(
                 )
             harvested = validate_harvest(harvested, contracts_session, malformed)
 
-    with timer.stage("link"):
+    with timer.stage("link"), octx.profiled("link"):
         linked = link_identities(harvested)
     if contracts_session is not None:
-        with timer.stage("contracts"):
+        with timer.stage("contracts"), octx.profiled("contracts"):
             linked = validate_linked(linked, contracts_session)
 
     if not resilient:
-        with timer.stage("enrich"):
+        with timer.stage("enrich"), octx.profiled("enrich"):
             enrichment = enrich_researchers(linked, world.gs_store, world.s2_store)
     else:
         enrich_session = FaultSession(faults)
-        with timer.stage("enrich"):
+        with timer.stage("enrich"), octx.profiled("enrich"):
             if checkpoint is not None and resume and checkpoint.has_stage("enrich"):
                 enrichment, enrich_losses = checkpoint.load_stage("enrich")
                 enrich_session.losses.extend(enrich_losses)
+                timer.mark_resumed("enrich")
+                octx.annotate(resumed_from_checkpoint=True)
+                octx.metrics.inc("checkpoint.stages_resumed")
             else:
                 enrichment = enrich_researchers(
                     linked, world.gs_store, world.s2_store, session=enrich_session
@@ -207,10 +258,10 @@ def run_pipeline(
                     )
         infer_session = FaultSession(faults)
     if contracts_session is not None:
-        with timer.stage("contracts"):
+        with timer.stage("contracts"), octx.profiled("contracts"):
             enrichment = validate_enrichment(enrichment, contracts_session)
 
-    with timer.stage("infer"):
+    with timer.stage("infer"), octx.profiled("infer"):
         name_evidence, name_truth = build_name_keyed_evidence(
             world.registry, world.evidence_availability, world.true_genders
         )
@@ -224,14 +275,14 @@ def run_pipeline(
             session=infer_session,
         )
     if contracts_session is not None:
-        with timer.stage("contracts"):
+        with timer.stage("contracts"), octx.profiled("contracts"):
             assignments = validate_assignments(
                 inference.assignments, contracts_session
             )
             if assignments != inference.assignments:
                 inference = inference.with_assignments(assignments)
 
-    with timer.stage("dataset"):
+    with timer.stage("dataset"), octx.profiled("dataset"):
         dataset = AnalysisDataset.build(linked, enrichment, inference.assignments)
 
     degraded = None
@@ -240,7 +291,7 @@ def run_pipeline(
 
     contracts = None
     if contracts_session is not None:
-        with timer.stage("audit"):
+        with timer.stage("audit"), octx.profiled("audit"):
             audit = run_integrity_audit(
                 dataset,
                 inference,
@@ -274,6 +325,16 @@ def run_pipeline(
                 ],
             )
 
+    if octx.enabled:
+        m = octx.metrics
+        m.set_gauge("pipeline.researchers", dataset.researchers.num_rows)
+        m.set_gauge("pipeline.papers", dataset.papers.num_rows)
+        m.set_gauge("pipeline.editions", len(harvested))
+        # stage wall-times live under the reserved time.* prefix so the
+        # determinism comparison can exclude them wholesale
+        for name, secs in timer.durations.items():
+            m.set_gauge(f"time.stage.{name}", secs)
+
     return PipelineResult(
         world=world,
         linked=linked,
@@ -282,6 +343,7 @@ def run_pipeline(
         timer=timer,
         degraded=degraded,
         contracts=contracts,
+        obs=octx if octx.enabled else None,
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.export import write_metrics, write_trace
 from repro.pipeline.runner import PipelineResult
 from repro.report.compare import compare_headlines
 from repro.report.experiments import EXPERIMENTS, run_experiment
@@ -86,6 +87,17 @@ def export_artifact(result: PipelineResult, out_dir: str | Path) -> Path:
         )
         manifest["contracts"] = "contracts.json"
         manifest["integrity_ok"] = result.contracts.ok
+    if result.obs is not None and result.obs.enabled:
+        # observability artifacts: Chrome trace + deterministic metrics
+        write_trace(result.obs.tracer, out / "trace.json")
+        write_metrics(
+            result.obs.metrics,
+            out / "metrics.json",
+            timing=dict(result.timer.durations),
+            meta={"version": __version__, "seed": result.world.seed},
+        )
+        manifest["trace"] = "trace.json"
+        manifest["metrics"] = "metrics.json"
     (out / "MANIFEST.json").write_text(
         json.dumps(manifest, indent=2), encoding="utf-8"
     )

@@ -167,4 +167,40 @@ def full_report(result: PipelineResult) -> str:
 
         add(render_integrity(result.contracts))
         add("")
+    if result.obs is not None and result.obs.enabled:
+        add(_render_observability(result))
+        add("")
+    return "\n".join(lines)
+
+
+def _render_observability(result: PipelineResult) -> str:
+    """The run's trace/metrics summary (only rendered when obs was on)."""
+    obs = result.obs
+    lines: list[str] = []
+    add = lines.append
+    add("## Observability")
+    add("")
+    add("```")
+    add(result.timer.report())
+    add("```")
+    add("")
+    spans = obs.tracer.finished
+    add(f"- trace: {len(spans)} spans (deterministic IDs, seed {obs.seed}); "
+        f"export with `--trace` and load in chrome://tracing")
+    slowest = sorted(spans, key=lambda s: s.duration, reverse=True)[:5]
+    if slowest:
+        add("- slowest spans: "
+            + ", ".join(f"{s.name} {s.duration * 1e3:.1f} ms" for s in slowest))
+    counters = obs.metrics.to_dict(exclude_timings=True)["counters"]
+    if counters:
+        add(f"- metrics: {len(obs.metrics)} series; notable counters:")
+        for name in sorted(counters):
+            add(f"  - `{name}` = {counters[name]}")
+    if result.timer.resumed:
+        add("- resumed from checkpoint: "
+            + ", ".join(sorted(result.timer.resumed))
+            + " (durations are checkpoint-load time, not fresh work)")
+    if obs.profiler is not None and obs.profiler.profiles:
+        add(f"- cProfile captured for {len(obs.profiler.profiles)} stage(s); "
+            f"top-{obs.profiler.top_n} cumulative printed by `--profile`")
     return "\n".join(lines)

@@ -6,6 +6,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.context import current as _obs
 from repro.tabular.table import Table
 
 __all__ = ["GroupBy"]
@@ -33,6 +34,11 @@ class GroupBy:
         for i in range(self._table.num_rows):
             key = tuple(col[i] for col in columns)
             buckets.setdefault(key, []).append(i)
+        m = _obs().metrics
+        if m.enabled:
+            m.inc("tabular.groupby.calls")
+            m.inc("tabular.groupby.groups", len(buckets))
+            m.inc("tabular.groupby.rows_in", self._table.num_rows)
         return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
 
     @property

@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.context import current as _obs
 from repro.tabular.column import Column
 from repro.tabular.table import Table
 
@@ -53,6 +54,10 @@ def inner_join(
     for n in rtaken.columns:
         if n not in keys:
             out = out.with_column(n, rtaken.col(n))
+    m = _obs().metrics
+    if m.enabled:
+        m.inc("tabular.join.calls")
+        m.inc("tabular.join.rows_out", out.num_rows)
     return out
 
 
@@ -110,4 +115,8 @@ def left_join(
                 merged = vals.astype(np.float64)
                 merged[~matched] = np.nan
                 out = out.with_column(n, Column(n, merged, kind="float"))
+    m = _obs().metrics
+    if m.enabled:
+        m.inc("tabular.join.calls")
+        m.inc("tabular.join.rows_out", out.num_rows)
     return out

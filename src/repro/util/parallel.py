@@ -23,9 +23,13 @@ each other in the test suite.
 from __future__ import annotations
 
 import os
+import traceback as _tb
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs.context import ObsEnvelope, capture
+from repro.obs.context import current as _obs_current
 
 __all__ = ["ParallelConfig", "TaskError", "parallel_map"]
 
@@ -37,15 +41,21 @@ R = TypeVar("R")
 class TaskError:
     """A captured per-task failure.
 
-    Holds only the exception's class name and message — both identical
-    whether the task ran in-process or in a worker — so the serial and
-    parallel paths produce *equal* result lists for the same poisoned
-    input, and the error occupies the failed item's slot without
-    disturbing the ordering of surviving results.
+    Equality considers only the exception's class name and message —
+    both identical whether the task ran in-process or in a worker — so
+    the serial and parallel paths produce *equal* result lists for the
+    same poisoned input, and the error occupies the failed item's slot
+    without disturbing the ordering of surviving results.
+
+    ``traceback`` carries the original formatted traceback
+    (``traceback.format_exc()`` at the raise site) for debugging; it is
+    excluded from comparison and repr so determinism checks stay
+    line-number-agnostic.
     """
 
     kind: str
     message: str
+    traceback: str = field(default="", compare=False, repr=False)
 
     def __str__(self) -> str:  # pragma: no cover - debug aid
         return f"{self.kind}: {self.message}"
@@ -63,7 +73,34 @@ class _CaptureErrors:
         try:
             return self._fn(item)
         except Exception as exc:
-            return TaskError(kind=type(exc).__name__, message=str(exc))
+            return TaskError(
+                kind=type(exc).__name__,
+                message=str(exc),
+                traceback=_tb.format_exc(),
+            )
+
+
+class _ObsTask:
+    """Picklable wrapper running one ``(index, item)`` under obs capture.
+
+    Each item gets a fresh child tracer/metrics registry seeded from the
+    item's *position* (never the worker), so captured spans and counters
+    are identical across worker counts.  The envelope rides back with
+    the result and is merged in input order by :func:`parallel_map`.
+    """
+
+    __slots__ = ("_fn", "_seed", "_path")
+
+    def __init__(self, fn: Callable, seed: int, path: tuple[str, ...]) -> None:
+        self._fn = fn
+        self._seed = seed
+        self._path = path
+
+    def __call__(self, pair) -> ObsEnvelope:
+        index, item = pair
+        with capture(self._seed, self._path, index) as cap:
+            result = self._fn(item)
+        return ObsEnvelope(result, cap.tracer.finished, cap.metrics)
 
 
 @dataclass(frozen=True)
@@ -112,13 +149,36 @@ def parallel_map(
     :class:`TaskError` in its slot instead of poisoning the whole map:
     one bad item no longer kills the ``ProcessPoolExecutor`` (or the
     serial loop), and both paths return the same captured error.
+
+    When an observability context is active (:func:`repro.obs.current`),
+    every task runs under a per-item capture context — in the serial
+    path too, so span IDs and metrics cannot depend on worker count —
+    and the captured spans/counters are grafted back in input order.
     """
     seq: Sequence[T] = list(items)
     cfg = config or ParallelConfig()
     if capture_errors:
         fn = _CaptureErrors(fn)
+    ctx = _obs_current()
+    observed = ctx.enabled
+    if observed:
+        path = ctx.tracer.current_path() + ("parallel_map",)
+        mapped: Callable = _ObsTask(fn, ctx.tracer.seed, path)
+        work: Sequence = list(enumerate(seq))
+    else:
+        mapped = fn
+        work = seq
     workers = cfg.resolved_workers(len(seq))
     if workers <= 1 or not seq:
-        return [fn(x) for x in seq]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, seq, chunksize=max(1, cfg.chunksize)))
+        raw = [mapped(x) for x in work]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(mapped, work, chunksize=max(1, cfg.chunksize)))
+    if not observed:
+        return raw
+    results: list[R] = []
+    for i, env in enumerate(raw):
+        ctx.tracer.adopt(env.spans, tid=i + 1)
+        ctx.metrics.merge(env.metrics)
+        results.append(env.result)
+    return results

@@ -1,0 +1,133 @@
+"""Tracer unit tests: nesting, deterministic IDs, adoption, annotation."""
+
+import pytest
+
+from repro.obs.span import Tracer, chrome_trace, derive_span_seed
+
+pytestmark = pytest.mark.obs
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        t = Tracer(seed=7)
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.path == ("outer", "inner")
+        assert outer.parent_id is None
+
+    def test_finished_in_completion_order(self):
+        t = Tracer(seed=7)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        assert [s.name for s in t.finished] == ["b", "a"]
+
+    def test_durations_are_monotonic_nonnegative(self):
+        t = Tracer(seed=7)
+        with t.span("x"):
+            pass
+        (span,) = t.finished
+        assert span.duration >= 0.0
+        assert span.start >= 0.0
+
+    def test_current_and_path(self):
+        t = Tracer(seed=7)
+        assert t.current is None and t.current_path() == ()
+        with t.span("a"):
+            assert t.current.name == "a"
+            assert t.current_path() == ("a",)
+        assert t.current is None
+
+    def test_annotate_hits_innermost_open_span(self):
+        t = Tracer(seed=7)
+        with t.span("a"):
+            with t.span("b"):
+                t.annotate(resumed_from_checkpoint=True)
+        b = t.by_name("b")[0]
+        a = t.by_name("a")[0]
+        assert b.attrs == {"resumed_from_checkpoint": True}
+        assert a.attrs == {}
+
+
+class TestDeterministicIds:
+    def _trace(self, seed):
+        t = Tracer(seed=seed)
+        with t.span("ingest"):
+            for conf in ("SC", "ISC"):
+                with t.span("harvest.edition", conf=conf):
+                    pass
+        return t
+
+    def test_same_seed_same_identity(self):
+        assert self._trace(7).identity() == self._trace(7).identity()
+
+    def test_different_seed_different_ids(self):
+        ids7 = {s.span_id for s in self._trace(7).finished}
+        ids8 = {s.span_id for s in self._trace(8).finished}
+        assert ids7.isdisjoint(ids8)
+
+    def test_repeated_name_gets_distinct_ids(self):
+        t = Tracer(seed=7)
+        with t.span("stage"):
+            pass
+        with t.span("stage"):
+            pass
+        a, b = t.finished
+        assert a.span_id != b.span_id
+
+    def test_derive_span_seed_matches_util_rng(self):
+        # must stay digest-compatible with repro.util.rng.derive_seed
+        from repro.util.rng import derive_seed
+
+        assert derive_span_seed(7, "a", 3) == derive_seed(7, "a", 3)
+
+
+class TestAdoption:
+    def test_adopt_reparents_and_tracks(self):
+        parent = Tracer(seed=7)
+        child = Tracer(seed=99)
+        with child.span("task"):
+            with child.span("step"):
+                pass
+        with parent.span("ingest"):
+            parent.adopt(child.finished, tid=3)
+        task = parent.by_name("task")[0]
+        step = parent.by_name("step")[0]
+        ingest = parent.by_name("ingest")[0]
+        assert task.parent_id == ingest.span_id
+        assert task.path == ("ingest", "task")
+        assert step.parent_id == task.span_id  # inner link untouched
+        assert task.tid == 3 and step.tid == 3
+
+    def test_adopt_empty_is_noop(self):
+        t = Tracer(seed=7)
+        t.adopt([], tid=1)
+        assert t.finished == []
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        t = Tracer(seed=7)
+        with t.span("a", conf="SC"):
+            with t.span("b"):
+                pass
+        doc = chrome_trace(t, label="unit")
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["seed"] == 7
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["ts"], float) and ev["ts"] >= 0
+            assert isinstance(ev["dur"], float) and ev["dur"] >= 0
+            assert len(ev["args"]["span_id"]) == 16
+        by_id = {e["args"]["span_id"]: e for e in doc["traceEvents"]}
+        parents = [e["args"]["parent_id"] for e in doc["traceEvents"]]
+        assert all(p is None or p in by_id for p in parents)
+
+    def test_attrs_exported_in_args(self):
+        t = Tracer(seed=7)
+        with t.span("a", conf="SC", year=2017):
+            pass
+        (ev,) = chrome_trace(t)["traceEvents"]
+        assert ev["args"]["conf"] == "SC" and ev["args"]["year"] == 2017

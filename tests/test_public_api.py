@@ -10,6 +10,7 @@ import repro
 PACKAGES = [
     "repro",
     "repro.util",
+    "repro.obs",
     "repro.tabular",
     "repro.stats",
     "repro.names",
