@@ -6,12 +6,12 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test: faults contracts
+test: faults contracts engine
 	$(PYTHON) -m pytest tests/
 
 # resilience suite at an elevated, env-tunable fault rate
@@ -25,6 +25,16 @@ contracts:
 # observability suite (trace spans, metrics registry, export formats)
 obs:
 	$(PYTHON) -m pytest tests/ -m obs
+
+# stage-DAG engine suite (fingerprints, DAG ordering, artifact cache)
+engine:
+	$(PYTHON) -m pytest tests/ -m engine
+
+# cold run populates the artifact cache; the repeat run is served
+# entirely from it (every stage line reports "(cache hit)")
+engine-demo:
+	$(PYTHON) -m repro --cache-dir out/cache run
+	$(PYTHON) -m repro --cache-dir out/cache run
 
 # strict end-to-end validation of the seed world: any contract
 # violation or unbalanced conservation check exits non-zero

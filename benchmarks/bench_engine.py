@@ -1,0 +1,65 @@
+"""Benchmark ENG: stage-DAG engine, cold vs warm artifact cache.
+
+The headline claim of the engine redesign: a warm run — every node's
+content-addressed fingerprint hits the cache — re-executes zero stage
+bodies and pays only deserialization, at least 5x faster than a cold
+run at full scale.  ``test_engine_warm`` measures and asserts the
+ratio; the cold/warm benchmarks report the absolute numbers.
+"""
+
+import time
+
+import pytest
+
+from repro.pipeline import EngineConfig, RunConfig, run_pipeline
+from repro.synth import WorldConfig
+
+FULL = WorldConfig(seed=7, scale=1.0)
+
+
+def _cfg(cache_dir, refresh: bool = False, workers: int | None = None) -> RunConfig:
+    return RunConfig(
+        world=FULL,
+        engine=EngineConfig(
+            cache_dir=str(cache_dir), workers=workers, refresh=refresh
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    """A cache directory populated by one full cold run."""
+    cache = tmp_path_factory.mktemp("engine-cache")
+    run_pipeline(_cfg(cache))
+    return cache
+
+
+def test_engine_cold(benchmark, tmp_path_factory):
+    """Full pipeline on the engine, recomputing every node each round."""
+    cache = tmp_path_factory.mktemp("cold-cache")
+    res = benchmark(run_pipeline, _cfg(cache, refresh=True))
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+
+def test_engine_warm(benchmark, warm_cache):
+    """Fully cached run: zero stage bodies, only artifact loads."""
+    res = benchmark(run_pipeline, _cfg(warm_cache))
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+    # one timed cold + one timed warm round for the acceptance ratio
+    t0 = time.perf_counter()
+    run_pipeline(_cfg(warm_cache, refresh=True))
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_pipeline(_cfg(warm_cache))
+    warm = time.perf_counter() - t0
+    benchmark.extra_info["cold_seconds"] = round(cold, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm, 3)
+    benchmark.extra_info["speedup"] = round(cold / warm, 1)
+    assert cold / warm >= 5, f"warm speedup only {cold / warm:.1f}x"
+
+
+def test_engine_warm_parallel(benchmark, warm_cache):
+    """Warm run with generation-level workers: all hits, same payload."""
+    res = benchmark(run_pipeline, _cfg(warm_cache, workers=2))
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows

@@ -7,7 +7,7 @@ pipeline numbers are not confounded by generation cost).
 
 import pytest
 
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig, build_world
 from repro.util.parallel import ParallelConfig
 
@@ -32,8 +32,8 @@ def test_pipeline_serial(benchmark, world):
 
 def test_pipeline_parallel(benchmark, world):
     """Full pipeline, 4-worker ingest (deterministic)."""
-    cfg = ParallelConfig(workers=4, min_items_per_worker=1)
-    res = benchmark(run_pipeline, world=world, parallel=cfg)
+    cfg = RunConfig(parallel=ParallelConfig(workers=4, min_items_per_worker=1))
+    res = benchmark(run_pipeline, cfg, world=world)
     benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
 
 

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
@@ -22,7 +22,7 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 @pytest.fixture(scope="session")
 def result():
     """The full-scale pipeline result (paper-sized population)."""
-    return run_pipeline(WorldConfig(seed=7, scale=1.0))
+    return run_pipeline(RunConfig(world=WorldConfig(seed=7, scale=1.0)))
 
 
 @pytest.fixture(scope="session")

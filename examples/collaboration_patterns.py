@@ -22,7 +22,7 @@ from __future__ import annotations
 import argparse
 
 from repro.collab import collaboration_report
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig
 from repro.viz import format_records
 
@@ -32,7 +32,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    result = run_pipeline(WorldConfig(seed=args.seed, scale=1.0))
+    result = run_pipeline(RunConfig(world=WorldConfig(seed=args.seed, scale=1.0)))
     rep = collaboration_report(result.dataset)
 
     rows = [

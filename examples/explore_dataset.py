@@ -16,13 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig
 from repro.tabular import count, inner_join, mean, share
 from repro.viz import format_table
 
 def main() -> None:
-    result = run_pipeline(WorldConfig(seed=7, scale=1.0))
+    result = run_pipeline(RunConfig(world=WorldConfig(seed=7, scale=1.0)))
     ds = result.dataset
 
     # 1. average team size and FAR per conference, one groupby

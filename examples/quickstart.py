@@ -16,7 +16,7 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis import blind_report, far_report, pc_report
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.report import build_table1
 from repro.synth import WorldConfig
 
@@ -28,7 +28,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print(f"Building world (seed={args.seed}, scale={args.scale}) and running pipeline...")
-    result = run_pipeline(WorldConfig(seed=args.seed, scale=args.scale))
+    result = run_pipeline(RunConfig(world=WorldConfig(seed=args.seed, scale=args.scale)))
     print(result.timer.report())
     print()
 

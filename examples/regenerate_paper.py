@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.report import EXPERIMENTS, compare_headlines, run_experiment
 from repro.report.compare import render_comparison
 from repro.synth import WorldConfig
@@ -28,7 +28,7 @@ def main() -> None:
                         help="also write each artifact to DIR/<id>.txt")
     args = parser.parse_args()
 
-    result = run_pipeline(WorldConfig(seed=args.seed, scale=1.0))
+    result = run_pipeline(RunConfig(world=WorldConfig(seed=args.seed, scale=1.0)))
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis import sensitivity_report
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig
 
 
@@ -26,7 +26,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    result = run_pipeline(WorldConfig(seed=args.seed, scale=1.0))
+    result = run_pipeline(RunConfig(world=WorldConfig(seed=args.seed, scale=1.0)))
     ds = result.dataset
     rep = sensitivity_report(ds)
 

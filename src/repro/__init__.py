@@ -20,6 +20,13 @@ calibration math, and EXPERIMENTS.md for the paper-vs-measured record.
 
 from repro.version import __version__
 from repro.synth import WorldConfig, build_world
-from repro.pipeline import run_pipeline
+from repro.pipeline import EngineConfig, RunConfig, run_pipeline
 
-__all__ = ["__version__", "WorldConfig", "build_world", "run_pipeline"]
+__all__ = [
+    "__version__",
+    "WorldConfig",
+    "RunConfig",
+    "EngineConfig",
+    "build_world",
+    "run_pipeline",
+]

@@ -23,6 +23,16 @@ Observability options: ``--trace`` writes a Chrome trace-event
 ``trace.json``, ``--metrics`` writes the deterministic ``metrics.json``
 (both under ``--obs-dir``, default ``out/``), ``--profile`` prints a
 per-stage cProfile top-N after the run.
+Engine options: ``--cache-dir`` runs on the stage-DAG engine with a
+content-addressed artifact cache (a warm run re-executes zero stage
+bodies); ``--engine`` selects the engine without caching;
+``--engine-workers`` runs independent stages concurrently;
+``--refresh-cache`` recomputes and overwrites cached artifacts.
+
+Every option may be given either before the subcommand or after it
+(``repro --seed 9 run`` and ``repro run --seed 9`` are equivalent):
+the option set is declared once in :data:`OPTION_GROUPS` and wired to
+the root parser and every subcommand from that single table.
 """
 
 from __future__ import annotations
@@ -31,12 +41,194 @@ import argparse
 import sys
 
 from repro.contracts import ContractViolationError
-from repro.pipeline import run_pipeline
-from repro.synth import WorldConfig
+from repro.pipeline import RunConfig, run_pipeline
 
-__all__ = ["main", "build_parser", "EXIT_CONTRACT_VIOLATION"]
+__all__ = ["main", "build_parser", "OPTION_GROUPS", "EXIT_CONTRACT_VIOLATION"]
 
 EXIT_CONTRACT_VIOLATION = 3
+
+
+# ---------------------------------------------------------------- options
+#
+# The single source of truth for common options: (group title, group
+# description, [(flag, kwargs), ...]).  ``build_parser`` wires this
+# table to the root parser (with real defaults) and to every subcommand
+# (with SUPPRESS defaults, so a subcommand-position option overrides
+# the root value and an omitted one never clobbers it).
+
+OPTION_GROUPS: tuple[tuple[str, str, tuple[tuple[str, dict], ...]], ...] = (
+    (
+        "world",
+        "synthetic-world construction",
+        (
+            ("--seed", dict(type=int, default=7, help="world seed (default 7)")),
+            (
+                "--scale",
+                dict(type=float, default=1.0, help="population scale (default 1.0)"),
+            ),
+            (
+                "--workers",
+                dict(
+                    type=int,
+                    default=None,
+                    help="worker processes for the ingest stage (default: serial)",
+                ),
+            ),
+        ),
+    ),
+    (
+        "resilience",
+        "fault injection and checkpoint/resume",
+        (
+            (
+                "--fault-rate",
+                dict(
+                    type=float,
+                    default=0.0,
+                    help="probability that any one simulated service call "
+                    "fails (default 0)",
+                ),
+            ),
+            (
+                "--fault-seed",
+                dict(
+                    type=int,
+                    default=None,
+                    help="seed of the deterministic fault plan (default: the "
+                    "world seed)",
+                ),
+            ),
+            (
+                "--checkpoint-dir",
+                dict(default=None, help="directory for per-stage pipeline checkpoints"),
+            ),
+            (
+                "--resume",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="reuse matching checkpoints in --checkpoint-dir",
+                ),
+            ),
+        ),
+    ),
+    (
+        "contracts",
+        "data-contract validation",
+        (
+            (
+                "--validate",
+                dict(
+                    choices=["strict", "repair", "audit", "off"],
+                    default="repair",
+                    help="data-contract mode at every stage hand-off: strict "
+                    "fails fast (non-zero exit), repair quarantines and "
+                    "repairs (default), audit only records, off disables "
+                    "contracts",
+                ),
+            ),
+        ),
+    ),
+    (
+        "observability",
+        "tracing, metrics, profiling",
+        (
+            (
+                "--trace",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="record trace spans and write Chrome trace-event "
+                    "trace.json under --obs-dir",
+                ),
+            ),
+            (
+                "--metrics",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="record the metrics registry and write metrics.json "
+                    "under --obs-dir (deterministic for a given seed, "
+                    "timings excluded)",
+                ),
+            ),
+            (
+                "--profile",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="capture a per-stage cProfile and print top "
+                    "cumulative functions after the run",
+                ),
+            ),
+            (
+                "--obs-dir",
+                dict(
+                    default="out",
+                    help="directory for trace.json/metrics.json (default: out/)",
+                ),
+            ),
+        ),
+    ),
+    (
+        "engine",
+        "stage-DAG execution and artifact caching",
+        (
+            (
+                "--cache-dir",
+                dict(
+                    default=None,
+                    help="content-addressed artifact cache directory; implies "
+                    "the stage-DAG engine — a warm run re-executes zero "
+                    "stage bodies",
+                ),
+            ),
+            (
+                "--engine",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="run on the stage-DAG engine even without a cache "
+                    "(independent stages may run concurrently)",
+                ),
+            ),
+            (
+                "--engine-workers",
+                dict(
+                    type=int,
+                    default=None,
+                    help="worker processes for independent stages of one "
+                    "DAG generation (default: serial)",
+                ),
+            ),
+            (
+                "--refresh-cache",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="recompute every stage and overwrite cache entries",
+                ),
+            ),
+        ),
+    ),
+)
+
+
+def _wire_options(parser: argparse.ArgumentParser, suppress_defaults: bool) -> None:
+    """Attach the shared option table to one parser.
+
+    With ``suppress_defaults`` the options default to
+    ``argparse.SUPPRESS`` so a subcommand parser only contributes values
+    the user actually typed — otherwise its defaults would clobber
+    options parsed before the subcommand name.
+    """
+    for title, description, options in OPTION_GROUPS:
+        group = parser.add_argument_group(f"{title} options", description)
+        for flag, kwargs in options:
+            kw = dict(kwargs)
+            if suppress_defaults:
+                kw["default"] = argparse.SUPPRESS
+            group.add_argument(flag, **kw)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,84 +236,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Representation of Women in HPC Conferences' (SC '21)",
     )
-    parser.add_argument("--seed", type=int, default=7, help="world seed (default 7)")
-    parser.add_argument(
-        "--scale", type=float, default=1.0, help="population scale (default 1.0)"
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the ingest stage (default: serial)",
-    )
-    parser.add_argument(
-        "--fault-rate",
-        type=float,
-        default=0.0,
-        help="probability that any one simulated service call fails (default 0)",
-    )
-    parser.add_argument(
-        "--fault-seed",
-        type=int,
-        default=None,
-        help="seed of the deterministic fault plan (default: the world seed)",
-    )
-    parser.add_argument(
-        "--checkpoint-dir",
-        default=None,
-        help="directory for per-stage pipeline checkpoints",
-    )
-    parser.add_argument(
-        "--resume",
-        action="store_true",
-        help="reuse matching checkpoints in --checkpoint-dir",
-    )
-    parser.add_argument(
-        "--validate",
-        choices=["strict", "repair", "audit", "off"],
-        default="repair",
-        help="data-contract mode at every stage hand-off: strict fails "
-        "fast (non-zero exit), repair quarantines and repairs (default), "
-        "audit only records, off disables contracts",
-    )
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="record trace spans and write Chrome trace-event trace.json "
-        "under --obs-dir",
-    )
-    parser.add_argument(
-        "--metrics",
-        action="store_true",
-        help="record the metrics registry and write metrics.json under "
-        "--obs-dir (deterministic for a given seed, timings excluded)",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="capture a per-stage cProfile and print top cumulative "
-        "functions after the run",
-    )
-    parser.add_argument(
-        "--obs-dir",
-        default="out",
-        help="directory for trace.json/metrics.json (default: out/)",
-    )
+    _wire_options(parser, suppress_defaults=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("run", help="run the pipeline and print the headline summary")
+    def subcommand(name: str, help: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help)
+        _wire_options(p, suppress_defaults=True)
+        return p
 
-    p_exp = sub.add_parser("experiment", help="print specific tables/figures")
+    subcommand("run", help="run the pipeline and print the headline summary")
+
+    p_exp = subcommand("experiment", help="print specific tables/figures")
     p_exp.add_argument("ids", nargs="+", help="experiment ids (T1..T3, F1..F8, S3.1, ...)")
 
-    sub.add_parser("compare", help="print the paper-vs-measured comparison")
+    subcommand("compare", help="print the paper-vs-measured comparison")
 
-    p_export = sub.add_parser("export", help="write the full artifact bundle")
+    p_export = subcommand("export", help="write the full artifact bundle")
     p_export.add_argument("out_dir", help="output directory")
 
-    sub.add_parser("universe", help="run the 56-conference systems expansion (§6)")
+    subcommand("universe", help="run the 56-conference systems expansion (§6)")
 
-    p_report = sub.add_parser("report", help="render the full markdown run report")
+    p_report = subcommand("report", help="render the full markdown run report")
     p_report.add_argument(
         "--output", default=None, help="write to a file instead of stdout"
     )
@@ -129,31 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _result(args):
-    from repro.faults import FaultConfig
-    from repro.util.parallel import ParallelConfig
-
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    faults = None
-    if args.fault_rate > 0.0 or args.fault_seed is not None:
-        faults = FaultConfig(
-            rate=args.fault_rate,
-            seed=args.fault_seed if args.fault_seed is not None else args.seed,
-        )
-    parallel = None
-    if args.workers is not None:
-        parallel = ParallelConfig(workers=args.workers, min_items_per_worker=1)
-    validation = None if args.validate == "off" else args.validate
-    return run_pipeline(
-        WorldConfig(seed=args.seed, scale=args.scale),
-        parallel=parallel,
-        policy=None,
-        faults=faults,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=args.resume,
-        validation=validation,
-        obs=getattr(args, "_obs", None),
-    )
+    return run_pipeline(RunConfig.from_cli(args))
 
 
 def _cmd_run(args) -> int:
@@ -221,7 +334,7 @@ def _cmd_export(args) -> int:
 
 def _cmd_universe(args) -> int:
     from repro.pipeline import run_pipeline as _rp
-    from repro.synth import build_world
+    from repro.synth import WorldConfig, build_world
     from repro.universe import systems_universe, universe_report
 
     targets = systems_universe(56)
@@ -229,7 +342,10 @@ def _cmd_universe(args) -> int:
         WorldConfig(seed=args.seed, scale=args.scale, include_timeline=False),
         targets=targets,
     )
-    result = _rp(world=world)
+    # the universe run ignores the resilience/contract options (as ever)
+    # but honors the engine: a custom-target world fingerprints by its
+    # edition roster, so repeat universe invocations are cache reads
+    result = _rp(RunConfig(engine=RunConfig.from_cli(args).engine), world=world)
     rep = universe_report(result.dataset, targets)
     print(f"{'subfield':<14s} {'confs':>5s}  women among authors")
     for r in rep.rows:

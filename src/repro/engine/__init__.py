@@ -1,0 +1,43 @@
+"""repro.engine — stage-DAG execution with content-addressed caching.
+
+The engine replaces the hard-coded linear stage loop with an explicit
+dependency graph:
+
+- :mod:`repro.engine.node` / :mod:`repro.engine.dag` — stages declared
+  as nodes with named inputs/outputs, validated and ordered into
+  generations of mutually independent nodes;
+- :mod:`repro.engine.fingerprint` — deterministic SHA-256 keys over
+  world/config fingerprints, node params, and upstream digests;
+- :mod:`repro.engine.cache` — the content-addressed artifact cache,
+  persisted through the checkpoint store's atomic-write discipline;
+- :mod:`repro.engine.executor` — the scheduler: cache-or-execute per
+  node, independent nodes concurrently via ``parallel_map``;
+- :mod:`repro.engine.stages` — the pipeline's stages as node bodies.
+
+Entry point for callers:
+``run_pipeline(RunConfig(engine=EngineConfig(cache_dir=...)))`` — a
+fully cached run re-executes zero stage bodies.
+"""
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.dag import GraphError, StageGraph
+from repro.engine.executor import EngineConfig, EngineRun, run_dag
+from repro.engine.fingerprint import canonical, fingerprint, world_fingerprint
+from repro.engine.node import NodeResult, StageNode
+from repro.engine.stages import PipelineParams, build_graph
+
+__all__ = [
+    "ArtifactCache",
+    "GraphError",
+    "StageGraph",
+    "EngineConfig",
+    "EngineRun",
+    "run_dag",
+    "canonical",
+    "fingerprint",
+    "world_fingerprint",
+    "NodeResult",
+    "StageNode",
+    "PipelineParams",
+    "build_graph",
+]

@@ -1,0 +1,88 @@
+"""Content-addressed artifact cache, persisted via the checkpoint store.
+
+Each entry is one node materialization, keyed by the node's fingerprint
+(world/config digest + node params + upstream digests — see
+:mod:`repro.engine.fingerprint`).  :class:`~repro.pipeline.checkpoint.CheckpointStore`
+provides the on-disk discipline the checkpoint layer already had:
+atomic, fsynced writes and a ``meta.json`` fingerprint that refuses to
+serve a directory written by an incompatible engine
+(:class:`~repro.pipeline.checkpoint.CheckpointMismatch`) instead of
+silently mixing formats.
+
+Keys are content-addressed, so one cache directory serves any number of
+distinct runs — different seeds, scales, policies — side by side; a
+changed config simply misses and materializes new entries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.engine.fingerprint import ENGINE_SCHEMA
+from repro.pipeline.checkpoint import CheckpointMismatch, CheckpointStore
+
+__all__ = ["ArtifactCache", "CACHE_FORMAT"]
+
+# identifies the cache directory layout + pickle protocol discipline;
+# bump on incompatible change so old directories are refused, not misread
+CACHE_FORMAT = {"format": "repro-engine-cache", "schema": ENGINE_SCHEMA}
+
+
+class ArtifactCache:
+    """Filesystem cache of node outputs, one pickle per materialization."""
+
+    def __init__(self, root: str | Path) -> None:
+        root_path = Path(root)
+        # a populated directory without our meta.json is somebody else's
+        # data — begin() would wipe it, so refuse instead
+        if (
+            root_path.is_dir()
+            and any(root_path.iterdir())
+            and not (root_path / CheckpointStore.META).exists()
+        ):
+            raise CheckpointMismatch(
+                f"{root_path} exists, is not empty, and is not an engine "
+                f"cache directory; refusing to adopt (or wipe) it"
+            )
+        self._store = CheckpointStore(root_path, dict(CACHE_FORMAT))
+        # resume semantics on purpose: reuse a matching directory, raise
+        # CheckpointMismatch on a foreign one, create a missing one
+        self._store.begin(resume=True)
+
+    @property
+    def root(self) -> Path:
+        return self._store.root
+
+    @staticmethod
+    def _entry(node: str, key: str) -> str:
+        return f"{node}-{key[:24]}"
+
+    def has(self, node: str, key: str) -> bool:
+        return self._store.has_stage(self._entry(node, key))
+
+    def load(self, node: str, key: str) -> dict[str, Any]:
+        """Load one node's output dict; raises ``KeyError`` on a miss."""
+        entry = self._entry(node, key)
+        if not self._store.has_stage(entry):
+            raise KeyError(f"cache miss for node {node!r} key {key[:12]}…")
+        payload = self._store.load_stage(entry)
+        if payload.get("key") != key:
+            # 24-hex-char prefix collision (astronomically unlikely) or a
+            # truncated/foreign entry: treat as a miss, never serve it
+            raise KeyError(f"cache entry for node {node!r} does not match key")
+        return payload["outputs"]
+
+    def save(self, node: str, key: str, outputs: dict[str, Any]) -> None:
+        self._store.save_stage(
+            self._entry(node, key), {"key": key, "outputs": outputs}
+        )
+
+    # ------------------------------------------------------------ accounting
+
+    def entries(self) -> list[str]:
+        """Names of all cached materializations (sorted, for reports)."""
+        return sorted(p.stem.replace(".stage", "") for p in self.root.glob("*.stage.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.stage.pkl"))

@@ -1,0 +1,174 @@
+"""The engine: fingerprint, schedule, cache, execute.
+
+``run_dag`` walks a :class:`~repro.engine.dag.StageGraph` in
+topological generations.  For every node it derives a content-addressed
+key — SHA-256 over the node's declared params, its code version, and
+the keys of its upstream outputs (seed artifacts contribute their own
+digests, e.g. the world fingerprint) — and then either
+
+- **serves the node from cache** (``engine.cache.hits``; the node body
+  never runs, its span carries ``cache_hit=True``), or
+- **executes it** (``engine.cache.misses``), concurrently with the rest
+  of its generation when an :class:`EngineConfig` requests workers —
+  via the same deterministic ``parallel_map`` pool the ingest stage
+  uses, so results are bit-identical across worker counts — and stores
+  the outputs for the next run.
+
+Execution policy (worker counts, directories, refresh) never enters a
+key: a serial run and a parallel run address the same cache entries.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.dag import StageGraph
+from repro.engine.fingerprint import fingerprint
+from repro.engine.node import NodeResult, StageNode
+from repro.obs.context import current as _obs
+from repro.pipeline.config import EngineConfig
+from repro.util.parallel import ParallelConfig, parallel_map
+
+__all__ = ["EngineConfig", "EngineRun", "run_dag"]
+
+
+@dataclass
+class EngineRun:
+    """Artifacts plus per-node accounting for one DAG execution."""
+
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    results: list[NodeResult] = field(default_factory=list)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for r in self.results if not r.cache_hit)
+
+    def __getitem__(self, artifact: str) -> Any:
+        return self.artifacts[artifact]
+
+
+def _node_task(task: tuple[StageNode, Any, dict[str, Any]]) -> dict[str, Any]:
+    """Execute one node body (module-level: picklable for workers)."""
+    node, params, inputs = task
+    ctx = _obs()
+    with ctx.span("engine.node", node=node.name, cache_hit=False):
+        outputs = node.fn(params, inputs)
+    missing = set(node.outputs) - set(outputs)
+    if missing:
+        raise RuntimeError(
+            f"node {node.name!r} did not produce declared outputs: {sorted(missing)}"
+        )
+    return outputs
+
+
+def run_dag(
+    graph: StageGraph,
+    params: Any,
+    seeds: dict[str, Any] | None = None,
+    seed_digests: dict[str, str] | None = None,
+    engine: EngineConfig | None = None,
+    timer: Any | None = None,
+) -> EngineRun:
+    """Execute ``graph``, returning every artifact it produced.
+
+    ``seeds`` are caller-injected artifacts (a prebuilt world);
+    ``seed_digests`` their content digests, folded into downstream keys.
+    ``timer`` is an optional :class:`~repro.util.timing.StageTimer`:
+    each node's load-or-execute time is recorded under its name, and
+    cache hits are marked so reports don't read load time as work.
+    """
+    cfg = engine or EngineConfig()
+    cache = ArtifactCache(cfg.cache_dir) if cfg.cache_dir is not None else None
+    ctx = _obs()
+
+    run = EngineRun(artifacts=dict(seeds or {}))
+    digests: dict[str, str] = dict(seed_digests or {})
+    for name in run.artifacts:
+        digests.setdefault(name, fingerprint("seed", name))
+
+    for generation in graph.generations():
+        pending: list[StageNode] = []
+        keys: dict[str, str] = {}
+        for node in generation:
+            key = fingerprint(
+                "node",
+                node.name,
+                node.version,
+                node.params,
+                [(a, digests[a]) for a in node.inputs],
+            )
+            keys[node.name] = key
+            if (
+                cache is not None
+                and node.cacheable
+                and not cfg.refresh
+                and cache.has(node.name, key)
+            ):
+                with _timed(timer, node.name), ctx.span(
+                    "engine.node", node=node.name, cache_hit=True
+                ):
+                    outputs = cache.load(node.name, key)
+                if timer is not None:
+                    timer.mark_cached(node.name)
+                ctx.metrics.inc("engine.cache.hits")
+                _adopt(run, digests, node, key, outputs, cache_hit=True)
+                continue
+            pending.append(node)
+
+        if not pending:
+            continue
+        tasks = [
+            (node, params, {a: run.artifacts[a] for a in node.inputs})
+            for node in pending
+        ]
+        if cfg.workers and cfg.workers > 1 and len(pending) > 1:
+            pool = ParallelConfig(workers=cfg.workers, min_items_per_worker=1)
+            label = "+".join(n.name for n in pending)
+            with _timed(timer, label):
+                produced = parallel_map(_node_task, tasks, pool)
+        else:
+            produced = []
+            for task in tasks:
+                with _timed(timer, task[0].name):
+                    produced.append(_node_task(task))
+
+        for node, outputs in zip(pending, produced):
+            key = keys[node.name]
+            ctx.metrics.inc("engine.cache.misses")
+            ctx.metrics.inc("engine.nodes_executed")
+            if cache is not None and node.cacheable:
+                cache.save(node.name, key, outputs)
+            _adopt(run, digests, node, key, outputs, cache_hit=False)
+
+    return run
+
+
+def _timed(timer: Any | None, name: str):
+    return timer.stage(name) if timer is not None else nullcontext()
+
+
+def _adopt(
+    run: EngineRun,
+    digests: dict[str, str],
+    node: StageNode,
+    key: str,
+    outputs: dict[str, Any],
+    cache_hit: bool,
+) -> None:
+    """Record one node's outputs and derive their artifact digests."""
+    for name in node.outputs:
+        run.artifacts[name] = outputs[name]
+        # content-addressed by construction: the producing node's key
+        # already encodes everything upstream, so the artifact digest
+        # is (key, output-name) — no need to hash the pickled bytes
+        digests[name] = fingerprint("artifact", key, name)
+    run.results.append(
+        NodeResult(node=node.name, outputs=outputs, cache_hit=cache_hit, key=key)
+    )

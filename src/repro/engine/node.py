@@ -1,0 +1,77 @@
+"""Stage nodes: the unit of scheduling, fingerprinting, and caching.
+
+A :class:`StageNode` declares what a pipeline stage *is* — its named
+inputs and outputs, the module-level function that computes it, the
+parameters that affect its result, and a code version — so the engine
+can order stages by data dependency, run independent ones concurrently,
+and key their artifacts content-addressably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["StageNode", "NodeResult"]
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One declared pipeline stage.
+
+    Attributes
+    ----------
+    name:
+        Unique node name; also the default artifact name.
+    fn:
+        Module-level callable ``fn(params, inputs) -> dict[str, Any]``
+        mapping output names to artifact values.  Must be picklable so
+        independent nodes can run in ``parallel_map`` workers.
+    inputs:
+        Artifact names this node consumes (outputs of upstream nodes, or
+        seed artifacts injected into the run).
+    outputs:
+        Artifact names this node produces; defaults to ``(name,)``.
+    params:
+        Result-affecting parameters, folded into the node fingerprint.
+        Execution policy (worker counts, directories) must not go here.
+    version:
+        Code version of the stage body; bump on behavioral change to
+        invalidate old cache entries.
+    cacheable:
+        Whether the node's outputs may be served from / stored to the
+        artifact cache.
+    """
+
+    name: str
+    fn: Callable[[Mapping[str, Any], Mapping[str, Any]], dict[str, Any]]
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    params: tuple[tuple[str, Any], ...] = ()
+    version: str = "1"
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            object.__setattr__(self, "outputs", (self.name,))
+        if len(set(self.outputs)) != len(self.outputs):
+            raise ValueError(f"node {self.name!r} declares duplicate outputs")
+
+    @property
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @staticmethod
+    def freeze_params(params: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
+        """Sort a params mapping into the hashable tuple form."""
+        return tuple(sorted(params.items()))
+
+
+@dataclass
+class NodeResult:
+    """What executing (or cache-loading) one node produced."""
+
+    node: str
+    outputs: dict[str, Any] = field(default_factory=dict)
+    cache_hit: bool = False
+    key: str = ""

@@ -29,9 +29,12 @@ from repro.pipeline.enrich import enrich_researchers, Enrichment
 from repro.pipeline.infer import infer_genders, InferenceOutcome
 from repro.pipeline.dataset import AnalysisDataset
 from repro.pipeline.checkpoint import CheckpointStore, CheckpointMismatch
+from repro.pipeline.config import EngineConfig, RunConfig
 from repro.pipeline.runner import run_pipeline, PipelineResult
 
 __all__ = [
+    "EngineConfig",
+    "RunConfig",
     "ingest_world",
     "ingest_world_resilient",
     "IngestReport",

@@ -31,9 +31,24 @@ class CheckpointMismatch(ValueError):
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically *and durably*.
+
+    The temp file is fsynced before the rename and the directory entry
+    after it — without both, a crash between write and disk flush can
+    leave a truncated artifact under the final name, which a later
+    ``--resume`` (or engine cache read) would trust.
+    """
     tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-    tmp.write_bytes(data)
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def save_item_file(stage_dir: str | Path, key: str, obj: Any) -> None:

@@ -1,0 +1,180 @@
+"""The consolidated run configuration.
+
+:func:`~repro.pipeline.runner.run_pipeline` grew nine keyword arguments
+over three PRs; :class:`RunConfig` consolidates them (plus the engine's
+cache options) into one frozen, picklable object with a single CLI
+constructor.  The legacy kwargs still work through a deprecation shim
+on ``run_pipeline`` itself.
+
+::
+
+    from repro.api import RunConfig, run_pipeline
+
+    result = run_pipeline(
+        RunConfig(
+            world=WorldConfig(seed=7),
+            validation="repair",
+            engine=EngineConfig(cache_dir="out/cache"),
+        )
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from repro.contracts.schema import ValidationMode
+from repro.faults.plan import FaultConfig
+from repro.gender.resolver import ResolverPolicy
+from repro.obs.context import ObsContext
+from repro.synth.config import WorldConfig
+from repro.util.parallel import ParallelConfig
+
+__all__ = ["EngineConfig", "RunConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How (not *what*) the stage-DAG engine executes.
+
+    Attributes
+    ----------
+    cache_dir:
+        Directory of the content-addressed artifact cache; ``None``
+        disables caching (the DAG still schedules and parallelizes).
+    workers:
+        Worker processes for *independent nodes of one generation*
+        (e.g. enrichment and gender inference).  ``None``/``0``/``1``
+        runs each generation serially.  Orthogonal to — and composable
+        with — the per-stage :class:`~repro.util.parallel.ParallelConfig`
+        used inside the ingest stage.
+    refresh:
+        Recompute every node even on a cache hit, overwriting entries
+        (the cache-busting escape hatch).
+    """
+
+    cache_dir: str | None = None
+    workers: int | None = None
+    refresh: bool = False
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything :func:`~repro.pipeline.runner.run_pipeline` accepts.
+
+    Attributes
+    ----------
+    world:
+        World configuration (ignored when a prebuilt world is passed to
+        ``run_pipeline`` directly — a world is data, not configuration).
+    parallel:
+        Parallel policy for the ingest stage (serial by default).
+    policy:
+        Gender-resolver policy (paper defaults when ``None``).
+    faults:
+        Deterministic fault-injection configuration.
+    checkpoint_dir / resume:
+        Legacy per-stage checkpointing; subsumed by ``engine.cache_dir``
+        but still honored (per-edition harvest checkpoints compose with
+        the engine's per-node cache).
+    validation:
+        Data-contract mode (``"strict"``/``"repair"``/``"audit"`` or a
+        :class:`~repro.contracts.schema.ValidationMode`; ``None`` off).
+    obs:
+        Observability context; ``None`` disables instrumentation.
+    engine:
+        Stage-DAG execution options.  ``None`` selects the legacy
+        linear runner; any :class:`EngineConfig` (even an empty one)
+        selects the DAG engine.
+    """
+
+    world: WorldConfig | None = None
+    parallel: ParallelConfig | None = None
+    policy: ResolverPolicy | None = None
+    faults: FaultConfig | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    validation: ValidationMode | str | None = None
+    obs: ObsContext | None = None
+    engine: EngineConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.resume and not self.checkpoint_dir:
+            raise ValueError("resume=True requires checkpoint_dir")
+
+    # ------------------------------------------------------------- helpers
+
+    def validation_mode(self) -> ValidationMode | None:
+        """The validation field normalized to an enum (or ``None``)."""
+        if self.validation is None:
+            return None
+        if isinstance(self.validation, ValidationMode):
+            return self.validation
+        return ValidationMode(str(self.validation))
+
+    def with_overrides(self, **overrides: Any) -> "RunConfig":
+        """A copy with the given non-``None`` fields replaced."""
+        changed = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changed) if changed else self
+
+    # --------------------------------------------------------- constructors
+
+    @classmethod
+    def from_cli(cls, args: Any) -> "RunConfig":
+        """Build a run configuration from a parsed CLI namespace.
+
+        Understands the option set declared in :mod:`repro.cli` (seed,
+        scale, workers, fault-rate/seed, checkpoint-dir/resume,
+        validate, cache-dir/engine-workers/refresh-cache, and the
+        observability context the CLI stashes on ``args._obs``).
+        Missing attributes fall back to their defaults, so any
+        namespace with a ``seed`` is accepted.
+        """
+
+        def get(name: str, default: Any = None) -> Any:
+            return getattr(args, name, default)
+
+        faults = None
+        if get("fault_rate", 0.0) > 0.0 or get("fault_seed") is not None:
+            faults = FaultConfig(
+                rate=get("fault_rate", 0.0),
+                seed=(
+                    get("fault_seed")
+                    if get("fault_seed") is not None
+                    else get("seed", 0)
+                ),
+            )
+        parallel = None
+        if get("workers") is not None:
+            parallel = ParallelConfig(workers=get("workers"), min_items_per_worker=1)
+        validate = get("validate", "repair")
+        validation = None if validate in (None, "off") else validate
+        engine = None
+        if (
+            get("cache_dir") is not None
+            or get("engine", False)
+            or get("engine_workers") is not None
+        ):
+            engine = EngineConfig(
+                cache_dir=get("cache_dir"),
+                workers=get("engine_workers"),
+                refresh=get("refresh_cache", False),
+            )
+        return cls(
+            world=WorldConfig(seed=get("seed", 7), scale=get("scale", 1.0)),
+            parallel=parallel,
+            policy=None,
+            faults=faults,
+            checkpoint_dir=get("checkpoint_dir"),
+            resume=get("resume", False),
+            validation=validation,
+            obs=get("_obs"),
+            engine=engine,
+        )
+
+
+# the legacy run_pipeline kwargs RunConfig consolidates, in signature order
+LEGACY_KWARGS: tuple[str, ...] = tuple(
+    f.name for f in fields(RunConfig) if f.name != "engine"
+)

@@ -26,6 +26,7 @@ nothing, and the output is bit-identical to the fault-free run.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.contracts.audit import ContractReport, run_integrity_audit
@@ -50,6 +51,7 @@ from repro.obs.context import NULL as _NULL_OBS
 from repro.obs.context import ObsContext
 from repro.obs.context import use as _obs_use
 from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.config import RunConfig
 from repro.pipeline.dataset import AnalysisDataset
 from repro.pipeline.enrich import enrich_researchers
 from repro.pipeline.infer import InferenceOutcome, infer_genders
@@ -60,7 +62,7 @@ from repro.synth.world import SyntheticWorld, build_world
 from repro.util.parallel import ParallelConfig
 from repro.util.timing import StageTimer
 
-__all__ = ["PipelineResult", "run_pipeline"]
+__all__ = ["PipelineResult", "run_pipeline", "RunConfig"]
 
 
 @dataclass
@@ -100,7 +102,7 @@ def _validation_mode(
 
 
 def run_pipeline(
-    config: WorldConfig | None = None,
+    config: RunConfig | WorldConfig | None = None,
     world: SyntheticWorld | None = None,
     parallel: ParallelConfig | None = None,
     policy: ResolverPolicy | None = None,
@@ -112,10 +114,29 @@ def run_pipeline(
 ) -> PipelineResult:
     """Build (or reuse) a world and run every pipeline stage.
 
+    The supported calling convention is a single
+    :class:`~repro.pipeline.config.RunConfig`::
+
+        run_pipeline(RunConfig(world=WorldConfig(seed=7), validation="repair"))
+
+    optionally with a prebuilt ``world`` (a world is data, not
+    configuration, so it stays a separate argument).  When
+    ``RunConfig.engine`` is set, the run executes on the stage-DAG
+    engine (:mod:`repro.engine`): independent stages run concurrently
+    and, with ``engine.cache_dir``, every stage whose content-addressed
+    fingerprint hits the artifact cache is served without re-executing
+    its body.
+
+    Passing a :class:`~repro.synth.config.WorldConfig` as ``config``,
+    or any of the legacy keyword arguments below, still works but emits
+    a :class:`DeprecationWarning`; both spellings produce equal
+    :class:`PipelineResult`\\ s for the same seed.
+
     Parameters
     ----------
     config:
-        World configuration; ignored when ``world`` is given.
+        A :class:`RunConfig` (supported), or a world configuration
+        (deprecated legacy spelling); ignored when ``world`` is given.
     world:
         A pre-built world (e.g. a shared test fixture).
     parallel:
@@ -150,19 +171,109 @@ def run_pipeline(
         under cProfile.  ``None`` disables all instrumentation beyond
         the stage timer.
     """
-    octx = obs if obs is not None else _NULL_OBS
-    with _obs_use(obs):
+    rc = _coerce_config(
+        config,
+        parallel=parallel,
+        policy=policy,
+        faults=faults,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        validation=validation,
+        obs=obs,
+    )
+    octx = rc.obs if rc.obs is not None else _NULL_OBS
+    with _obs_use(rc.obs):
+        if rc.engine is not None:
+            return _run_engine(octx, rc, world)
         return _run_stages(
             octx,
-            config=config,
+            config=rc.world,
             world=world,
-            parallel=parallel,
-            policy=policy,
-            faults=faults,
-            checkpoint_dir=checkpoint_dir,
-            resume=resume,
-            validation=validation,
+            parallel=rc.parallel,
+            policy=rc.policy,
+            faults=rc.faults,
+            checkpoint_dir=rc.checkpoint_dir,
+            resume=rc.resume,
+            validation=rc.validation,
         )
+
+
+def _coerce_config(config, **legacy) -> RunConfig:
+    """Fold the deprecated kwargs into a :class:`RunConfig`."""
+    passed = {k: v for k, v in legacy.items() if v is not None and v is not False}
+    if isinstance(config, RunConfig):
+        if passed:
+            warnings.warn(
+                "passing run_pipeline keyword arguments alongside a RunConfig "
+                "is deprecated; set them on the RunConfig instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            config = config.with_overrides(**passed)
+        return config
+    if config is not None and not isinstance(config, WorldConfig):
+        raise TypeError(
+            f"config must be a RunConfig or WorldConfig, not {type(config).__name__}"
+        )
+    if config is not None or passed:
+        warnings.warn(
+            "run_pipeline(WorldConfig, parallel=..., faults=..., ...) is "
+            "deprecated; pass run_pipeline(RunConfig(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RunConfig(world=config, **legacy)
+
+
+def _run_engine(octx, rc: RunConfig, world: SyntheticWorld | None) -> PipelineResult:
+    """Execute the run on the stage-DAG engine (:mod:`repro.engine`)."""
+    # imported lazily: repro.engine.stages imports the stage modules of
+    # this package, so a top-level import here would be circular
+    from repro.engine import PipelineParams, build_graph, run_dag, world_fingerprint
+
+    timer = StageTimer(tracer=octx.tracer if octx.enabled else None)
+    params = PipelineParams(
+        world_config=rc.world,
+        policy=rc.policy,
+        faults=rc.faults,
+        validation=rc.validation_mode(),
+        checkpoint_dir=rc.checkpoint_dir,
+        resume=rc.resume,
+        parallel=rc.parallel,
+    )
+    graph = build_graph(params, prebuilt_world=world is not None)
+    seeds: dict = {}
+    seed_digests: dict[str, str] = {}
+    if world is not None:
+        seeds["world"] = world
+        seed_digests["world"] = world_fingerprint(world)
+    run = run_dag(
+        graph,
+        params,
+        seeds=seeds,
+        seed_digests=seed_digests,
+        engine=rc.engine,
+        timer=timer,
+    )
+
+    dataset = run["dataset"]
+    if octx.enabled:
+        m = octx.metrics
+        m.set_gauge("pipeline.researchers", dataset.researchers.num_rows)
+        m.set_gauge("pipeline.papers", dataset.papers.num_rows)
+        m.set_gauge("pipeline.editions", len(run["harvested"]))
+        for name, secs in timer.durations.items():
+            m.set_gauge(f"time.stage.{name}", secs)
+    return PipelineResult(
+        world=run["world"],
+        linked=run["linked"],
+        dataset=dataset,
+        inference=run["inference"],
+        timer=timer,
+        degraded=run["degraded"],
+        contracts=run["contracts"],
+        obs=octx if octx.enabled else None,
+    )
 
 
 def _run_stages(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import blind_report, far_report, pc_report
-from repro.pipeline import run_pipeline
+from repro.pipeline import RunConfig, run_pipeline
 from repro.synth import WorldConfig
 from repro.util.parallel import ParallelConfig, parallel_map
 
@@ -56,7 +56,9 @@ class StabilityReport:
 def _headlines_for_seed(args: tuple[int, float]) -> dict[str, float]:
     """Module-level worker: one seed's headline statistics."""
     seed, scale = args
-    result = run_pipeline(WorldConfig(seed=seed, scale=scale, include_timeline=False))
+    result = run_pipeline(
+        RunConfig(world=WorldConfig(seed=seed, scale=scale, include_timeline=False))
+    )
     ds = result.dataset
     far = far_report(ds)
     pc = pc_report(ds)

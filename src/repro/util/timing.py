@@ -62,6 +62,7 @@ class StageTimer:
     durations: dict[str, float] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
     resumed: set[str] = field(default_factory=set)
+    cached: set[str] = field(default_factory=set)
     tracer: "object | None" = None  # repro.obs.span.Tracer, duck-typed
 
     def stage(self, name: str) -> "_Stage":
@@ -70,6 +71,11 @@ class StageTimer:
     def mark_resumed(self, name: str) -> None:
         """Record that ``name``'s work came from a checkpoint this run."""
         self.resumed.add(name)
+        self.durations.setdefault(name, 0.0)
+
+    def mark_cached(self, name: str) -> None:
+        """Record that ``name`` was served from the engine artifact cache."""
+        self.cached.add(name)
         self.durations.setdefault(name, 0.0)
 
     def total(self) -> float:
@@ -84,6 +90,8 @@ class StageTimer:
                 suffix += f"  (x{self.counts[name]})"
             if name in self.resumed:
                 suffix += "  (resumed from checkpoint)"
+            if name in self.cached:
+                suffix += "  (cache hit)"
             lines.append(f"{name:<{width}s} {secs * 1e3:9.2f} ms{suffix}")
         lines.append(f"{'total':<{width}s} {self.total() * 1e3:9.2f} ms")
         return "\n".join(lines)

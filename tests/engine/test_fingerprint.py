@@ -1,0 +1,77 @@
+"""Cache-key derivation: deterministic, canonical, change-sensitive."""
+
+import pytest
+
+from repro.engine.fingerprint import canonical, fingerprint, world_fingerprint
+from repro.faults.plan import FaultConfig
+from repro.synth import WorldConfig, build_world
+
+pytestmark = pytest.mark.engine
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(True) is True
+        assert canonical(3) == 3
+        assert canonical("x") == "x"
+
+    def test_float_uses_exact_repr(self):
+        assert canonical(0.1) == {"__float__": "0.1"}
+        assert canonical(0.1) != canonical(0.1000000001)
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+
+    def test_dataclass_by_fields(self):
+        a = WorldConfig(seed=1, scale=0.5)
+        b = WorldConfig(seed=1, scale=0.5)
+        assert canonical(a) == canonical(b)
+        assert canonical(a) != canonical(WorldConfig(seed=2, scale=0.5))
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        cfg = WorldConfig(seed=7)
+        assert fingerprint("node", cfg) == fingerprint("node", cfg)
+
+    def test_sensitive_to_any_field(self):
+        base = fingerprint(WorldConfig(seed=7, scale=1.0))
+        assert fingerprint(WorldConfig(seed=8, scale=1.0)) != base
+        assert fingerprint(WorldConfig(seed=7, scale=0.5)) != base
+        assert fingerprint(WorldConfig(seed=7, email_rate=0.5)) != base
+
+    def test_nested_configs(self):
+        a = fingerprint(FaultConfig(rate=0.1, seed=1))
+        b = fingerprint(FaultConfig(rate=0.1, seed=2))
+        assert a != b
+
+    def test_is_hex_sha256(self):
+        fp = fingerprint("x")
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+
+class TestWorldFingerprint:
+    def test_config_vs_config(self):
+        assert world_fingerprint(WorldConfig(seed=1)) == world_fingerprint(
+            WorldConfig(seed=1)
+        )
+        assert world_fingerprint(WorldConfig(seed=1)) != world_fingerprint(
+            WorldConfig(seed=2)
+        )
+
+    def test_built_world_includes_edition_roster(self):
+        from repro.universe import systems_universe
+
+        cfg = WorldConfig(seed=3, scale=0.1, include_timeline=False)
+        eight = build_world(cfg, targets=systems_universe(8))
+        twelve = build_world(cfg, targets=systems_universe(12))
+        # same config, different conference targets -> different digest
+        assert world_fingerprint(eight) != world_fingerprint(twelve)
+        # rebuilt identically -> identical digest
+        again = build_world(cfg, targets=systems_universe(8))
+        assert world_fingerprint(eight) == world_fingerprint(again)

@@ -61,6 +61,37 @@ class TestCheckpointStore:
         store.begin(resume=True)  # nothing to reuse: behaves like a first run
         assert store.load_items("ingest") == {}
 
+    def test_atomic_write_fsyncs_file_and_directory(self, tmp_path, monkeypatch):
+        """Regression: artifacts must be durable, not just atomic.
+
+        Without an fsync of the temp file *and* the directory entry, a
+        crash after ``os.replace`` can leave a truncated pickle under the
+        final name — which a later resume (or engine cache read) trusts.
+        """
+        import os
+
+        from repro.pipeline import checkpoint as cp
+
+        synced: list[int] = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            cp.os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+        synced.clear()
+        store.save_stage("ingest", {"payload": [1, 2, 3]})
+        # one fsync for the temp file, one for the parent directory
+        assert len(synced) == 2
+        assert store.load_stage("ingest") == {"payload": [1, 2, 3]}
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+        store.save_stage("ingest", {"payload": list(range(50))})
+        leftovers = [p for p in (tmp_path / "ck").rglob("*") if ".tmp" in p.name]
+        assert leftovers == []
+
 
 class TestPipelineResume:
     def test_full_resume_makes_no_harvest_calls(self, small_world, tmp_path):

@@ -9,6 +9,8 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.api",
+    "repro.engine",
     "repro.util",
     "repro.obs",
     "repro.tabular",
@@ -64,6 +66,57 @@ def test_top_level_exports():
     assert callable(repro.build_world)
     assert repro.WorldConfig(seed=1).seed == 1
     assert isinstance(repro.__version__, str)
+
+
+# The supported surface.  repro.api is the stability promise: adding a
+# name there is an API commitment, removing one is a breaking change —
+# either must be a conscious edit to this exact list.
+API_SURFACE = [
+    # entry points
+    "run_pipeline",
+    "build_world",
+    "__version__",
+    # run configuration
+    "RunConfig",
+    "EngineConfig",
+    "WorldConfig",
+    "ParallelConfig",
+    "ResolverPolicy",
+    "FaultConfig",
+    "ValidationMode",
+    "ObsContext",
+    # results
+    "PipelineResult",
+    "AnalysisDataset",
+    "SyntheticWorld",
+    "DegradedCoverage",
+    "LossRecord",
+    "ContractReport",
+    "ContractViolationError",
+    # engine / persistence
+    "ArtifactCache",
+    "StageGraph",
+    "StageNode",
+    "CheckpointStore",
+    "CheckpointMismatch",
+]
+
+
+def test_api_facade_is_pinned():
+    import repro.api
+
+    assert repro.api.__all__ == API_SURFACE
+    for symbol in API_SURFACE:
+        assert getattr(repro.api, symbol) is not None
+
+
+def test_api_facade_matches_internal_objects():
+    """The facade re-exports the same objects, not copies."""
+    import repro.api
+
+    assert repro.api.run_pipeline is repro.run_pipeline
+    assert repro.api.RunConfig is repro.RunConfig
+    assert repro.api.WorldConfig is repro.WorldConfig
 
 
 def test_public_functions_have_docstrings():
