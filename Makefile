@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs engine engine-demo audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine ledger regress engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,20 @@ obs:
 # stage-DAG engine suite (fingerprints, DAG ordering, artifact cache)
 engine:
 	$(PYTHON) -m pytest tests/ -m engine
+
+# run-ledger suite (event log, run records, sentinel, dashboard, runs CLI)
+ledger:
+	$(PYTHON) -m pytest tests/ -m ledger
+
+# the standing determinism check: two identical-seed ledgered runs must
+# show zero scientific drift (the sentinel exits non-zero on any drifted
+# cell; the generous timing threshold keeps machine noise out of it)
+regress:
+	rm -rf out/regress
+	$(PYTHON) -m repro --ledger --obs-dir out/regress --seed 7 --scale 0.25 run
+	$(PYTHON) -m repro --ledger --obs-dir out/regress --seed 7 --scale 0.25 run
+	$(PYTHON) -m repro --obs-dir out/regress runs diff
+	$(PYTHON) -m repro --obs-dir out/regress runs regress --threshold 3.0
 
 # cold run populates the artifact cache; the repeat run is served
 # entirely from it (every stage line reports "(cache hit)")
@@ -56,7 +70,7 @@ report:
 
 # Chrome trace + deterministic metrics for one seeded run (chrome://tracing)
 trace:
-	$(PYTHON) -m repro --trace --metrics --obs-dir out run
+	$(PYTHON) -m repro --trace --metrics --obs-dir out/obs run
 
 # per-stage cProfile top-N on stdout
 profile:

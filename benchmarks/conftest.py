@@ -5,10 +5,17 @@ figure) from the already-built dataset — the analysis cost, which is what
 varies between approaches — and writes the rendered artifact to
 ``benchmarks/output/<id>.txt`` so the run leaves the same tables/series
 the paper reports.
+
+Every bench module additionally leaves a machine-readable summary:
+at session end the collected stats are grouped by module and written to
+``benchmarks/output/BENCH_<module>.json`` (``bench_obs.py`` →
+``BENCH_obs.json``), so timing history can be diffed or fed to the
+regression sentinel without re-running anything.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -33,3 +40,33 @@ def output_dir() -> Path:
 
 def write_artifact(output_dir: Path, exp_id: str, text: str) -> None:
     (output_dir / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write one ``BENCH_<module>.json`` per bench module that ran."""
+    bs = getattr(session.config, "_benchmarksession", None)
+    if bs is None or not getattr(bs, "benchmarks", None):
+        return
+    by_module: dict[str, list] = {}
+    for bench in bs.benchmarks:
+        if bench.has_error:
+            continue
+        # fullname is 'benchmarks/bench_obs.py::test_x' -> module 'bench_obs'
+        module = Path(str(bench.fullname).split("::")[0]).stem
+        by_module.setdefault(module, []).append(bench)
+    if not by_module:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for module, benches in sorted(by_module.items()):
+        doc = {
+            "module": module,
+            "benchmarks": [
+                b.as_dict(include_data=False, flat=True) for b in benches
+            ],
+        }
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        path = OUTPUT_DIR / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )

@@ -21,13 +21,22 @@ integrity-audit check, ``repair`` quarantines/repairs, ``audit`` only
 records, ``off`` disables contracts entirely.
 Observability options: ``--trace`` writes a Chrome trace-event
 ``trace.json``, ``--metrics`` writes the deterministic ``metrics.json``
-(both under ``--obs-dir``, default ``out/``), ``--profile`` prints a
-per-stage cProfile top-N after the run.
+(both under ``--obs-dir``, default ``out/obs/``), ``--profile`` prints a
+per-stage cProfile top-N after the run, ``--ledger`` appends the run's
+:class:`~repro.obs.ledger.RunRecord` (config fingerprint, stage facts,
+cache counters, scientific-output digests) plus its full event stream
+to the append-only ledger under ``--obs-dir/ledger/``.
 Engine options: ``--cache-dir`` runs on the stage-DAG engine with a
 content-addressed artifact cache (a warm run re-executes zero stage
 bodies); ``--engine`` selects the engine without caching;
 ``--engine-workers`` runs independent stages concurrently;
 ``--refresh-cache`` recomputes and overwrites cached artifacts.
+
+Ledger subcommands: ``repro runs list`` / ``show`` / ``diff`` /
+``regress`` / ``report`` read the ledger back — ``regress`` compares
+the latest run against its recorded history (median-of-history timing
+noise band, cell-level scientific drift) and exits non-zero on a
+finding; ``report`` renders a self-contained HTML dashboard.
 
 Every option may be given either before the subcommand or after it
 (``repro --seed 9 run`` and ``repro run --seed 9`` are equivalent):
@@ -43,9 +52,16 @@ import sys
 from repro.contracts import ContractViolationError
 from repro.pipeline import RunConfig, run_pipeline
 
-__all__ = ["main", "build_parser", "OPTION_GROUPS", "EXIT_CONTRACT_VIOLATION"]
+__all__ = [
+    "main",
+    "build_parser",
+    "OPTION_GROUPS",
+    "EXIT_CONTRACT_VIOLATION",
+    "EXIT_REGRESSION",
+]
 
 EXIT_CONTRACT_VIOLATION = 3
+EXIT_REGRESSION = 4
 
 
 # ---------------------------------------------------------------- options
@@ -162,10 +178,22 @@ OPTION_GROUPS: tuple[tuple[str, str, tuple[tuple[str, dict], ...]], ...] = (
                 ),
             ),
             (
+                "--ledger",
+                dict(
+                    action="store_true",
+                    default=False,
+                    help="append this run's record (config fingerprint, stage "
+                    "facts, cache counters, scientific digests) and event "
+                    "stream to the run ledger under --obs-dir/ledger/",
+                ),
+            ),
+            (
                 "--obs-dir",
                 dict(
-                    default="out",
-                    help="directory for trace.json/metrics.json (default: out/)",
+                    default="out/obs",
+                    help="directory for observability artifacts — trace.json, "
+                    "metrics.json, ledger/ (default: out/obs/, never the "
+                    "repo root)",
                 ),
             ),
         ),
@@ -260,13 +288,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--output", default=None, help="write to a file instead of stdout"
     )
+
+    p_runs = subcommand(
+        "runs", help="inspect the run ledger (list/show/diff/regress/report)"
+    )
+    p_runs.add_argument(
+        "action",
+        choices=["list", "show", "diff", "regress", "report"],
+        help="list runs; show one record; diff two runs cell-by-cell; "
+        "regress the latest run against its history; render the HTML "
+        "dashboard",
+    )
+    p_runs.add_argument(
+        "targets",
+        nargs="*",
+        default=[],
+        help="run ids (or unambiguous prefixes): show takes one "
+        "(default latest), diff takes two (default: previous vs latest)",
+    )
+    p_runs.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative timing-regression threshold for regress "
+        "(default 0.25 = +25%% over the historical median)",
+    )
+    p_runs.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': output HTML path "
+        "(default <obs-dir>/ledger/dashboard.html)",
+    )
     return parser
 
 
 def _result(args):
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    return run_pipeline(RunConfig.from_cli(args))
+    rc = RunConfig.from_cli(args)
+    result = run_pipeline(rc)
+    # stashed for the post-command observability hooks (ledger append)
+    args._last_result = result
+    args._last_config = rc
+    return result
 
 
 def _cmd_run(args) -> int:
@@ -345,7 +409,10 @@ def _cmd_universe(args) -> int:
     # the universe run ignores the resilience/contract options (as ever)
     # but honors the engine: a custom-target world fingerprints by its
     # edition roster, so repeat universe invocations are cache reads
-    result = _rp(RunConfig(engine=RunConfig.from_cli(args).engine), world=world)
+    rc = RunConfig(engine=RunConfig.from_cli(args).engine, obs=getattr(args, "_obs", None))
+    result = _rp(rc, world=world)
+    args._last_result = result
+    args._last_config = rc
     rep = universe_report(result.dataset, targets)
     print(f"{'subfield':<14s} {'confs':>5s}  women among authors")
     for r in rep.rows:
@@ -373,6 +440,116 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.ledger import RunLedger
+    from repro.obs.sentinel import (
+        DEFAULT_MIN_SECONDS,
+        DEFAULT_THRESHOLD,
+        diff_runs,
+        regress,
+    )
+
+    ledger = RunLedger(Path(args.obs_dir) / "ledger")
+    records = ledger.records()
+    action = args.action
+
+    if action in ("show", "diff", "regress") and not records:
+        print(f"no runs recorded in {ledger.path}", file=sys.stderr)
+        return 2
+
+    if action == "list":
+        if not records:
+            print(f"no runs recorded in {ledger.path}")
+            return 0
+        print(
+            f"{'run id':<22s} {'command':<10s} {'seed':>5s} {'scale':>6s} "
+            f"{'total':>8s} {'cache':>7s}  scientific digest"
+        )
+        for rec in records:
+            meta = rec.meta
+            total = rec.timing.get("total")
+            cache = rec.body.get("cache", {})
+            total_s = f"{total:.2f}s" if isinstance(total, (int, float)) else "?"
+            cache_s = f"{cache.get('hits', 0)}h/{cache.get('misses', 0)}m"
+            digest = rec.body.get("digests", {}).get("scientific", "")[:16]
+            print(
+                f"{rec.run_id:<22s} {str(meta.get('command', '?')):<10s} "
+                f"{str(meta.get('seed', '?')):>5s} "
+                f"{str(meta.get('scale', '?')):>6s} "
+                f"{total_s:>8s} {cache_s:>7s}  {digest}"
+            )
+        return 0
+
+    if action == "show":
+        if len(args.targets) > 1:
+            print("runs show takes at most one run id", file=sys.stderr)
+            return 2
+        try:
+            rec = ledger.get(args.targets[0]) if args.targets else records[-1]
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        import json
+
+        print(json.dumps(rec.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if action == "diff":
+        if args.targets and len(args.targets) != 2:
+            print(
+                "runs diff takes exactly two run ids (or none for "
+                "previous-vs-latest)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.targets:
+            try:
+                baseline, candidate = (ledger.get(t) for t in args.targets)
+            except KeyError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        else:
+            if len(records) < 2:
+                print("need at least two runs to diff", file=sys.stderr)
+                return 2
+            baseline, candidate = records[-2], records[-1]
+        diff = diff_runs(baseline, candidate)
+        print(diff.render())
+        return 0
+
+    if action == "regress":
+        candidate = None
+        if args.targets:
+            if len(args.targets) > 1:
+                print("runs regress takes at most one run id", file=sys.stderr)
+                return 2
+            try:
+                candidate = ledger.get(args.targets[0])
+            except KeyError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+        report = regress(
+            records,
+            candidate=candidate,
+            threshold=(
+                args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+            ),
+            min_seconds=DEFAULT_MIN_SECONDS,
+        )
+        print(report.render())
+        return 0 if report.ok else EXIT_REGRESSION
+
+    # action == "report": the HTML dashboard
+    regression = regress(records) if len(records) >= 2 else None
+    out = Path(args.output) if args.output else ledger.root / "dashboard.html"
+    path = write_dashboard(records, out, regression=regression)
+    print(f"dashboard written to {path}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "experiment": _cmd_experiment,
@@ -380,6 +557,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "universe": _cmd_universe,
     "report": _cmd_report,
+    "runs": _cmd_runs,
 }
 
 
@@ -401,6 +579,26 @@ def _finish_obs(args, obs) -> None:
             meta={"version": __version__, "seed": args.seed},
         )
         print(f"metrics written to {p}")
+    if args.ledger:
+        result = getattr(args, "_last_result", None)
+        if result is None:
+            print("ledger: command produced no pipeline run to record")
+        else:
+            from repro.obs.ledger import RunLedger, build_run_record
+
+            record = build_run_record(
+                result,
+                config=getattr(args, "_last_config", None),
+                command=args.command,
+            )
+            ledger = RunLedger(out / "ledger")
+            identified = ledger.append(record, events=obs.events)
+            print(
+                f"ledger: recorded {identified.run_id} "
+                f"(scientific digest "
+                f"{identified.body['digests']['scientific'][:16]}) "
+                f"in {ledger.path}"
+            )
     if args.profile and obs.profiler is not None:
         print(obs.profiler.render())
 
@@ -408,7 +606,10 @@ def _finish_obs(args, obs) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     obs = None
-    if args.trace or args.metrics or args.profile:
+    # 'runs' only reads the ledger back; it never instruments anything
+    if args.command != "runs" and (
+        args.trace or args.metrics or args.profile or args.ledger
+    ):
         from repro.obs import ObsContext
         from repro.obs.context import use as obs_use
 

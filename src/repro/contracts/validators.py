@@ -106,13 +106,18 @@ class ContractSession:
             violations = schema.validate(record)
         if not violations:
             return record
-        metrics = _obs().metrics
+        obs = _obs()
+        metrics = obs.metrics
         metrics.inc("contracts.violations", len(violations))
+        obs.event(
+            "contract.violation", entity, stage=stage, key=key, n=len(violations)
+        )
         if self.mode is ValidationMode.STRICT:
             raise ContractViolationError(stage, entity, key, violations)
         if self.mode is ValidationMode.AUDIT:
             self.store.add(stage, entity, key, Disposition.FLAGGED, violations)
             metrics.inc(f"contracts.flagged.{entity}")
+            obs.event("contract.flagged", entity, stage=stage, key=key)
             return record
         # repair mode
         if repairer is not None:
@@ -129,10 +134,15 @@ class ContractSession:
                         repairs=tags,
                     )
                     metrics.inc(f"contracts.repaired.{entity}")
+                    obs.event(
+                        "contract.repaired", entity, stage=stage, key=key,
+                        repairs=",".join(sorted(tags)),
+                    )
                     return repaired
                 violations = remaining
         self.store.add(stage, entity, key, Disposition.HELD, violations)
         metrics.inc(f"contracts.held.{entity}")
+        obs.event("contract.held", entity, stage=stage, key=key)
         return None
 
     def flag(
@@ -140,6 +150,7 @@ class ContractSession:
     ) -> None:
         """Record an informational violation without affecting the flow."""
         _obs().metrics.inc(f"contracts.flagged.{entity}")
+        _obs().event("contract.flagged", entity, stage=stage, key=key, code=code)
         self.store.add(
             stage,
             entity,

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.engine.fingerprint import ENGINE_SCHEMA
+from repro.obs.context import current as _obs
 from repro.pipeline.checkpoint import CheckpointMismatch, CheckpointStore
 
 __all__ = ["ArtifactCache", "CACHE_FORMAT"]
@@ -77,6 +78,7 @@ class ArtifactCache:
         self._store.save_stage(
             self._entry(node, key), {"key": key, "outputs": outputs}
         )
+        _obs().event("cache.store", node, key=key[:16])
 
     # ------------------------------------------------------------ accounting
 

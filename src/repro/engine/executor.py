@@ -58,8 +58,10 @@ def _node_task(task: tuple[StageNode, Any, dict[str, Any]]) -> dict[str, Any]:
     """Execute one node body (module-level: picklable for workers)."""
     node, params, inputs = task
     ctx = _obs()
+    ctx.event("stage.start", node.name)
     with ctx.span("engine.node", node=node.name, cache_hit=False):
         outputs = node.fn(params, inputs)
+    ctx.event("stage.end", node.name, cache_hit=False)
     missing = set(node.outputs) - set(outputs)
     if missing:
         raise RuntimeError(
@@ -118,8 +120,11 @@ def run_dag(
                 if timer is not None:
                     timer.mark_cached(node.name)
                 ctx.metrics.inc("engine.cache.hits")
+                ctx.event("cache.hit", node.name, key=key[:16])
                 _adopt(run, digests, node, key, outputs, cache_hit=True)
                 continue
+            if cache is not None and node.cacheable:
+                ctx.event("cache.miss", node.name, key=key[:16])
             pending.append(node)
 
         if not pending:

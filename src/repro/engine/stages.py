@@ -143,6 +143,7 @@ def stage_ingest(params: PipelineParams, inputs: dict) -> dict:
                 resumed_from_checkpoint=True, resumed_editions=len(report.resumed)
             )
             ctx.metrics.inc("checkpoint.stages_resumed")
+            ctx.event("checkpoint.resume", "ingest", editions=len(report.resumed))
     if session is not None:
         malformed = ()
         if report is not None:

@@ -64,6 +64,7 @@ class FaultSession:
     def record_loss(self, stage: str, key: str, reason: str) -> None:
         self.losses.append(LossRecord(stage=stage, key=key, reason=reason))
         _obs().metrics.inc(f"faults.losses.{stage}")
+        _obs().event("fault.loss", key, stage=stage, reason=reason)
 
     def _finish(self) -> None:
         """Fold clock and breaker state into the stats snapshot."""
@@ -102,12 +103,14 @@ class FaultSession:
         """
         policy = self.config.retry
         breaker = self.breaker(service)
-        metrics = _obs().metrics
+        obs = _obs()
+        metrics = obs.metrics
         last: FaultError | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self.stats.retries += 1
                 metrics.inc("faults.retries")
+                obs.event("fault.retry", service, attempt=attempt)
             try:
                 breaker.check()
             except CircuitOpenError:
@@ -120,6 +123,7 @@ class FaultSession:
             if kind in _ERROR_BY_KIND:
                 self.stats.count_fault(kind.value)
                 metrics.inc(f"faults.injected.{kind.value}")
+                obs.event("fault.injected", service, kind=kind.value)
                 if kind is FaultKind.TIMEOUT:
                     self.clock.sleep(self.config.timeout_cost)
                 elif kind is FaultKind.RATE_LIMIT:
@@ -131,6 +135,7 @@ class FaultSession:
             if kind is FaultKind.MALFORMED:
                 self.stats.count_fault(kind.value)
                 metrics.inc(f"faults.injected.{kind.value}")
+                obs.event("fault.injected", service, kind=kind.value)
                 if malform is not None:
                     result = malform(result, self.plan.payload_rng(service, *key, attempt))
             if validate is not None and not validate(result):
@@ -141,6 +146,7 @@ class FaultSession:
             return result
         self.stats.exhausted += 1
         metrics.inc("faults.exhausted")
+        obs.event("fault.exhausted", service, attempts=policy.max_attempts)
         raise RetryExhaustedError(service, key, policy.max_attempts, last)
 
     def _backoff(self, breaker, policy, service, key, attempt) -> None:
@@ -148,5 +154,6 @@ class FaultSession:
         breaker.record_failure()
         if breaker.times_opened > opened_before:
             _obs().metrics.inc("faults.breaker_opens")
+            _obs().event("fault.breaker_open", service)
         if attempt < policy.max_attempts:
             self.clock.sleep(policy.delay(attempt, self.config.seed, service, *key))

@@ -18,9 +18,18 @@ free (see ``benchmarks/bench_obs.py``).
 """
 
 from repro.obs.context import NULL, ObsContext, ObsEnvelope, capture, current, use
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.events import EVENT_TYPES, Event, EventLog, NullEventLog, write_events
 from repro.obs.export import metrics_payload, write_metrics, write_trace
+from repro.obs.ledger import (
+    RunLedger,
+    RunRecord,
+    build_run_record,
+    scientific_cells,
+)
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.profile import StageProfiler
+from repro.obs.sentinel import RegressionReport, RunDiff, diff_runs, regress
 from repro.obs.span import NullTracer, Span, Tracer, chrome_trace, derive_span_seed
 
 __all__ = [
@@ -41,4 +50,22 @@ __all__ = [
     "NullTracer",
     "chrome_trace",
     "derive_span_seed",
+    # unified event log
+    "EVENT_TYPES",
+    "Event",
+    "EventLog",
+    "NullEventLog",
+    "write_events",
+    # run ledger
+    "RunLedger",
+    "RunRecord",
+    "build_run_record",
+    "scientific_cells",
+    # regression sentinel + dashboard
+    "RegressionReport",
+    "RunDiff",
+    "diff_runs",
+    "regress",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.events import Event, EventLog, NullEventLog
 from repro.obs.metrics import MetricsRegistry, NullMetrics
 from repro.obs.profile import StageProfiler
 from repro.obs.span import NullTracer, Span, Tracer, derive_span_seed
@@ -51,7 +52,7 @@ _NULL_STAGE = _NullProfiledStage()
 
 
 class ObsContext:
-    """Tracer + metrics + optional profiler for one pipeline run."""
+    """Tracer + metrics + event log + optional profiler for one run."""
 
     enabled = True
 
@@ -64,7 +65,19 @@ class ObsContext:
         self.seed = int(seed)
         self.tracer = Tracer(seed=seed)
         self.metrics = MetricsRegistry()
+        self.events = EventLog()
         self.profiler = StageProfiler(top_n=profile_top) if profile else None
+        # every span open/close mirrors into the unified event log, so
+        # the stream interleaves stage boundaries with what happened
+        # inside them (faults, contract dispositions, cache outcomes)
+        self.tracer.on_open = self._span_opened
+        self.tracer.on_close = self._span_closed
+
+    def _span_opened(self, span: Span) -> None:
+        self.events.emit("span.open", span.name, span_id=span.span_id)
+
+    def _span_closed(self, span: Span) -> None:
+        self.events.emit("span.close", span.name, span_id=span.span_id)
 
     # thin conveniences so call sites stay one-liners
     def span(self, name: str, **attrs: Any):
@@ -72,6 +85,9 @@ class ObsContext:
 
     def annotate(self, **attrs: Any) -> None:
         self.tracer.annotate(**attrs)
+
+    def event(self, type: str, name: str = "", **attrs: Any):
+        return self.events.emit(type, name, **attrs)
 
     def profiled(self, name: str):
         return self.profiler.stage(name) if self.profiler is not None else _NULL_STAGE
@@ -87,11 +103,15 @@ class _NullObsContext:
     def __init__(self) -> None:
         self.tracer = NullTracer()
         self.metrics = NullMetrics()
+        self.events = NullEventLog()
 
     def span(self, name: str, **attrs: Any):
         return NullTracer._NULL_CM
 
     def annotate(self, **attrs: Any) -> None:
+        return None
+
+    def event(self, type: str, name: str = "", **attrs: Any) -> None:
         return None
 
     def profiled(self, name: str):
@@ -130,6 +150,7 @@ class ObsEnvelope:
     result: Any
     spans: list[Span] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    events: list[Event] = field(default_factory=list)
 
 
 @contextmanager

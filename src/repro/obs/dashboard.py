@@ -1,0 +1,227 @@
+"""Self-contained HTML run dashboard (``repro runs report``).
+
+One static file, no external assets or scripts, openable from disk:
+
+- a **run table** (every ledger record: id, seed/scale, command, total
+  wall time, cache hits/misses, scientific digest prefix, drift badge
+  vs the previous same-config run);
+- **stage timing bars** for the latest run — a single-series horizontal
+  bar chart, one hue, direct-labeled in plain text;
+- the **sentinel verdict** rendered verbatim, so the dashboard and
+  ``repro runs regress`` can never disagree.
+
+Drift badges carry a text label as well as a color (never color alone),
+values and labels stay in text ink, and the palette swaps for dark mode
+via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+
+from repro.obs.ledger import RunRecord
+from repro.obs.sentinel import RegressionReport, diff_runs
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --panel: #f0efec;
+  --text: #0b0b0b; --text-2: #52514e;
+  --bar: #2a78d6; --grid: #d9d8d3;
+  --good-bg: #e3f2e3; --good-fg: #0b5a0b;
+  --bad-bg: #fbe3e3; --bad-fg: #8f1f1f;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --panel: #262624;
+    --text: #ffffff; --text-2: #c3c2b7;
+    --bar: #3987e5; --grid: #3a3a37;
+    --good-bg: #173317; --good-fg: #8fd48f;
+    --bad-bg: #3a1a1a; --bad-fg: #f0a0a0;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface); color: var(--text);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.sub { color: var(--text-2); margin: 0 0 20px; }
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left; padding: 6px 12px 6px 0;
+  border-bottom: 1px solid var(--grid); white-space: nowrap;
+}
+th { color: var(--text-2); font-weight: 600; font-size: 12px; }
+td.num, th.num { text-align: right; padding-right: 18px; }
+.mono { font-family: ui-monospace, SFMono-Regular, Menlo, monospace; font-size: 12px; }
+.badge {
+  display: inline-block; padding: 1px 8px; border-radius: 9px;
+  font-size: 11px; font-weight: 600;
+}
+.badge.ok { background: var(--good-bg); color: var(--good-fg); }
+.badge.drift { background: var(--bad-bg); color: var(--bad-fg); }
+.badge.na { background: var(--panel); color: var(--text-2); }
+.bars { max-width: 720px; }
+.bar-row { display: flex; align-items: center; gap: 10px; margin: 4px 0; }
+.bar-name { flex: 0 0 140px; color: var(--text-2); font-size: 12px; text-align: right; }
+.bar-track { flex: 1; }
+.bar-fill {
+  height: 14px; background: var(--bar); border-radius: 0 4px 4px 0;
+  min-width: 2px;
+}
+.bar-row:hover .bar-fill { filter: brightness(1.15); }
+.bar-val { flex: 0 0 90px; color: var(--text-2); font-size: 12px; }
+pre.verdict {
+  background: var(--panel); padding: 14px 16px; border-radius: 6px;
+  overflow-x: auto; font-size: 12.5px; max-width: 900px;
+}
+"""
+
+
+def _badge(label: str, kind: str) -> str:
+    return f'<span class="badge {kind}">{escape(label)}</span>'
+
+
+def _drift_badge(records: list[RunRecord], i: int) -> str:
+    """Drift of run ``i`` vs the nearest earlier same-config run."""
+    rec = records[i]
+    prior = [
+        r for r in records[:i] if r.config_fingerprint == rec.config_fingerprint
+    ]
+    if not prior:
+        return _badge("first of config", "na")
+    diff = diff_runs(prior[-1], rec)
+    if diff.has_scientific_drift:
+        return _badge(f"✗ drift ({len(diff.scientific_drift)} cells)", "drift")
+    return _badge("✓ no drift", "ok")
+
+
+def _run_table(records: list[RunRecord]) -> str:
+    rows = []
+    for i, rec in enumerate(records):
+        meta = rec.meta
+        cache = rec.body.get("cache", {})
+        sci = rec.body.get("digests", {}).get("scientific", "")
+        rows.append(
+            "<tr>"
+            f'<td class="mono">{escape(rec.run_id or "?")}</td>'
+            f"<td>{escape(str(meta.get('command', '')))}</td>"
+            f'<td class="num">{escape(str(meta.get("seed", "")))}</td>'
+            f'<td class="num">{escape(str(meta.get("scale", "")))}</td>'
+            f'<td class="num">{rec.timing.get("total", 0) * 1e3:,.0f} ms</td>'
+            f'<td class="num">{cache.get("hits", 0)} / {cache.get("misses", 0)}</td>'
+            f'<td class="mono">{escape(sci[:12])}</td>'
+            f"<td>{_drift_badge(records, i)}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr>"
+        "<th>run</th><th>command</th>"
+        '<th class="num">seed</th><th class="num">scale</th>'
+        '<th class="num">total</th><th class="num">cache hit/miss</th>'
+        "<th>scientific digest</th><th>drift vs prior</th>"
+        "</tr></thead><tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _stage_bars(rec: RunRecord) -> str:
+    stages = rec.stage_seconds
+    if not stages:
+        return '<p class="sub">no stage timings recorded</p>'
+    longest = max(stages.values()) or 1.0
+    info = rec.body.get("stages", {})
+    rows = []
+    for name, secs in sorted(stages.items(), key=lambda kv: -kv[1]):
+        pct = max(0.3, 100.0 * secs / longest)
+        marks = []
+        if info.get(name, {}).get("cached"):
+            marks.append("cache hit")
+        if info.get(name, {}).get("resumed"):
+            marks.append("resumed")
+        suffix = f" ({', '.join(marks)})" if marks else ""
+        title = f"{name}: {secs * 1e3:.2f} ms{suffix}"
+        rows.append(
+            f'<div class="bar-row" title="{escape(title)}">'
+            f'<div class="bar-name">{escape(name)}</div>'
+            f'<div class="bar-track"><div class="bar-fill" '
+            f'style="width:{pct:.2f}%"></div></div>'
+            f'<div class="bar-val">{secs * 1e3:,.1f} ms{escape(suffix)}</div>'
+            "</div>"
+        )
+    return '<div class="bars">' + "".join(rows) + "</div>"
+
+
+def render_dashboard(
+    records: list[RunRecord],
+    regression: RegressionReport | None = None,
+    title: str = "repro run ledger",
+) -> str:
+    """Render the whole dashboard as one self-contained HTML document."""
+    records = list(records)
+    latest = records[-1] if records else None
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f'<p class="sub">{len(records)} recorded run(s)'
+        + (
+            f' &middot; latest <span class="mono">{escape(latest.run_id)}</span>'
+            if latest is not None and latest.run_id
+            else ""
+        )
+        + "</p>",
+    ]
+    if not records:
+        parts.append('<p class="sub">The ledger is empty — run the pipeline '
+                     "with <code>--ledger</code> first.</p>")
+    else:
+        parts.append("<h2>Runs</h2>")
+        parts.append(_run_table(records))
+        parts.append(
+            f"<h2>Stage wall time — latest run "
+            f'(<span class="mono">{escape(latest.run_id or "?")}</span>)</h2>'
+        )
+        parts.append(_stage_bars(latest))
+        events = latest.body.get("events", {})
+        if events:
+            parts.append("<h2>Event counts — latest run</h2>")
+            rows = "".join(
+                f'<tr><td class="mono">{escape(k)}</td>'
+                f'<td class="num">{v}</td></tr>'
+                for k, v in events.items()
+            )
+            parts.append(
+                "<table><thead><tr><th>event type</th>"
+                '<th class="num">count</th></tr></thead>'
+                f"<tbody>{rows}</tbody></table>"
+            )
+    if regression is not None:
+        parts.append("<h2>Sentinel verdict</h2>")
+        badge = (
+            _badge("✓ OK", "ok") if regression.ok else _badge("✗ REGRESSED", "drift")
+        )
+        parts.append(f"<p>{badge}</p>")
+        parts.append(f'<pre class="verdict">{escape(regression.render())}</pre>')
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(
+    records: list[RunRecord],
+    path: str | Path,
+    regression: RegressionReport | None = None,
+    title: str = "repro run ledger",
+) -> Path:
+    """Write the rendered dashboard to ``path``; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(render_dashboard(records, regression, title), encoding="utf-8")
+    return p

@@ -77,11 +77,15 @@ class MetricsRegistry:
         self.gauges.update(other.gauges)
         for k, h in other.histograms.items():
             mine = self.histograms.get(k)
-            if mine is None or mine["buckets"] != h["buckets"]:
+            # normalize bucket edges to a tuple: a registry that crossed a
+            # serialization boundary (worker envelope, JSON round-trip) may
+            # carry them as a list, and that must not read as "mismatched"
+            buckets = tuple(h["buckets"])
+            if mine is None or tuple(mine["buckets"]) != buckets:
                 if mine is not None:
                     raise ValueError(f"histogram {k!r} merged with mismatched buckets")
                 self.histograms[k] = {
-                    "buckets": h["buckets"],
+                    "buckets": buckets,
                     "counts": list(h["counts"]),
                     "count": h["count"],
                     "sum": h["sum"],
@@ -99,18 +103,23 @@ class MetricsRegistry:
         def keep(name: str) -> bool:
             return not (exclude_timings and name.startswith(TIMING_PREFIX))
 
+        # key *insertion* order is sorted everywhere — outer sections,
+        # series names, and the per-histogram fields — so the snapshot is
+        # byte-stable however it is serialized (with or without
+        # sort_keys), regardless of the order workers registered series
         return {
             "counters": {k: self.counters[k] for k in sorted(self.counters) if keep(k)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges) if keep(k)},
             "histograms": {
                 k: {
                     "buckets": list(h["buckets"]),
-                    "counts": list(h["counts"]),
                     "count": h["count"],
+                    "counts": list(h["counts"]),
                     "sum": h["sum"],
                 }
-                for k, h in sorted(self.histograms.items())
+                for k in sorted(self.histograms)
                 if keep(k)
+                for h in (self.histograms[k],)
             },
         }
 

@@ -1,0 +1,314 @@
+"""The regression sentinel: compare runs, flag drift, stay deterministic.
+
+Two failure families threaten a longitudinal reproduction:
+
+- **scientific drift** — a headline number (overall FAR, an SC/ISC
+  per-conference ratio, a χ² contrast) silently changes between runs
+  that should be identical.  Any drift is a finding; there is no noise
+  band on determinism.
+- **performance regression** — a stage gets slower than its own
+  history.  Wall time *is* noisy, so the sentinel compares each stage
+  against the **median of its recorded history** and only flags
+  excursions beyond a relative threshold *and* an absolute floor —
+  deterministic given the recorded data, since the ledger, not the
+  current machine state, is the input.
+
+:func:`diff_runs` is the pairwise microscope (down to the first
+differing scientific cell); :func:`regress` is the fleet-level check
+``repro runs regress`` and ``make regress`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.obs.ledger import RunRecord
+
+__all__ = [
+    "DriftCell",
+    "TimingFlag",
+    "RunDiff",
+    "RegressionReport",
+    "diff_runs",
+    "regress",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
+]
+
+# flag a stage only when it exceeds its historical median by more than
+# 25% *and* by more than 50 ms — both bounds are needed: the relative
+# one scales to slow stages, the absolute one keeps micro-stages (whose
+# medians sit in scheduler-jitter territory) from crying wolf
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class DriftCell:
+    """One key whose recorded value differs between two runs."""
+
+    key: str
+    baseline: object
+    candidate: object
+
+    def render(self) -> str:
+        return f"{self.key}: {self.baseline!r} -> {self.candidate!r}"
+
+
+@dataclass(frozen=True)
+class TimingFlag:
+    """One stage whose duration broke out of its historical noise band."""
+
+    stage: str
+    baseline_median: float
+    candidate: float
+    samples: int
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_median <= 0:
+            return float("inf")
+        return self.candidate / self.baseline_median
+
+    def render(self) -> str:
+        return (
+            f"{self.stage}: {self.candidate * 1e3:.1f} ms vs median "
+            f"{self.baseline_median * 1e3:.1f} ms over {self.samples} run(s) "
+            f"({self.ratio:.2f}x)"
+        )
+
+
+@dataclass
+class RunDiff:
+    """Everything deterministic that changed between two ledger records."""
+
+    baseline_id: str
+    candidate_id: str
+    same_config: bool
+    digest_changed: bool
+    scientific_drift: tuple[DriftCell, ...] = ()
+    counter_changes: tuple[DriftCell, ...] = ()
+    event_changes: tuple[DriftCell, ...] = ()
+    stage_changes: tuple[DriftCell, ...] = ()
+
+    @property
+    def has_scientific_drift(self) -> bool:
+        return bool(self.scientific_drift)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.scientific_drift
+            or self.counter_changes
+            or self.event_changes
+            or self.stage_changes
+        )
+
+    def first_drift(self) -> DriftCell | None:
+        """The first differing scientific cell (drill-down entry point)."""
+        return self.scientific_drift[0] if self.scientific_drift else None
+
+    def render(self) -> str:
+        lines = [f"diff {self.baseline_id} -> {self.candidate_id}"]
+        if not self.same_config:
+            lines.append(
+                "  config fingerprints differ — runs are not like-for-like "
+                "(drift below is expected)"
+            )
+        if self.clean and not self.digest_changed:
+            lines.append("  identical: no scientific drift, no counter changes")
+            return "\n".join(lines)
+        if self.scientific_drift:
+            first = self.first_drift()
+            lines.append(
+                f"  scientific drift: {len(self.scientific_drift)} cell(s); "
+                f"first differing cell -> {first.render()}"
+            )
+            for cell in self.scientific_drift[1:6]:
+                lines.append(f"    {cell.render()}")
+            if len(self.scientific_drift) > 6:
+                lines.append(
+                    f"    ... and {len(self.scientific_drift) - 6} more"
+                )
+        for label, cells in (
+            ("counters", self.counter_changes),
+            ("events", self.event_changes),
+            ("stages", self.stage_changes),
+        ):
+            if cells:
+                lines.append(f"  {label}: {len(cells)} change(s)")
+                for cell in cells[:4]:
+                    lines.append(f"    {cell.render()}")
+                if len(cells) > 4:
+                    lines.append(f"    ... and {len(cells) - 4} more")
+        return "\n".join(lines)
+
+
+def _dict_drift(a: dict, b: dict) -> tuple[DriftCell, ...]:
+    """Cells present-and-equal in neither; sorted by key for determinism."""
+    out = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out.append(DriftCell(key=key, baseline=va, candidate=vb))
+    return tuple(out)
+
+
+def diff_runs(baseline: RunRecord, candidate: RunRecord) -> RunDiff:
+    """Field-by-field deterministic comparison of two ledger records."""
+    return RunDiff(
+        baseline_id=baseline.run_id or "<baseline>",
+        candidate_id=candidate.run_id or "<candidate>",
+        same_config=baseline.config_fingerprint == candidate.config_fingerprint,
+        digest_changed=(baseline.digest or "") != (candidate.digest or ""),
+        scientific_drift=_dict_drift(baseline.scientific, candidate.scientific),
+        counter_changes=_dict_drift(
+            baseline.body.get("counters", {}), candidate.body.get("counters", {})
+        ),
+        event_changes=_dict_drift(
+            baseline.body.get("events", {}), candidate.body.get("events", {})
+        ),
+        stage_changes=_dict_drift(
+            baseline.body.get("stages", {}), candidate.body.get("stages", {})
+        ),
+    )
+
+
+@dataclass
+class RegressionReport:
+    """The sentinel's verdict on the latest run against its history."""
+
+    diff: RunDiff | None
+    timing: tuple[TimingFlag, ...] = ()
+    baseline_ids: tuple[str, ...] = ()
+    threshold: float = DEFAULT_THRESHOLD
+    min_seconds: float = DEFAULT_MIN_SECONDS
+    notes: tuple[str, ...] = ()
+
+    @property
+    def scientific_drift(self) -> tuple[DriftCell, ...]:
+        return self.diff.scientific_drift if self.diff is not None else ()
+
+    @property
+    def ok(self) -> bool:
+        """True when the sentinel found nothing to flag."""
+        if self.timing:
+            return False
+        if self.diff is None:
+            return True
+        # a deliberate config change explains drift; same-config drift never is
+        return not (self.diff.same_config and self.diff.has_scientific_drift)
+
+    def render(self) -> str:
+        if self.diff is None:
+            return "sentinel: no baseline run in the ledger yet — nothing to compare"
+        lines = [
+            f"sentinel: candidate {self.diff.candidate_id} vs baseline "
+            f"{self.diff.baseline_id} "
+            f"(timing medians over {len(self.baseline_ids)} run(s), "
+            f"threshold {self.threshold:.0%} + {self.min_seconds * 1e3:.0f} ms)"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        drift = self.scientific_drift
+        if drift:
+            first = drift[0]
+            lines.append(
+                f"  SCIENTIFIC DRIFT: {len(drift)} cell(s) changed; "
+                f"first differing cell -> {first.render()}"
+            )
+            for cell in drift[1:6]:
+                lines.append(f"    {cell.render()}")
+        else:
+            lines.append("  scientific drift: none (digests identical)")
+        if self.timing:
+            lines.append(f"  TIMING REGRESSIONS: {len(self.timing)} stage(s)")
+            for flag in self.timing:
+                lines.append(f"    {flag.render()}")
+        else:
+            lines.append("  timing regressions: none")
+        lines.append(f"  verdict: {'OK' if self.ok else 'REGRESSED'}")
+        return "\n".join(lines)
+
+
+def regress(
+    history: list[RunRecord],
+    candidate: RunRecord | None = None,
+    baseline: RunRecord | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> RegressionReport:
+    """Judge ``candidate`` (default: the latest record) against history.
+
+    The scientific comparison runs against ``baseline`` (default: the
+    most recent earlier run with the *same config fingerprint*, falling
+    back to the immediately previous run with a like-for-like warning).
+    The timing comparison uses the per-stage **median over every earlier
+    same-config run**, so one historically slow run cannot poison the
+    band — and the whole verdict is a pure function of ledger contents.
+    """
+    runs = list(history)
+    if candidate is None:
+        if not runs:
+            return RegressionReport(diff=None, threshold=threshold,
+                                    min_seconds=min_seconds)
+        candidate = runs[-1]
+    prior = [r for r in runs if r is not candidate and r.run_id != candidate.run_id]
+    if not prior:
+        return RegressionReport(diff=None, threshold=threshold,
+                                min_seconds=min_seconds)
+
+    notes: list[str] = []
+    same_config = [
+        r for r in prior if r.config_fingerprint == candidate.config_fingerprint
+    ]
+    if baseline is None:
+        if same_config:
+            baseline = same_config[-1]
+        else:
+            baseline = prior[-1]
+            notes.append(
+                "no earlier run shares this config fingerprint; comparing "
+                "against the previous run — expect drift from the config change"
+            )
+
+    diff = diff_runs(baseline, candidate)
+
+    # timing: median over every earlier same-config run (the baseline run
+    # alone is one sample; history tightens the band)
+    timing_pool = same_config if same_config else [baseline]
+    flags: list[TimingFlag] = []
+    cand_stages = candidate.body.get("stages", {})
+    for stage, secs in sorted(candidate.stage_seconds.items()):
+        info = cand_stages.get(stage, {})
+        if info.get("cached") or info.get("resumed"):
+            continue  # near-zero load time, not comparable work
+        samples = [
+            r.stage_seconds[stage]
+            for r in timing_pool
+            if stage in r.stage_seconds
+            and not r.body.get("stages", {}).get(stage, {}).get("cached")
+            and not r.body.get("stages", {}).get(stage, {}).get("resumed")
+        ]
+        if not samples:
+            continue
+        base = median(samples)
+        if secs > base * (1.0 + threshold) and secs - base > min_seconds:
+            flags.append(
+                TimingFlag(
+                    stage=stage,
+                    baseline_median=base,
+                    candidate=secs,
+                    samples=len(samples),
+                )
+            )
+
+    return RegressionReport(
+        diff=diff,
+        timing=tuple(flags),
+        baseline_ids=tuple(r.run_id for r in timing_pool),
+        threshold=threshold,
+        min_seconds=min_seconds,
+        notes=tuple(notes),
+    )

@@ -98,6 +98,10 @@ class Tracer:
         self._stack: list[Span] = []
         self._seq: dict[tuple[str, ...], int] = {}
         self._epoch = time.perf_counter()
+        # optional hooks (set by ObsContext) mirroring span boundaries
+        # into the unified event log; called with the Span
+        self.on_open: Any = None
+        self.on_close: Any = None
 
     # ------------------------------------------------------------- recording
 
@@ -118,6 +122,8 @@ class Tracer:
             attrs=dict(attrs),
         )
         self._stack.append(span)
+        if self.on_open is not None:
+            self.on_open(span)
         return _ActiveSpan(self, span)
 
     def _close(self, span: Span) -> None:
@@ -125,6 +131,8 @@ class Tracer:
         top = self._stack.pop()
         assert top is span, f"span {top.name!r} closed out of order"
         self.finished.append(span)
+        if self.on_close is not None:
+            self.on_close(span)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span (no-op at root)."""

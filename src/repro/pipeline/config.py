@@ -118,6 +118,35 @@ class RunConfig:
         changed = {k: v for k, v in overrides.items() if v is not None}
         return replace(self, **changed) if changed else self
 
+    def fingerprint(self) -> str:
+        """Deterministic content digest of this configuration.
+
+        The run ledger keys like-for-like comparisons on it.  The
+        observability context is excluded (it is instrumentation, not
+        configuration, and its repr is identity-based), and so is the
+        engine's *execution policy* — worker counts, cache/checkpoint
+        directories, refresh — which must never make two runs read as
+        scientifically different (the same rule the engine's cache keys
+        follow).
+        """
+        # lazy import: repro.engine imports this module at load time
+        from repro.engine.fingerprint import fingerprint as _fp
+
+        mode = self.validation_mode()
+        return _fp(
+            "run-config",
+            replace(
+                self,
+                obs=None,
+                engine=None,
+                checkpoint_dir=None,
+                resume=False,
+                parallel=None,
+                # normalize the str/enum spellings to one fingerprint
+                validation=mode.value if mode is not None else None,
+            ),
+        )
+
     # --------------------------------------------------------- constructors
 
     @classmethod

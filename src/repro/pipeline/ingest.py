@@ -176,6 +176,7 @@ def ingest_world_resilient(
     if checkpoint is not None and resume and checkpoint.has_stage(_STAGE):
         done: IngestReport = checkpoint.load_stage(_STAGE)
         _obs().metrics.inc("harvest.editions_resumed", len(keys))
+        _obs().event("checkpoint.resume", _STAGE, editions=len(keys))
         # data-coverage facts carry over; effort counters are per-run
         return IngestReport(
             conferences=done.conferences,
@@ -208,6 +209,7 @@ def ingest_world_resilient(
                 report.proceedings_counts[key] = rest[0]
             resumed.append(key)
             _obs().metrics.inc("harvest.editions_resumed")
+            _obs().event("checkpoint.resume", key)
             continue
         result = by_key[key]
         if isinstance(result, TaskError):

@@ -183,9 +183,17 @@ def run_pipeline(
     )
     octx = rc.obs if rc.obs is not None else _NULL_OBS
     with _obs_use(rc.obs):
+        octx.event(
+            "run.start",
+            "pipeline",
+            engine=rc.engine is not None,
+            prebuilt_world=world is not None,
+        )
         if rc.engine is not None:
-            return _run_engine(octx, rc, world)
-        return _run_stages(
+            result = _run_engine(octx, rc, world)
+            octx.event("run.end", "pipeline", engine=True)
+            return result
+        result = _run_stages(
             octx,
             config=rc.world,
             world=world,
@@ -196,6 +204,8 @@ def run_pipeline(
             resume=rc.resume,
             validation=rc.validation,
         )
+        octx.event("run.end", "pipeline", engine=False)
+        return result
 
 
 def _coerce_config(config, **legacy) -> RunConfig:
@@ -324,6 +334,11 @@ def _run_stages(
                     resumed_editions=len(ingest_report.resumed),
                 )
                 octx.metrics.inc("checkpoint.stages_resumed")
+                octx.event(
+                    "checkpoint.resume",
+                    "ingest",
+                    editions=len(ingest_report.resumed),
+                )
 
     if contracts_session is not None:
         with timer.stage("contracts"), octx.profiled("contracts"):
@@ -359,6 +374,7 @@ def _run_stages(
                 timer.mark_resumed("enrich")
                 octx.annotate(resumed_from_checkpoint=True)
                 octx.metrics.inc("checkpoint.stages_resumed")
+                octx.event("checkpoint.resume", "enrich")
             else:
                 enrichment = enrich_researchers(
                     linked, world.gs_store, world.s2_store, session=enrich_session
@@ -367,6 +383,7 @@ def _run_stages(
                     checkpoint.save_stage(
                         "enrich", (enrichment, list(enrich_session.losses))
                     )
+                    octx.event("checkpoint.save", "enrich")
         infer_session = FaultSession(faults)
     if contracts_session is not None:
         with timer.stage("contracts"), octx.profiled("contracts"):

@@ -98,6 +98,20 @@ def export_artifact(result: PipelineResult, out_dir: str | Path) -> Path:
         )
         manifest["trace"] = "trace.json"
         manifest["metrics"] = "metrics.json"
+        # the run's ledger record + unified event stream, so a shipped
+        # bundle can be diffed against any future run with `runs diff`
+        from repro.obs.events import write_events
+        from repro.obs.ledger import build_run_record
+
+        record = build_run_record(result, command="export")
+        (out / "run_record.json").write_text(
+            json.dumps(record.to_dict(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        manifest["run_record"] = "run_record.json"
+        if len(result.obs.events):
+            write_events(result.obs.events, out / "events.jsonl")
+            manifest["events"] = "events.jsonl"
     (out / "MANIFEST.json").write_text(
         json.dumps(manifest, indent=2), encoding="utf-8"
     )

@@ -100,7 +100,9 @@ class _ObsTask:
         index, item = pair
         with capture(self._seed, self._path, index) as cap:
             result = self._fn(item)
-        return ObsEnvelope(result, cap.tracer.finished, cap.metrics)
+        return ObsEnvelope(
+            result, cap.tracer.finished, cap.metrics, cap.events.events
+        )
 
 
 @dataclass(frozen=True)
@@ -180,5 +182,6 @@ def parallel_map(
     for i, env in enumerate(raw):
         ctx.tracer.adopt(env.spans, tid=i + 1)
         ctx.metrics.merge(env.metrics)
+        ctx.events.adopt(env.events)
         results.append(env.result)
     return results

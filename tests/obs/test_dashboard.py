@@ -1,0 +1,72 @@
+"""The HTML dashboard: self-contained, badge-labeled, dark-mode ready."""
+
+import pytest
+
+from repro.obs import render_dashboard, write_dashboard
+from repro.obs.sentinel import regress
+
+from tests.obs.test_sentinel import make_record
+
+pytestmark = [pytest.mark.obs, pytest.mark.ledger]
+
+
+class TestRenderDashboard:
+    def test_empty_ledger_renders_a_hint(self):
+        html = render_dashboard([])
+        assert "<!DOCTYPE html>" in html
+        assert "--ledger" in html
+
+    def test_self_contained_single_document(self):
+        html = render_dashboard([make_record()])
+        # no external assets and no scripts: openable from disk, auditable
+        assert "<script" not in html and "http" not in html.lower()
+        assert "<style>" in html
+
+    def test_run_table_lists_every_record(self):
+        records = [make_record("run-0001-a"), make_record("run-0002-b")]
+        html = render_dashboard(records)
+        assert "run-0001-a" in html and "run-0002-b" in html
+
+    def test_drift_badges_carry_text_not_just_color(self):
+        records = [
+            make_record("run-0001-a"),
+            make_record("run-0002-b"),  # identical: clean successor
+            make_record(
+                "run-0003-c",
+                cells={"far.overall": "DRIFTED", "pc.memberships": "x"},
+            ),
+            make_record("run-0004-d", fingerprint="cfg-other"),
+        ]
+        html = render_dashboard(records)
+        assert "no drift" in html          # clean successor would say this...
+        assert "drift (1 cells)" in html   # ...the drifted one says this
+        assert "first of config" in html   # ...and the new config this
+
+    def test_stage_bars_are_single_hue_and_direct_labeled(self):
+        html = render_dashboard([make_record()])
+        assert html.count('class="bar-fill"') == 2  # one bar per stage
+        assert "ingest" in html and "enrich" in html
+        assert "ms" in html  # values are plain text beside the bar
+
+    def test_dark_mode_swaps_tokens_not_structure(self):
+        html = render_dashboard([make_record()])
+        assert "prefers-color-scheme: dark" in html
+        assert "--bar: #2a78d6" in html and "--bar: #3987e5" in html
+
+    def test_sentinel_verdict_is_rendered_verbatim(self):
+        runs = [
+            make_record("run-0001-a"),
+            make_record("run-0002-b", cells={"far.overall": "DRIFTED"}),
+        ]
+        report = regress(runs)
+        html = render_dashboard(runs, regression=report)
+        assert "REGRESSED" in html
+        assert "first differing cell" in html
+
+
+class TestWriteDashboard:
+    def test_writes_and_creates_parents(self, tmp_path):
+        out = tmp_path / "nested" / "dashboard.html"
+        path = write_dashboard([make_record()], out)
+        assert path == out and out.exists()
+        assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")

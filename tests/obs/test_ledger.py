@@ -1,0 +1,146 @@
+"""The run ledger: determinism split, append-only store, event streams."""
+
+import json
+
+import pytest
+
+from repro.obs import ObsContext, RunLedger, RunRecord, build_run_record
+from repro.obs.ledger import body_digest, scientific_cells
+from repro.pipeline import EngineConfig, RunConfig, run_pipeline
+from repro.synth import WorldConfig
+
+pytestmark = [pytest.mark.obs, pytest.mark.ledger]
+
+
+def _ledgered_run(seed=11, scale=0.1, **kw):
+    obs = ObsContext(seed=seed)
+    config = RunConfig(
+        world=WorldConfig(seed=seed, scale=scale), obs=obs, **kw
+    )
+    result = run_pipeline(config)
+    return build_run_record(result, config=config, command="test"), obs
+
+
+class TestDeterminism:
+    def test_identical_seed_runs_have_byte_identical_bodies(self):
+        """The acceptance property: same seed => same body, byte for byte.
+
+        Wall-clock facts live exclusively in the ``timing`` sub-object,
+        which the digest never covers.
+        """
+        a, _ = _ledgered_run(seed=11)
+        b, _ = _ledgered_run(seed=11)
+        canon = lambda body: json.dumps(body, sort_keys=True)  # noqa: E731
+        assert canon(a.body) == canon(b.body)
+        assert a.digest == b.digest == body_digest(a.body)
+        # wall-clock facts live only under ``timing``, never in the body
+        assert "timing" not in a.body and "unix_time" not in canon(a.body)
+
+    def test_different_seed_changes_scientific_digest(self):
+        a, _ = _ledgered_run(seed=11)
+        b, _ = _ledgered_run(seed=12)
+        assert a.body["digests"]["scientific"] != b.body["digests"]["scientific"]
+        assert a.config_fingerprint != b.config_fingerprint
+
+    def test_timing_keys_mirror_stage_keys(self):
+        rec, _ = _ledgered_run()
+        assert set(rec.timing["stages"]) == set(rec.body["stages"])
+        assert rec.timing["total"] >= 0
+        assert "unix_time" in rec.timing
+
+
+class TestScientificCells:
+    def test_headline_cells_present(self, small_result):
+        cells = scientific_cells(small_result)
+        for key in (
+            "far.overall", "far.lead", "far.last", "far.last_vs_all.chi2",
+            "blind.authors.chi2", "pc.memberships", "pc.chairs",
+        ):
+            assert key in cells
+        # per-conference drill-down cells exist for the core conferences
+        assert "far.SC.authors" in cells and "pc.SC" in cells
+
+    def test_cells_land_sorted_in_the_body(self, small_result):
+        rec = build_run_record(small_result)
+        keys = list(rec.body["scientific"])
+        assert keys == sorted(keys)
+        assert rec.body["digests"]["scientific"] == body_digest(
+            rec.body["scientific"]
+        )
+
+
+class TestLedgerStore:
+    def test_append_assigns_sequential_prefixed_ids(self, tmp_path, small_result):
+        ledger = RunLedger(tmp_path)
+        rec = build_run_record(small_result)
+        first = ledger.append(rec)
+        second = ledger.append(rec)
+        assert first.run_id.startswith("run-0001-")
+        assert second.run_id.startswith("run-0002-")
+        assert first.run_id.endswith(rec.digest[:10])
+
+    def test_round_trip_preserves_everything(self, tmp_path, small_result):
+        ledger = RunLedger(tmp_path)
+        rec = ledger.append(build_run_record(small_result))
+        back = ledger.records()[-1]
+        assert back.to_dict() == rec.to_dict()
+
+    def test_torn_tail_line_is_skipped(self, tmp_path, small_result):
+        ledger = RunLedger(tmp_path)
+        ledger.append(build_run_record(small_result))
+        with open(ledger.path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "run_id": "run-0002')  # crashed writer
+        assert len(ledger.records()) == 1
+        # and the next append still works, numbering past the good records
+        nxt = ledger.append(build_run_record(small_result))
+        assert nxt.run_id.startswith("run-0002-")
+
+    def test_get_by_prefix(self, tmp_path, small_result):
+        ledger = RunLedger(tmp_path)
+        rec = ledger.append(build_run_record(small_result))
+        assert ledger.get("run-0001").run_id == rec.run_id
+        with pytest.raises(KeyError, match="no run"):
+            ledger.get("run-9999")
+
+    def test_event_stream_written_beside_the_ledger(self, tmp_path):
+        rec, obs = _ledgered_run()
+        ledger = RunLedger(tmp_path)
+        identified = ledger.append(rec, events=obs.events)
+        stream = ledger.events_path(identified.run_id)
+        assert stream.exists()
+        lines = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert len(lines) == len(obs.events)
+        assert {e["type"] for e in lines} >= {"run.start", "run.end"}
+
+
+class TestWarmEngineRun:
+    def test_warm_run_records_cache_hits_for_every_stage(self, tmp_path):
+        """The acceptance property: a warm engine run is all cache.hit."""
+        engine = EngineConfig(cache_dir=str(tmp_path / "cache"))
+        cold, _ = _ledgered_run(engine=engine)
+        warm, obs = _ledgered_run(engine=engine)
+        assert cold.body["cache"]["misses"] > 0
+        stages = set(warm.body["stages"])
+        hit_names = {e.name for e in obs.events.by_type("cache.hit")}
+        assert hit_names == stages
+        assert warm.body["cache"] == {"hits": len(stages), "misses": 0}
+        assert all(info["cached"] for info in warm.body["stages"].values())
+        # warm and cold agree on the science even though execution differed
+        assert (
+            warm.body["digests"]["scientific"]
+            == cold.body["digests"]["scientific"]
+        )
+
+
+class TestRecordShape:
+    def test_record_without_obs_still_has_stages_and_science(self, small_result):
+        rec = build_run_record(small_result)
+        assert rec.body["stages"] and rec.body["scientific"]
+        assert rec.body["events"] == {}
+        assert rec.schema == 1
+
+    def test_from_dict_tolerates_unknown_future_fields(self):
+        rec = RunRecord.from_dict(
+            {"schema": 2, "body": {"meta": {}}, "timing": {}, "novel": True}
+        )
+        assert rec.schema == 2 and rec.body == {"meta": {}}

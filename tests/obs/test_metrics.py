@@ -153,3 +153,52 @@ class TestTabularMetrics:
         from repro.obs.context import current
 
         assert current().enabled is False
+
+
+class TestSnapshotKeyOrder:
+    """Regression: metrics.json key order must not depend on worker merge order."""
+
+    def test_histogram_registration_order_does_not_leak(self):
+        """Workers can register histograms in any order; the snapshot sorts."""
+        import json
+
+        def build(order):
+            main = MetricsRegistry()
+            for name in order:
+                worker = MetricsRegistry()
+                worker.observe(name, 5)
+                # simulate the serialization boundary: buckets arrive as lists
+                worker.histograms[name]["buckets"] = list(
+                    worker.histograms[name]["buckets"]
+                )
+                main.merge(worker)
+            return main
+
+        a = build(["harvest.papers_per_edition", "enrich.citations"])
+        b = build(["enrich.citations", "harvest.papers_per_edition"])
+        # byte-identical WITHOUT sort_keys: insertion order is already sorted
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+        assert list(a.to_dict()["histograms"]) == sorted(a.to_dict()["histograms"])
+
+    def test_histogram_inner_fields_are_sorted(self):
+        m = MetricsRegistry()
+        m.observe("h", 3)
+        snap = m.to_dict()["histograms"]["h"]
+        assert list(snap) == ["buckets", "count", "counts", "sum"]
+
+    def test_parallel_pipeline_snapshot_is_byte_stable(self, small_world):
+        """The end-to-end guarantee: serial and 3-worker runs serialize alike."""
+        import json
+
+        def snapshot(workers):
+            obs = ObsContext(seed=small_world.seed)
+            run_pipeline(
+                world=small_world,
+                obs=obs,
+                parallel=ParallelConfig(workers=workers, min_items_per_worker=1)
+                if workers
+                else None,
+            )
+            return json.dumps(obs.metrics.to_dict(exclude_timings=True))
+
+        assert snapshot(0) == snapshot(3)

@@ -1,0 +1,141 @@
+"""The ``--ledger`` flag and the ``repro runs`` subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_REGRESSION, main
+from repro.obs import RunLedger
+
+from tests.obs.test_sentinel import make_record
+
+pytestmark = [pytest.mark.obs, pytest.mark.ledger]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def obs_dir(tmp_path_factory):
+    """Two identical-seed ledgered runs plus one with a perturbed seed."""
+    d = tmp_path_factory.mktemp("obs")
+    base = ["--scale", "0.1", "--ledger", "--obs-dir", str(d)]
+    assert main([*base, "--seed", "11", "run"]) == 0
+    assert main([*base, "--seed", "11", "run"]) == 0
+    assert main([*base, "--seed", "12", "run"]) == 0
+    return d
+
+
+class TestLedgerFlag:
+    def test_three_runs_recorded(self, obs_dir):
+        ledger = RunLedger(obs_dir / "ledger")
+        records = ledger.records()
+        assert [r.run_id[:8] for r in records] == [
+            "run-0001", "run-0002", "run-0003"
+        ]
+        # identical seeds share a body digest; the perturbed seed does not
+        assert records[0].digest == records[1].digest
+        assert records[0].digest != records[2].digest
+        # each run leaves its event stream beside the ledger
+        for rec in records:
+            assert ledger.events_path(rec.run_id).exists()
+
+    def test_artifacts_stay_under_obs_dir(self, obs_dir):
+        """Satellite: --obs-dir artifacts never land in the repo root."""
+        from pathlib import Path
+
+        assert not Path("runs.jsonl").exists()
+        assert not Path("trace.json").exists()
+        assert (obs_dir / "ledger" / "runs.jsonl").exists()
+
+
+class TestRunsList:
+    def test_lists_every_run_with_digest_prefix(self, obs_dir, capsys):
+        code, out = run_cli(capsys, "--obs-dir", str(obs_dir), "runs", "list")
+        assert code == 0
+        assert out.count("run-000") == 3
+        assert "scientific digest" in out
+
+    def test_empty_ledger_is_not_an_error_for_list(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "--obs-dir", str(tmp_path), "runs", "list")
+        assert code == 0 and "no runs recorded" in out
+
+
+class TestRunsShow:
+    def test_show_defaults_to_latest(self, obs_dir, capsys):
+        code, out = run_cli(capsys, "--obs-dir", str(obs_dir), "runs", "show")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["run_id"].startswith("run-0003")
+        assert doc["body"]["meta"]["seed"] == 12
+
+    def test_show_accepts_a_prefix(self, obs_dir, capsys):
+        code, out = run_cli(
+            capsys, "--obs-dir", str(obs_dir), "runs", "show", "run-0001"
+        )
+        assert code == 0
+        assert json.loads(out)["body"]["meta"]["seed"] == 11
+
+    def test_unknown_run_id_fails_cleanly(self, obs_dir, capsys):
+        assert main(["--obs-dir", str(obs_dir), "runs", "show", "run-9999"]) == 2
+
+
+class TestRunsDiff:
+    def test_identical_runs_diff_clean(self, obs_dir, capsys):
+        code, out = run_cli(
+            capsys, "--obs-dir", str(obs_dir), "runs", "diff",
+            "run-0001", "run-0002",
+        )
+        assert code == 0 and "identical" in out
+
+    def test_perturbed_seed_diff_shows_first_differing_cell(self, obs_dir, capsys):
+        code, out = run_cli(
+            capsys, "--obs-dir", str(obs_dir), "runs", "diff",
+            "run-0002", "run-0003",
+        )
+        assert code == 0
+        assert "not like-for-like" in out
+        assert "first differing cell" in out
+
+
+class TestRunsRegress:
+    def test_identical_history_verdict_ok(self, obs_dir, capsys):
+        code, out = run_cli(
+            capsys, "--obs-dir", str(obs_dir), "runs", "regress", "run-0002"
+        )
+        assert code == 0 and "verdict: OK" in out
+
+    def test_perturbed_seed_reports_drift_as_config_change(self, obs_dir, capsys):
+        code, out = run_cli(capsys, "--obs-dir", str(obs_dir), "runs", "regress")
+        assert code == 0  # deliberate config change, not a regression
+        assert "SCIENTIFIC DRIFT" in out
+        assert "first differing cell" in out
+        assert "far." in out or "blind." in out or "pc." in out
+
+    def test_same_config_drift_exits_nonzero(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / "ledger")
+        ledger.append(make_record())
+        ledger.append(make_record(cells={"far.overall": "DRIFTED"}))
+        code, out = run_cli(capsys, "--obs-dir", str(tmp_path), "runs", "regress")
+        assert code == EXIT_REGRESSION
+        assert "verdict: REGRESSED" in out
+
+
+class TestRunsReport:
+    def test_dashboard_written_under_the_ledger(self, obs_dir, capsys):
+        code, out = run_cli(capsys, "--obs-dir", str(obs_dir), "runs", "report")
+        assert code == 0
+        path = obs_dir / "ledger" / "dashboard.html"
+        assert path.exists()
+        html = path.read_text(encoding="utf-8")
+        assert "run-0001" in html and "Sentinel verdict" in html
+
+    def test_output_flag_overrides_the_path(self, obs_dir, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        code, _ = run_cli(
+            capsys, "--obs-dir", str(obs_dir), "runs", "report",
+            "--output", str(out_path),
+        )
+        assert code == 0 and out_path.exists()

@@ -1,0 +1,158 @@
+"""The regression sentinel: drift detection, noise bands, baselines."""
+
+import pytest
+
+from repro.obs import RunRecord, diff_runs, regress
+from repro.obs.ledger import body_digest
+
+pytestmark = [pytest.mark.obs, pytest.mark.ledger]
+
+
+def make_record(
+    run_id="run-0001-aaaaaaaaaa",
+    fingerprint="cfg-a",
+    cells=None,
+    stage_seconds=None,
+    counters=None,
+    cached=(),
+):
+    cells = dict(cells or {"far.overall": "23/217 (10.60%)", "pc.memberships": "x"})
+    stage_seconds = dict(stage_seconds or {"ingest": 0.5, "enrich": 1.0})
+    body = {
+        "schema": 1,
+        "meta": {"seed": 11},
+        "config_fingerprint": fingerprint,
+        "stages": {
+            name: {"count": 1, "cached": name in cached, "resumed": False}
+            for name in stage_seconds
+        },
+        "counters": dict(counters or {}),
+        "events": {},
+        "scientific": cells,
+        "digests": {"scientific": body_digest(cells)},
+    }
+    return RunRecord(
+        body=body,
+        timing={"stages": stage_seconds, "total": sum(stage_seconds.values())},
+        run_id=run_id,
+        digest=body_digest(body),
+    )
+
+
+class TestDiff:
+    def test_identical_records_diff_clean(self):
+        a = make_record("run-0001-a")
+        b = make_record("run-0002-b")
+        diff = diff_runs(a, b)
+        assert diff.clean and not diff.digest_changed and diff.same_config
+        assert "identical" in diff.render()
+
+    def test_scientific_drift_drills_to_first_cell(self):
+        a = make_record("run-0001-a")
+        b = make_record(
+            "run-0002-b", cells={"far.overall": "24/217 (11.06%)", "pc.memberships": "x"}
+        )
+        diff = diff_runs(a, b)
+        first = diff.first_drift()
+        assert first.key == "far.overall"
+        assert first.baseline == "23/217 (10.60%)"
+        assert first.candidate == "24/217 (11.06%)"
+        assert "first differing cell" in diff.render()
+
+    def test_cell_added_or_removed_is_drift(self):
+        a = make_record(cells={"far.overall": "x"})
+        b = make_record(cells={"far.overall": "x", "far.SC.authors": "y"})
+        drift = diff_runs(a, b).scientific_drift
+        assert [c.key for c in drift] == ["far.SC.authors"]
+        assert drift[0].baseline is None
+
+    def test_counter_changes_are_separated_from_science(self):
+        a = make_record(counters={"enrich.gs_hits": 100})
+        b = make_record(counters={"enrich.gs_hits": 101})
+        diff = diff_runs(a, b)
+        assert not diff.scientific_drift
+        assert [c.key for c in diff.counter_changes] == ["enrich.gs_hits"]
+
+
+class TestRegress:
+    def test_empty_and_single_histories_have_no_verdict(self):
+        assert regress([]).diff is None
+        report = regress([make_record()])
+        assert report.diff is None and report.ok
+
+    def test_identical_history_is_ok(self):
+        runs = [make_record(f"run-000{i}-x") for i in range(1, 4)]
+        report = regress(runs)
+        assert report.ok
+        assert "verdict: OK" in report.render()
+
+    def test_same_config_drift_regresses(self):
+        runs = [
+            make_record("run-0001-a"),
+            make_record("run-0002-b", cells={"far.overall": "DRIFTED"}),
+        ]
+        report = regress(runs)
+        assert not report.ok
+        assert "SCIENTIFIC DRIFT" in report.render()
+        assert "verdict: REGRESSED" in report.render()
+
+    def test_config_change_explains_drift(self):
+        """A perturbed seed is a new fingerprint: drift is reported, not failed."""
+        runs = [
+            make_record("run-0001-a", fingerprint="cfg-a"),
+            make_record(
+                "run-0002-b", fingerprint="cfg-b", cells={"far.overall": "NEW"}
+            ),
+        ]
+        report = regress(runs)
+        assert report.ok  # deliberate change, not a regression
+        assert report.scientific_drift  # but the drift is still surfaced
+        assert any("fingerprint" in n for n in report.notes)
+
+    def test_baseline_prefers_same_config_over_recency(self):
+        runs = [
+            make_record("run-0001-a", fingerprint="cfg-a"),
+            make_record("run-0002-b", fingerprint="cfg-b"),
+            make_record("run-0003-c", fingerprint="cfg-a"),
+        ]
+        report = regress(runs)
+        assert report.diff.baseline_id == "run-0001-a"
+
+    def test_timing_regression_needs_relative_and_absolute_excess(self):
+        history = [
+            make_record(f"run-000{i}-x", stage_seconds={"ingest": 0.5, "enrich": 1.0})
+            for i in range(1, 4)
+        ]
+        slow = make_record(
+            "run-0004-y", stage_seconds={"ingest": 0.5, "enrich": 1.6}
+        )
+        report = regress(history + [slow])
+        assert [f.stage for f in report.timing] == ["enrich"]
+        assert not report.ok
+        flag = report.timing[0]
+        assert flag.samples == 3 and flag.ratio == pytest.approx(1.6)
+
+    def test_micro_stage_jitter_stays_under_the_floor(self):
+        """3x slower but only 30 ms over: the absolute floor absorbs it."""
+        history = [make_record("run-0001-x", stage_seconds={"tiny": 0.015})]
+        slow = make_record("run-0002-y", stage_seconds={"tiny": 0.045})
+        assert regress(history + [slow]).ok
+
+    def test_cached_stages_are_not_timing_compared(self):
+        history = [make_record("run-0001-x", stage_seconds={"enrich": 1.0})]
+        warm = make_record(
+            "run-0002-y", stage_seconds={"enrich": 5.0}, cached=("enrich",)
+        )
+        assert regress(history + [warm]).ok
+
+    def test_median_resists_one_slow_historical_run(self):
+        seconds = [1.0, 1.0, 1.0, 9.0]  # one historically bad run
+        history = [
+            make_record(f"run-000{i}-x", stage_seconds={"enrich": s})
+            for i, s in enumerate(seconds, start=1)
+        ]
+        slow = make_record("run-0005-y", stage_seconds={"enrich": 1.5})
+        report = regress(history + [slow])
+        # median is 1.0, so 1.5 is a genuine 50% excursion
+        assert [f.stage for f in report.timing] == ["enrich"]
+        assert report.timing[0].baseline_median == pytest.approx(1.0)
