@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs engine ledger regress engine-demo audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine ledger chaos regress engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,11 @@ engine:
 # run-ledger suite (event log, run records, sentinel, dashboard, runs CLI)
 ledger:
 	$(PYTHON) -m pytest tests/ -m ledger
+
+# chaos suite: supervised execution under injected node/cache faults,
+# quarantine/repair, and end-to-end heal-to-100% runs
+chaos:
+	$(PYTHON) -m pytest tests/engine tests/faults -m chaos
 
 # the standing determinism check: two identical-seed ledgered runs must
 # show zero scientific drift (the sentinel exits non-zero on any drifted

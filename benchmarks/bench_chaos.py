@@ -1,0 +1,115 @@
+"""Benchmark CHAOS: supervision overhead and recovery under faults.
+
+The robustness bar: wrapping the engine in a
+:class:`~repro.engine.supervise.Supervisor` must cost under 5% on the
+fault-free path (it only adds per-node bookkeeping — no sleeping, the
+backoff clock is virtual), and a run under a fixed chaos rate must
+complete by retrying through the injected faults.  ``extra_info``
+records the retry/quarantine accounting so ``BENCH_chaos.json`` shows
+not just how fast the harness is but what it survived.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.chaos import ChaosConfig, ChaosPlan
+from repro.pipeline import EngineConfig, RunConfig, run_pipeline
+from repro.synth import WorldConfig
+
+# robustness benches measure harness overhead, not pipeline throughput:
+# the small world keeps the fault-free baseline fast enough to repeat
+SMALL = WorldConfig(seed=11, scale=0.25)
+NODES = ("world", "ingest", "link", "enrich", "infer", "dataset", "finalize")
+
+
+def _cfg(chaos=None, supervise=False, cache_dir=None) -> RunConfig:
+    from repro.engine import SupervisorConfig
+
+    return RunConfig(
+        world=SMALL,
+        engine=EngineConfig(
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            supervise=SupervisorConfig() if supervise else None,
+            chaos=chaos,
+        ),
+    )
+
+
+def _healing_chaos(rate: float = 0.3) -> ChaosConfig:
+    """A seed that injects faults every node can retry through."""
+    for seed in range(3000):
+        cfg = ChaosConfig(rate=rate, seed=seed, node_weights=(1.0, 0.0))
+        plan = ChaosPlan(cfg)
+        draws = {n: [plan.draw_node(n, a) for a in (1, 2, 3)] for n in NODES}
+        if any(d[0] is not None for d in draws.values()) and all(
+            any(x is None for x in d) for d in draws.values()
+        ):
+            return cfg
+    raise AssertionError("no healing chaos seed found")
+
+
+def test_supervised_faultfree(benchmark):
+    """Fault-free run under supervision — the overhead acceptance bench.
+
+    Alternating min-of-N comparison against the bare engine: minima
+    discard scheduler noise, alternation cancels thermal drift.  The
+    supervised minimum must stay within 5% of the bare one.
+    """
+    res = benchmark(run_pipeline, _cfg(supervise=True))
+    benchmark.extra_info["researchers"] = res.dataset.researchers.num_rows
+
+    bare, supervised = [], []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        run_pipeline(_cfg())
+        bare.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_pipeline(_cfg(supervise=True))
+        supervised.append(time.perf_counter() - t0)
+    overhead = min(supervised) / min(bare) - 1.0
+    benchmark.extra_info["bare_seconds"] = round(min(bare), 3)
+    benchmark.extra_info["supervised_seconds"] = round(min(supervised), 3)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    assert overhead < 0.05, f"supervision overhead {overhead:.1%} >= 5%"
+
+
+def test_chaos_recovery(benchmark):
+    """Full run at a fixed injected-fault rate: completes by retrying."""
+    chaos = _healing_chaos()
+
+    def run():
+        return run_pipeline(_cfg(chaos=chaos))
+
+    res = benchmark(run)
+    degraded = res.degraded
+    assert degraded is not None and degraded.node_retries >= 1
+    assert not degraded.is_degraded  # healed: nothing was lost
+    benchmark.extra_info["chaos_rate"] = chaos.rate
+    benchmark.extra_info["chaos_seed"] = chaos.seed
+    benchmark.extra_info["node_retries"] = degraded.node_retries
+    benchmark.extra_info["virtual_backoff_seconds"] = round(
+        degraded.virtual_time, 3
+    )
+
+
+def test_quarantine_heal_cycle(benchmark, tmp_path_factory):
+    """Heal a fully poisoned cache: quarantine + recompute every node."""
+    from repro.engine import ArtifactCache
+
+    torn = ChaosConfig(rate=0.0, write_rate=1.0, seed=2)
+
+    def poison():
+        cache_dir = tmp_path_factory.mktemp("poisoned")
+        run_pipeline(_cfg(chaos=torn, cache_dir=cache_dir))
+        return (cache_dir,), {}
+
+    def heal(cache_dir):
+        return run_pipeline(_cfg(cache_dir=cache_dir)), cache_dir
+
+    (res, cache_dir) = benchmark.pedantic(heal, setup=poison, rounds=3)
+    cache = ArtifactCache(cache_dir)
+    quarantined = len(cache.quarantined())
+    assert quarantined == len(NODES)
+    assert cache.verify()["quarantined"] == []
+    benchmark.extra_info["entries_quarantined_per_round"] = quarantined

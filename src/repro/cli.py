@@ -32,6 +32,12 @@ bodies); ``--engine`` selects the engine without caching;
 ``--engine-workers`` runs independent stages concurrently;
 ``--refresh-cache`` recomputes and overwrites cached artifacts.
 
+Cache maintenance: ``repro cache stats`` / ``verify`` / ``gc`` /
+``quarantine`` (with ``--cache-dir``) inspect and repair the artifact
+cache — ``verify`` re-checks every entry's payload digest and moves
+corrupt ones to ``quarantine/`` (exit 1 if any were found), ``gc``
+evicts oldest-first to a ``--max-bytes``/``--max-entries`` budget.
+
 Ledger subcommands: ``repro runs list`` / ``show`` / ``diff`` /
 ``regress`` / ``report`` read the ledger back — ``regress`` compares
 the latest run against its recorded history (median-of-history timing
@@ -289,6 +295,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write to a file instead of stdout"
     )
 
+    p_cache = subcommand(
+        "cache", help="maintain the artifact cache (stats/verify/gc/quarantine)"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=["stats", "verify", "gc", "quarantine"],
+        help="stats: entry/byte/quarantine counts; verify: check every "
+        "entry's digest and quarantine corrupt ones (non-zero exit if "
+        "any found); gc: evict oldest entries to fit --max-bytes/"
+        "--max-entries; quarantine: list quarantined files (--purge "
+        "deletes them)",
+    )
+    p_cache.add_argument(
+        "--max-bytes", type=int, default=None, help="gc: byte budget to fit"
+    )
+    p_cache.add_argument(
+        "--max-entries", type=int, default=None, help="gc: entry budget to fit"
+    )
+    p_cache.add_argument(
+        "--purge",
+        action="store_true",
+        default=False,
+        help="quarantine: delete the quarantined files",
+    )
+
     p_runs = subcommand(
         "runs", help="inspect the run ledger (list/show/diff/regress/report)"
     )
@@ -440,6 +471,58 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.engine.cache import ArtifactCache
+    from repro.pipeline.checkpoint import CheckpointMismatch
+
+    if args.cache_dir is None:
+        print("repro cache requires --cache-dir", file=sys.stderr)
+        return 2
+    try:
+        cache = ArtifactCache(args.cache_dir)
+    except CheckpointMismatch as exc:
+        print(f"not an engine cache: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "stats":
+        s = cache.stats()
+        print(f"entries:          {s['entries']}")
+        print(f"size:             {s['size_bytes']} bytes")
+        print(f"quarantined:      {s['quarantined']}")
+        print(f"quarantine size:  {s['quarantine_bytes']} bytes")
+        return 0
+
+    if args.action == "verify":
+        report = cache.verify()
+        print(f"checked {report['checked']} entries: {report['ok']} ok")
+        for entry, reason in report["quarantined"]:
+            print(f"  quarantined {entry} ({reason})")
+        return 1 if report["quarantined"] else 0
+
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_entries is None:
+            print("gc requires --max-bytes and/or --max-entries", file=sys.stderr)
+            return 2
+        evicted = cache.gc(max_bytes=args.max_bytes, max_entries=args.max_entries)
+        print(f"evicted {len(evicted)} entries")
+        for name in evicted:
+            print(f"  {name}")
+        return 0
+
+    # action == "quarantine": list (or purge) the quarantined files
+    names = cache.quarantined()
+    if args.purge:
+        removed = cache.purge_quarantine()
+        print(f"purged {removed} quarantined files")
+        return 0
+    if not names:
+        print("quarantine is empty")
+        return 0
+    for name in names:
+        print(name)
+    return 0
+
+
 def _cmd_runs(args) -> int:
     from pathlib import Path
 
@@ -557,6 +640,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "universe": _cmd_universe,
     "report": _cmd_report,
+    "cache": _cmd_cache,
     "runs": _cmd_runs,
 }
 
@@ -606,8 +690,8 @@ def _finish_obs(args, obs) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     obs = None
-    # 'runs' only reads the ledger back; it never instruments anything
-    if args.command != "runs" and (
+    # 'runs'/'cache' only read artifacts back; they never run a pipeline
+    if args.command not in ("runs", "cache") and (
         args.trace or args.metrics or args.profile or args.ledger
     ):
         from repro.obs import ObsContext

@@ -12,6 +12,9 @@ dependency graph:
   persisted through the checkpoint store's atomic-write discipline;
 - :mod:`repro.engine.executor` — the scheduler: cache-or-execute per
   node, independent nodes concurrently via ``parallel_map``;
+- :mod:`repro.engine.supervise` — supervised execution: bounded
+  retries on a virtual clock, per-node deadlines (wall watchdog on
+  worker pools), failure isolation, deterministic chaos injection;
 - :mod:`repro.engine.stages` — the pipeline's stages as node bodies.
 
 Entry point for callers:
@@ -25,6 +28,13 @@ from repro.engine.executor import EngineConfig, EngineRun, run_dag
 from repro.engine.fingerprint import canonical, fingerprint, world_fingerprint
 from repro.engine.node import NodeResult, StageNode
 from repro.engine.stages import PipelineParams, build_graph
+from repro.engine.supervise import (
+    IncompleteRunError,
+    NodePolicy,
+    Supervisor,
+    SupervisorConfig,
+    watchdog_map,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -40,4 +50,9 @@ __all__ = [
     "StageNode",
     "PipelineParams",
     "build_graph",
+    "NodePolicy",
+    "SupervisorConfig",
+    "Supervisor",
+    "IncompleteRunError",
+    "watchdog_map",
 ]

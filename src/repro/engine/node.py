@@ -69,9 +69,17 @@ class StageNode:
 
 @dataclass
 class NodeResult:
-    """What executing (or cache-loading) one node produced."""
+    """What executing (or cache-loading) one node produced.
+
+    ``status`` is ``"ok"`` (ran or cache-served), ``"failed"`` (a
+    supervised node exhausted its attempts) or ``"skipped"`` (an
+    upstream failure blocked it); ``attempts`` counts executions
+    including retries (always 1 on the unsupervised path).
+    """
 
     node: str
     outputs: dict[str, Any] = field(default_factory=dict)
     cache_hit: bool = False
     key: str = ""
+    status: str = "ok"
+    attempts: int = 1

@@ -13,6 +13,9 @@ the reproduction model that reality on purpose:
   exponential backoff + deterministic jitter on a virtual clock, a
   per-service circuit breaker, call/fault counters.
 - :mod:`repro.faults.breaker`    — the call-counted circuit breaker.
+- :mod:`repro.faults.chaos`      — seed-derived :class:`ChaosPlan` of
+  *engine-level* faults (node exceptions, hangs, torn/bit-flipped
+  cache writes) driving the supervised executor's chaos harness.
 - :mod:`repro.faults.corrupt`    — the malformation matrix (truncated
   pages, missing sections, CSS drift, broken email markup, garbage
   API payloads).
@@ -27,6 +30,13 @@ exhausted retry becomes a loss record, never an abort.
 """
 
 from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.chaos import (
+    ChaosConfig,
+    ChaosError,
+    ChaosKind,
+    ChaosPlan,
+    corrupt_bytes,
+)
 from repro.faults.corrupt import (
     CORRUPTION_TAGS,
     corrupt_edition,
@@ -61,6 +71,11 @@ __all__ = [
     "FaultKind",
     "FaultConfig",
     "FaultPlan",
+    "ChaosKind",
+    "ChaosConfig",
+    "ChaosPlan",
+    "ChaosError",
+    "corrupt_bytes",
     "RetryPolicy",
     "BreakerConfig",
     "FaultSession",

@@ -1,0 +1,187 @@
+"""Deterministic chaos plans for the engine.
+
+:mod:`repro.faults.plan` models *service-level* failure (flaky sites,
+API quotas); this module models *engine-level* failure — the things
+that kill long multi-venue runs in practice:
+
+- a stage body raising mid-run (:class:`ChaosError`),
+- a stage hanging until a watchdog would have cut it off,
+- a cache write torn by a crash (truncated pickle under the final name),
+- a cache entry silently bit-flipped on disk.
+
+A :class:`ChaosPlan` answers "does this site fault, and how?" as a pure
+function of the chaos seed and the site's *identity* — ``(node,
+attempt)`` for execution faults, ``(node, key)`` for write faults — via
+:func:`repro.util.rng.derive_seed`, the same discipline as
+:class:`~repro.faults.plan.FaultPlan`.  Two runs with the same chaos
+seed inject byte-identical fault sequences regardless of worker count,
+which is what lets the chaos tests assert full ledger-body determinism
+under injected failure.
+
+Hangs are *virtual*: the plan never blocks a process.  A hung node is
+charged its deadline (or :attr:`ChaosConfig.hang_cost`) on the
+supervisor's virtual clock and surfaces as a ``node.timeout``, exactly
+what a wall watchdog would have produced, without the wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+from repro.util.validation import check_fraction
+
+__all__ = [
+    "ChaosKind",
+    "ChaosConfig",
+    "ChaosPlan",
+    "ChaosError",
+    "corrupt_bytes",
+]
+
+
+class ChaosKind(enum.Enum):
+    """How an injected engine-level fault manifests."""
+
+    EXCEPTION = "exception"  # the node body raises
+    HANG = "hang"  # the node never finishes (virtual; becomes a timeout)
+    TORN_WRITE = "torn-write"  # cache entry truncated mid-write
+    BITFLIP = "bitflip"  # one bit of the stored entry flipped
+
+
+#: fault kinds drawn at node-execution sites, in weight order
+NODE_KINDS: tuple[ChaosKind, ...] = (ChaosKind.EXCEPTION, ChaosKind.HANG)
+#: fault kinds drawn at cache-write sites, in weight order
+WRITE_KINDS: tuple[ChaosKind, ...] = (ChaosKind.TORN_WRITE, ChaosKind.BITFLIP)
+
+
+class ChaosError(RuntimeError):
+    """The chaos plan injected an exception into a node body."""
+
+    def __init__(self, node: str, attempt: int) -> None:
+        super().__init__(f"chaos: injected exception in node {node!r} attempt {attempt}")
+        self.node = node
+        self.attempt = attempt
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything a chaos plan needs; small, frozen, picklable.
+
+    ``rate`` is the per-site fault probability at node-execution sites;
+    ``write_rate`` the probability at cache-write sites (``None`` means
+    "same as ``rate``").  Weights are relative odds among each domain's
+    kinds, in :data:`NODE_KINDS` / :data:`WRITE_KINDS` order.
+    ``hang_cost`` is the virtual seconds a hung node is charged when its
+    policy declares no deadline.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    write_rate: float | None = None
+    node_weights: tuple[float, float] = (0.7, 0.3)
+    write_weights: tuple[float, float] = (0.6, 0.4)
+    hang_cost: float = 30.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.rate, "rate")
+        if self.write_rate is not None:
+            check_fraction(self.write_rate, "write_rate")
+        for name, weights, kinds in (
+            ("node_weights", self.node_weights, NODE_KINDS),
+            ("write_weights", self.write_weights, WRITE_KINDS),
+        ):
+            if len(weights) != len(kinds):
+                raise ValueError(f"{name} must have {len(kinds)} entries")
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError(f"{name} must be non-negative and sum > 0")
+        if self.hang_cost < 0:
+            raise ValueError("hang_cost must be >= 0")
+
+    @property
+    def effective_write_rate(self) -> float:
+        return self.rate if self.write_rate is None else self.write_rate
+
+
+class ChaosPlan:
+    """Seed-derived oracle for engine-level fault decisions."""
+
+    __slots__ = ("_config", "_node_probs", "_write_probs")
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self._config = config
+        self._node_probs = np.asarray(config.node_weights, dtype=float)
+        self._node_probs = self._node_probs / self._node_probs.sum()
+        self._write_probs = np.asarray(config.write_weights, dtype=float)
+        self._write_probs = self._write_probs / self._write_probs.sum()
+
+    @property
+    def config(self) -> ChaosConfig:
+        return self._config
+
+    def _draw(
+        self,
+        rate: float,
+        kinds: tuple[ChaosKind, ...],
+        probs: np.ndarray,
+        *path: str | int,
+    ) -> ChaosKind | None:
+        if rate <= 0.0:
+            return None
+        rng = np.random.default_rng(derive_seed(self._config.seed, *path))
+        if rng.random() >= rate:
+            return None
+        return kinds[int(rng.choice(len(kinds), p=probs))]
+
+    def draw_node(self, node: str, attempt: int) -> ChaosKind | None:
+        """The execution fault (or None) injected into this node attempt."""
+        return self._draw(
+            self._config.rate,
+            NODE_KINDS,
+            self._node_probs,
+            "chaos-node",
+            node,
+            attempt,
+        )
+
+    def draw_write(self, node: str, key: str) -> ChaosKind | None:
+        """The write fault (or None) injected into this cache save."""
+        return self._draw(
+            self._config.effective_write_rate,
+            WRITE_KINDS,
+            self._write_probs,
+            "chaos-write",
+            node,
+            key,
+        )
+
+    def write_rng(self, node: str, key: str) -> np.random.Generator:
+        """Generator driving the byte corruption for one write fault."""
+        return np.random.default_rng(
+            derive_seed(self._config.seed, "chaos-bytes", node, key)
+        )
+
+
+def corrupt_bytes(data: bytes, kind: ChaosKind, rng: np.random.Generator) -> bytes:
+    """Apply one write-fault kind to a serialized payload.
+
+    ``TORN_WRITE`` truncates at a point drawn in the first 90% of the
+    payload (a crash between write and flush); ``BITFLIP`` flips exactly
+    one bit (silent media corruption).  Both are deterministic for a
+    given generator state and always differ from the input.
+    """
+    if not data:
+        return data
+    if kind is ChaosKind.TORN_WRITE:
+        cut = int(rng.integers(0, max(1, (len(data) * 9) // 10)))
+        return data[:cut]
+    if kind is ChaosKind.BITFLIP:
+        pos = int(rng.integers(0, len(data)))
+        bit = 1 << int(rng.integers(0, 8))
+        flipped = bytearray(data)
+        flipped[pos] ^= bit
+        return bytes(flipped)
+    raise ValueError(f"{kind} is not a write-fault kind")

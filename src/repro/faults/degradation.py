@@ -84,6 +84,12 @@ class DegradedCoverage:
     breaker_opens: int = 0
     virtual_time: float = 0.0
     resumed_editions: tuple[str, ...] = ()
+    # engine-level accounting (supervised DAG execution; PR 6) — empty
+    # on the legacy path and on clean engine runs, so reports from the
+    # two paths stay equal when nothing went wrong
+    failed_nodes: tuple[str, ...] = ()
+    skipped_nodes: tuple[str, ...] = ()
+    node_retries: int = 0
 
     @classmethod
     def from_parts(
@@ -111,7 +117,7 @@ class DegradedCoverage:
 
     @property
     def is_degraded(self) -> bool:
-        return bool(self.losses)
+        return bool(self.losses or self.failed_nodes or self.skipped_nodes)
 
     @property
     def dropped_editions(self) -> tuple[str, ...]:
@@ -148,11 +154,24 @@ class DegradedCoverage:
 
     def summary(self) -> str:
         """One-paragraph human summary for CLI / report output."""
-        if not self.is_degraded and not self.resumed_editions:
+        if (
+            not self.is_degraded
+            and not self.resumed_editions
+            and not self.node_retries
+        ):
             return "no degradation: every service call eventually succeeded"
         parts = [
             f"editions: {self.harvested_editions}/{self.total_editions} harvested",
         ]
+        if self.failed_nodes:
+            parts.append(
+                f"{len(self.failed_nodes)} pipeline nodes failed "
+                f"({', '.join(self.failed_nodes)})"
+            )
+        if self.skipped_nodes:
+            parts.append(f"{len(self.skipped_nodes)} nodes skipped downstream")
+        if self.node_retries:
+            parts.append(f"{self.node_retries} node retries")
         dropped = self.dropped_editions
         if dropped:
             parts.append(f"dropped {len(dropped)} ({', '.join(dropped)})")

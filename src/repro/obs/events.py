@@ -57,6 +57,12 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "cache.hit",
         "cache.miss",
         "cache.store",
+        "cache.quarantine",
+        # supervised node execution (retry/deadline/isolation)
+        "node.retry",
+        "node.timeout",
+        "node.failed",
+        "node.skipped",
         # checkpoint/resume
         "checkpoint.resume",
         "checkpoint.save",

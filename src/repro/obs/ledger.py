@@ -351,6 +351,10 @@ def _fault_section(degraded: Any | None) -> dict:
         "retries": degraded.retries,
         "exhausted": degraded.exhausted,
         "breaker_opens": degraded.breaker_opens,
+        # supervised-engine accounting; empty/zero on unsupervised runs
+        "failed_nodes": sorted(getattr(degraded, "failed_nodes", ())),
+        "skipped_nodes": sorted(getattr(degraded, "skipped_nodes", ())),
+        "node_retries": getattr(degraded, "node_retries", 0),
     }
 
 

@@ -110,14 +110,18 @@ class CheckpointStore:
 
     # ------------------------------------------------------------ per stage
 
-    def _stage_path(self, stage: str) -> Path:
+    def stage_path(self, stage: str) -> Path:
+        """On-disk location of one stage artifact (the ``*.stage.pkl``)."""
         return self.root / f"{stage}.stage.pkl"
 
+    # kept as an alias: external callers predate the public spelling
+    _stage_path = stage_path
+
     def has_stage(self, stage: str) -> bool:
-        return self._stage_path(stage).exists()
+        return self.stage_path(stage).exists()
 
     def save_stage(self, stage: str, obj: Any) -> None:
-        _atomic_write(self._stage_path(stage), pickle.dumps(obj))
+        _atomic_write(self.stage_path(stage), pickle.dumps(obj))
 
     def load_stage(self, stage: str) -> Any:
-        return pickle.loads(self._stage_path(stage).read_bytes())
+        return pickle.loads(self.stage_path(stage).read_bytes())

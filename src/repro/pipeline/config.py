@@ -22,10 +22,14 @@ on ``run_pipeline`` itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.contracts.schema import ValidationMode
+from repro.faults.chaos import ChaosConfig
 from repro.faults.plan import FaultConfig
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.engine imports us
+    from repro.engine.supervise import SupervisorConfig
 from repro.gender.resolver import ResolverPolicy
 from repro.obs.context import ObsContext
 from repro.synth.config import WorldConfig
@@ -52,11 +56,27 @@ class EngineConfig:
     refresh:
         Recompute every node even on a cache hit, overwriting entries
         (the cache-busting escape hatch).
+    supervise:
+        A :class:`~repro.engine.supervise.SupervisorConfig` enabling
+        supervised execution: bounded retries with virtual-clock
+        backoff, per-node deadlines, and failure isolation (a failed
+        node skips only its downstream, the run completes with
+        ``EngineRun.failed``/``skipped`` populated).  ``None`` keeps
+        the historical fail-fast semantics.
+    chaos:
+        A :class:`~repro.faults.chaos.ChaosConfig` injecting
+        deterministic engine-level faults (node exceptions, hangs,
+        torn/bit-flipped cache writes).  Implies supervision with the
+        default policies when ``supervise`` is unset.  Like the rest
+        of this class it is execution policy — it never enters run or
+        cache fingerprints.
     """
 
     cache_dir: str | None = None
     workers: int | None = None
     refresh: bool = False
+    supervise: "SupervisorConfig | None" = None
+    chaos: ChaosConfig | None = None
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,7 @@ nothing, and the output is bit-identical to the fault-free run.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.contracts.audit import ContractReport, run_integrity_audit
 from repro.contracts.schema import (
@@ -239,7 +239,13 @@ def _run_engine(octx, rc: RunConfig, world: SyntheticWorld | None) -> PipelineRe
     """Execute the run on the stage-DAG engine (:mod:`repro.engine`)."""
     # imported lazily: repro.engine.stages imports the stage modules of
     # this package, so a top-level import here would be circular
-    from repro.engine import PipelineParams, build_graph, run_dag, world_fingerprint
+    from repro.engine import (
+        IncompleteRunError,
+        PipelineParams,
+        build_graph,
+        run_dag,
+        world_fingerprint,
+    )
 
     timer = StageTimer(tracer=octx.tracer if octx.enabled else None)
     params = PipelineParams(
@@ -266,6 +272,14 @@ def _run_engine(octx, rc: RunConfig, world: SyntheticWorld | None) -> PipelineRe
         timer=timer,
     )
 
+    # failure isolation kept the DAG alive, but a PipelineResult cannot
+    # exist without these artifacts — surface the accounting instead of
+    # a bare KeyError
+    required = ("world", "linked", "dataset", "inference", "degraded", "contracts")
+    missing = [a for a in required if a not in run.artifacts]
+    if missing:
+        raise IncompleteRunError(run.failed, run.skipped, missing=missing)
+
     dataset = run["dataset"]
     if octx.enabled:
         m = octx.metrics
@@ -280,9 +294,28 @@ def _run_engine(octx, rc: RunConfig, world: SyntheticWorld | None) -> PipelineRe
         dataset=dataset,
         inference=run["inference"],
         timer=timer,
-        degraded=run["degraded"],
+        degraded=_merge_engine_accounting(run["degraded"], run),
         contracts=run["contracts"],
         obs=octx if octx.enabled else None,
+    )
+
+
+def _merge_engine_accounting(degraded, run) -> DegradedCoverage | None:
+    """Fold ``EngineRun.failed/skipped/retries`` into the coverage report.
+
+    A clean supervised (or unsupervised) run returns ``degraded``
+    untouched, so engine-path reports stay equal to legacy-path ones —
+    the parity the feature-parity tests assert.
+    """
+    if run.completed and run.retries == 0:
+        return degraded
+    base = degraded if degraded is not None else DegradedCoverage()
+    return replace(
+        base,
+        failed_nodes=tuple(sorted(run.failed)),
+        skipped_nodes=tuple(sorted(run.skipped)),
+        node_retries=run.retries,
+        virtual_time=base.virtual_time + run.virtual_time,
     )
 
 

@@ -1,0 +1,103 @@
+"""The ``repro cache`` maintenance subcommand end to end."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import ArtifactCache
+
+pytestmark = [pytest.mark.engine, pytest.mark.chaos]
+
+KEY = "a" * 64
+KEY2 = "b" * 64
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    cache.save("good", KEY, {"good": 1})
+    cache.save("bad", KEY2, {"bad": 2})
+    return tmp_path / "cache"
+
+
+def _corrupt(cache_dir):
+    ArtifactCache(cache_dir).entry_path("bad", KEY2).write_bytes(b"garbage")
+
+
+class TestCacheStats:
+    def test_counts_entries_and_quarantine(self, cache_dir, capsys):
+        code, out = run_cli(capsys, "--cache-dir", str(cache_dir), "cache", "stats")
+        assert code == 0
+        assert "entries:          2" in out
+        assert "quarantined:      0" in out
+
+    def test_requires_cache_dir(self, capsys):
+        assert main(["cache", "stats"]) == 2
+
+    def test_foreign_directory_refused(self, tmp_path, capsys):
+        (tmp_path / "somebody.txt").write_text("else's data")
+        assert main(["--cache-dir", str(tmp_path), "cache", "stats"]) == 2
+
+
+class TestCacheVerify:
+    def test_clean_cache_exits_zero(self, cache_dir, capsys):
+        code, out = run_cli(capsys, "--cache-dir", str(cache_dir), "cache", "verify")
+        assert code == 0
+        assert "checked 2 entries: 2 ok" in out
+
+    def test_corruption_found_exits_nonzero(self, cache_dir, capsys):
+        _corrupt(cache_dir)
+        code, out = run_cli(capsys, "--cache-dir", str(cache_dir), "cache", "verify")
+        assert code == 1
+        assert "quarantined bad-" in out and "unreadable" in out
+        # verify is idempotent: the damage is gone now
+        code, out = run_cli(capsys, "--cache-dir", str(cache_dir), "cache", "verify")
+        assert code == 0
+        assert "checked 1 entries: 1 ok" in out
+
+
+class TestCacheGc:
+    def test_requires_a_budget(self, cache_dir, capsys):
+        assert main(["--cache-dir", str(cache_dir), "cache", "gc"]) == 2
+
+    def test_evicts_to_entry_budget(self, cache_dir, capsys):
+        code, out = run_cli(
+            capsys,
+            "--cache-dir", str(cache_dir), "cache", "gc", "--max-entries", "1",
+        )
+        assert code == 0
+        assert "evicted 1 entries" in out
+        assert len(ArtifactCache(cache_dir).entries()) == 1
+
+
+class TestCacheQuarantine:
+    def test_lists_quarantined_files(self, cache_dir, capsys):
+        _corrupt(cache_dir)
+        main(["--cache-dir", str(cache_dir), "cache", "verify"])
+        capsys.readouterr()
+        code, out = run_cli(
+            capsys, "--cache-dir", str(cache_dir), "cache", "quarantine"
+        )
+        assert code == 0
+        assert "bad-" in out
+
+    def test_empty_quarantine_says_so(self, cache_dir, capsys):
+        code, out = run_cli(
+            capsys, "--cache-dir", str(cache_dir), "cache", "quarantine"
+        )
+        assert code == 0 and "quarantine is empty" in out
+
+    def test_purge_deletes(self, cache_dir, capsys):
+        _corrupt(cache_dir)
+        main(["--cache-dir", str(cache_dir), "cache", "verify"])
+        capsys.readouterr()
+        code, out = run_cli(
+            capsys,
+            "--cache-dir", str(cache_dir), "cache", "quarantine", "--purge",
+        )
+        assert code == 0 and "purged 1 quarantined files" in out
+        assert ArtifactCache(cache_dir).quarantined() == []

@@ -1,0 +1,222 @@
+"""Self-healing cache: verify-on-load, quarantine, repair, maintenance.
+
+Every damage mode an on-disk cache can suffer — torn writes, flipped
+bits, foreign pickles, prefix collisions, concurrent deletion — must
+cost at worst a recompute, never a crash.  These tests corrupt entries
+on disk the way :mod:`repro.faults.chaos` does and prove the load path
+quarantines them as misses, ``verify``/``gc``/``stats`` stay honest
+under the damage, and a rerun through the executor heals the cache to
+a fully-servable state.
+"""
+
+import hashlib
+import os
+import pickle
+
+import pytest
+
+from repro.engine import ArtifactCache, EngineConfig, StageGraph, StageNode, run_dag
+from repro.engine.cache import QUARANTINE_DIR
+from repro.obs import ObsContext
+from repro.obs.context import use as obs_use
+
+pytestmark = [pytest.mark.engine, pytest.mark.chaos]
+
+KEY = "a" * 64
+KEY2 = "b" * 64
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+def _rewrite(cache, node, key, mutate):
+    """Load the on-disk envelope, apply ``mutate``, write it back."""
+    path = cache.entry_path(node, key)
+    envelope = pickle.loads(path.read_bytes())
+    mutate(envelope)
+    path.write_bytes(pickle.dumps(envelope))
+
+
+class TestQuarantineOnLoad:
+    def test_garbage_bytes_are_a_miss_not_a_crash(self, cache):
+        cache.save("n", KEY, {"n": 1})
+        cache.entry_path("n", KEY).write_bytes(b"\x00not a pickle")
+        with pytest.raises(KeyError):
+            cache.load("n", KEY)
+        assert cache.quarantined() == ["n-" + KEY[:24] + ".stage.pkl"]
+        assert not cache.has("n", KEY)  # out of the cache's namespace
+
+    def test_torn_write_is_a_miss(self, cache):
+        cache.save("n", KEY, {"n": list(range(50))})
+        path = cache.entry_path("n", KEY)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(KeyError):
+            cache.load("n", KEY)
+        assert len(cache.quarantined()) == 1
+
+    def test_digest_mismatch_is_a_miss(self, cache):
+        cache.save("n", KEY, {"n": 1})
+
+        def flip_payload(env):
+            raw = bytearray(env["payload"])
+            raw[len(raw) // 2] ^= 0x40  # digest no longer matches
+            env["payload"] = bytes(raw)
+
+        _rewrite(cache, "n", KEY, flip_payload)
+        with pytest.raises(KeyError):
+            cache.load("n", KEY)
+        assert len(cache.quarantined()) == 1
+
+    def test_unpicklable_payload_is_a_miss(self, cache):
+        cache.save("n", KEY, {"n": 1})
+
+        def honest_garbage(env):
+            env["payload"] = b"digest-matches-but-will-not-unpickle"
+            env["digest"] = hashlib.sha256(env["payload"]).hexdigest()
+
+        _rewrite(cache, "n", KEY, honest_garbage)
+        with pytest.raises(KeyError):
+            cache.load("n", KEY)
+        assert len(cache.quarantined()) == 1
+
+    def test_full_key_verified_not_just_prefix(self, cache):
+        """A well-formed entry for a colliding key is a miss — but it is
+        another run's valid data, so it must NOT be quarantined."""
+        cache.save("n", KEY, {"n": 1})
+        other = KEY[:24] + "f" * 40  # same 24-char prefix, different key
+
+        def foreign_key(env):
+            env["key"] = other
+
+        _rewrite(cache, "n", KEY, foreign_key)
+        with pytest.raises(KeyError):
+            cache.load("n", KEY)
+        assert cache.quarantined() == []
+        assert cache.has("n", KEY)  # still on disk, untouched
+
+    def test_quarantine_emits_event_and_metric(self, cache):
+        cache.save("n", KEY, {"n": 1})
+        cache.entry_path("n", KEY).write_bytes(b"garbage")
+        obs = ObsContext(seed=1)
+        with obs_use(obs):
+            with pytest.raises(KeyError):
+                cache.load("n", KEY)
+        events = obs.events.by_type("cache.quarantine")
+        assert [(e.name, e.attrs["reason"]) for e in events] == [("n", "unreadable")]
+
+    def test_colliding_quarantine_names_get_suffixes(self, cache):
+        for _ in range(2):
+            cache.save("n", KEY, {"n": 1})
+            cache.entry_path("n", KEY).write_bytes(b"garbage")
+            with pytest.raises(KeyError):
+                cache.load("n", KEY)
+        names = cache.quarantined()
+        assert len(names) == 2 and len(set(names)) == 2
+
+
+class TestMaintenance:
+    def test_verify_quarantines_only_the_damaged(self, cache):
+        cache.save("good", KEY, {"good": 1})
+        cache.save("bad", KEY2, {"bad": 2})
+        cache.entry_path("bad", KEY2).write_bytes(b"garbage")
+        report = cache.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert report["quarantined"] == [
+            ("bad-" + KEY2[:24], "unreadable")
+        ]
+        # the survivor is still servable, the damaged one is a miss
+        assert cache.load("good", KEY) == {"good": 1}
+        assert not cache.has("bad", KEY2)
+
+    def test_verify_clean_cache_reports_all_ok(self, cache):
+        cache.save("a", KEY, {"a": 1})
+        cache.save("b", KEY2, {"b": 2})
+        assert cache.verify() == {"checked": 2, "ok": 2, "quarantined": []}
+
+    def test_stats_counts_both_namespaces(self, cache):
+        cache.save("a", KEY, {"a": 1})
+        cache.save("b", KEY2, {"b": 2})
+        cache.entry_path("b", KEY2).write_bytes(b"garbage")
+        cache.verify()
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["quarantined"] == 1
+        assert stats["size_bytes"] > 0 and stats["quarantine_bytes"] > 0
+
+    def test_purge_quarantine(self, cache):
+        cache.save("a", KEY, {"a": 1})
+        cache.entry_path("a", KEY).write_bytes(b"garbage")
+        cache.verify()
+        assert cache.purge_quarantine() == 1
+        assert cache.quarantined() == []
+
+    def test_gc_evicts_oldest_first(self, cache):
+        for i, key in enumerate((KEY, KEY2)):
+            cache.save(f"n{i}", key, {f"n{i}": i})
+            os.utime(cache.entry_path(f"n{i}", key), (1000 + i, 1000 + i))
+        evicted = cache.gc(max_entries=1)
+        assert evicted == ["n0-" + KEY[:24]]
+        assert cache.entries() == ["n1-" + KEY2[:24]]
+
+    def test_gc_by_bytes(self, cache):
+        cache.save("a", KEY, {"a": list(range(100))})
+        cache.save("b", KEY2, {"b": 1})
+        assert cache.gc(max_bytes=0)  # everything over a zero budget
+        assert cache.entries() == []
+
+    def test_gc_without_bounds_is_a_noop(self, cache):
+        cache.save("a", KEY, {"a": 1})
+        assert cache.gc() == []
+        assert cache.entries() == ["a-" + KEY[:24]]
+
+    def test_accounting_tolerates_concurrent_deletion(self, cache, tmp_path):
+        """Satellite: a dangling path mid-glob (concurrent gc/quarantine)
+        must not crash size_bytes/stats/gc."""
+        cache.save("a", KEY, {"a": 1})
+        dangling = cache.root / "ghost.stage.pkl"
+        dangling.symlink_to(tmp_path / "never-exists")
+        assert cache.size_bytes() > 0
+        assert cache.stats()["entries"] == 2  # entries() only lists names
+        assert cache.gc(max_entries=5) == []
+
+
+# ------------------------------------------------- executor fall-through
+
+
+def _produce(params, inputs):
+    return {"node": {"value": 42}}
+
+
+def _graph():
+    return StageGraph(nodes=[StageNode(name="node", fn=_produce)])
+
+
+class TestExecutorHealing:
+    """Satellite: ``has()`` true + ``load()`` raising must fall through
+    to execution, and the rerun heals the cache."""
+
+    def test_corrupt_entry_recomputes_and_heals(self, tmp_path):
+        cfg = EngineConfig(cache_dir=tmp_path / "cache")
+        cold = run_dag(_graph(), params={}, engine=cfg)
+        assert cold.cache_hits == 0 and cold.executed == 1
+
+        cache = ArtifactCache(cfg.cache_dir)
+        [entry] = cache.entries()
+        (cache.root / f"{entry}.stage.pkl").write_bytes(b"torn")
+
+        obs = ObsContext(seed=1)
+        with obs_use(obs):
+            healed = run_dag(_graph(), params={}, engine=cfg)
+        # the lie was caught: recomputed, not served or crashed
+        assert healed.cache_hits == 0 and healed.executed == 1
+        assert healed.artifacts["node"] == {"value": 42}
+        assert [e.type for e in obs.events.by_type("cache.quarantine")]
+        assert [e.name for e in obs.events.by_type("cache.miss")] == ["node"]
+
+        warm = run_dag(_graph(), params={}, engine=cfg)
+        assert warm.cache_hits == 1 and warm.executed == 0
+        assert warm.artifacts["node"] == {"value": 42}
+        assert ArtifactCache(cfg.cache_dir).verify()["ok"] == 1

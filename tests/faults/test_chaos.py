@@ -1,0 +1,123 @@
+"""The deterministic chaos plan: seed discipline and corruption kinds."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import (
+    NODE_KINDS,
+    WRITE_KINDS,
+    ChaosConfig,
+    ChaosError,
+    ChaosKind,
+    ChaosPlan,
+    corrupt_bytes,
+)
+
+pytestmark = [pytest.mark.faults, pytest.mark.chaos]
+
+KEY = "c" * 64
+
+
+class TestChaosConfig:
+    def test_defaults_inject_nothing(self):
+        plan = ChaosPlan(ChaosConfig())
+        assert all(plan.draw_node("n", a) is None for a in range(1, 20))
+        assert plan.draw_write("n", KEY) is None
+
+    def test_rate_validated(self):
+        with pytest.raises(Exception):
+            ChaosConfig(rate=1.5)
+        with pytest.raises(Exception):
+            ChaosConfig(rate=-0.1)
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(node_weights=(1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            ChaosConfig(write_weights=(0.0, 0.0))
+
+    def test_write_rate_defaults_to_rate(self):
+        assert ChaosConfig(rate=0.3).effective_write_rate == 0.3
+        assert ChaosConfig(rate=0.3, write_rate=0.0).effective_write_rate == 0.0
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_draws(self):
+        a = ChaosPlan(ChaosConfig(rate=0.4, seed=9))
+        b = ChaosPlan(ChaosConfig(rate=0.4, seed=9))
+        sites = [(n, k) for n in ("ingest", "link", "enrich") for k in range(1, 5)]
+        assert [a.draw_node(n, k) for n, k in sites] == [
+            b.draw_node(n, k) for n, k in sites
+        ]
+        assert a.draw_write("ingest", KEY) == b.draw_write("ingest", KEY)
+
+    def test_different_seeds_diverge(self):
+        a = ChaosPlan(ChaosConfig(rate=0.5, seed=1))
+        b = ChaosPlan(ChaosConfig(rate=0.5, seed=2))
+        sites = [("node", k) for k in range(1, 40)]
+        assert [a.draw_node(n, k) for n, k in sites] != [
+            b.draw_node(n, k) for n, k in sites
+        ]
+
+    def test_draw_is_per_site_not_sequential(self):
+        """Draw order must not matter: each site owns its decision."""
+        plan = ChaosPlan(ChaosConfig(rate=0.5, seed=4))
+        forward = [plan.draw_node("n", a) for a in range(1, 10)]
+        backward = [plan.draw_node("n", a) for a in reversed(range(1, 10))]
+        assert forward == list(reversed(backward))
+
+    def test_rate_one_always_faults_in_domain(self):
+        plan = ChaosPlan(ChaosConfig(rate=1.0, seed=7))
+        for a in range(1, 10):
+            assert plan.draw_node("n", a) in NODE_KINDS
+        assert plan.draw_write("n", KEY) in WRITE_KINDS
+
+    def test_observed_rate_tracks_configured_rate(self):
+        plan = ChaosPlan(ChaosConfig(rate=0.2, seed=11))
+        hits = sum(
+            plan.draw_node(f"node{i}", 1) is not None for i in range(500)
+        )
+        assert 0.1 < hits / 500 < 0.3
+
+
+class TestCorruptBytes:
+    def _rng(self):
+        return np.random.default_rng(5)
+
+    def test_torn_write_truncates(self):
+        data = pickle.dumps({"x": list(range(100))})
+        broken = corrupt_bytes(data, ChaosKind.TORN_WRITE, self._rng())
+        assert len(broken) < len(data)
+        assert data.startswith(broken)
+
+    def test_bitflip_flips_exactly_one_bit(self):
+        data = pickle.dumps({"x": 1})
+        broken = corrupt_bytes(data, ChaosKind.BITFLIP, self._rng())
+        assert len(broken) == len(data)
+        diff_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(data, broken)
+        )
+        assert diff_bits == 1
+
+    def test_deterministic_for_a_generator_state(self):
+        data = b"payload-bytes" * 20
+        a = corrupt_bytes(data, ChaosKind.TORN_WRITE, np.random.default_rng(3))
+        b = corrupt_bytes(data, ChaosKind.TORN_WRITE, np.random.default_rng(3))
+        assert a == b
+
+    def test_execution_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            corrupt_bytes(b"x", ChaosKind.EXCEPTION, self._rng())
+
+    def test_empty_payload_passthrough(self):
+        assert corrupt_bytes(b"", ChaosKind.BITFLIP, self._rng()) == b""
+
+
+class TestChaosError:
+    def test_carries_site_identity(self):
+        err = ChaosError("ingest", 2)
+        assert err.node == "ingest"
+        assert err.attempt == 2
+        assert "ingest" in str(err)

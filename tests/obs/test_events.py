@@ -27,7 +27,8 @@ class TestTaxonomy:
     def test_taxonomy_covers_every_instrumented_layer(self):
         prefixes = {t.split(".")[0] for t in EVENT_TYPES}
         assert prefixes == {
-            "run", "span", "stage", "cache", "checkpoint", "fault", "contract"
+            "run", "span", "stage", "cache", "checkpoint", "fault", "contract",
+            "node",
         }
 
 
