@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs engine ledger chaos regress engine-demo audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine ledger chaos serve serve-test bench-serve regress engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,18 @@ engine:
 # run-ledger suite (event log, run records, sentinel, dashboard, runs CLI)
 ledger:
 	$(PYTHON) -m pytest tests/ -m ledger
+
+# the analysis-as-a-service front door (Ctrl-C / SIGTERM drains gracefully)
+serve:
+	$(PYTHON) -m repro --cache-dir out/cache serve
+
+# serving-layer suite (admission, deadlines, coalescing, ETags, drain)
+serve-test:
+	$(PYTHON) -m pytest tests/serve -m serve
+
+# serving benchmark: warm/cold ratio, p50/p99, shed behaviour at 2x overload
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/bench_serve.py --benchmark-only
 
 # chaos suite: supervised execution under injected node/cache faults,
 # quarantine/repair, and end-to-end heal-to-100% runs

@@ -1,0 +1,208 @@
+"""Benchmark SERVE: the analysis service under load, warm and overloaded.
+
+Three claims of the serving layer, measured over real sockets:
+
+- **Warm/cold split** — a warm query (in-process body cache behind an
+  HTTP round trip) is at least 10x faster than the cold engine run that
+  populated it (in practice hundreds of times).
+- **Tail latency** — warm p50/p99 and the sustained requests-per-second
+  of a multi-client burst are reported in ``extra_info`` (and land in
+  ``BENCH_serve.json``).
+- **Graceful shedding** — at 2x the admission capacity, every rejected
+  request is a 429 with ``Retry-After``; nothing ever answers 5xx from
+  overload pressure, and the queue never grows past its bound.
+"""
+
+import http.client
+import itertools
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig
+
+SCALE = 0.1  # cold runs in ~10^2 ms: big enough to time, small enough to loop
+_fresh_seed = itertools.count(1000)  # never-seen configs stay genuinely cold
+
+
+def _get(port: int, path: str) -> tuple[int, dict, bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _start(**overrides) -> ReproServer:
+    defaults = dict(port=0, seed=7, scale=SCALE, obs_dir=None, deadline_s=120.0)
+    defaults.update(overrides)
+    server = ReproServer(ServeConfig(**defaults))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def _stop(server: ReproServer) -> None:
+    server.initiate_drain()
+    server.drain_and_close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = _start()
+    status, _, _ = _get(server.bound_port, "/v1/far")  # prime the warm set
+    assert status == 200
+    yield server
+    _stop(server)
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    idx = min(len(sorted_samples) - 1, round(q * (len(sorted_samples) - 1)))
+    return sorted_samples[idx]
+
+
+def test_serve_warm_vs_cold(benchmark, server):
+    """Warm HTTP queries vs the cold engine run that seeds them."""
+    port = server.bound_port
+
+    t0 = time.perf_counter()
+    status, _, _ = _get(port, f"/v1/far?seed={next(_fresh_seed)}")
+    cold_s = time.perf_counter() - t0
+    assert status == 200
+
+    def warm():
+        status, _, _ = _get(port, "/v1/far")
+        assert status == 200
+
+    benchmark(warm)
+    warm_s = benchmark.stats.stats.median
+    ratio = cold_s / warm_s
+    benchmark.extra_info["cold_ms"] = round(cold_s * 1000, 3)
+    benchmark.extra_info["warm_p50_ms"] = round(warm_s * 1000, 3)
+    benchmark.extra_info["warm_cold_ratio"] = round(ratio, 1)
+    # the acceptance floor; the measured ratio is typically in the 100s
+    assert ratio >= 10.0
+
+
+def test_serve_sustained_load(benchmark, server):
+    """A multi-client warm burst: p50/p99 tail latency and sustained RPS."""
+    port = server.bound_port
+    clients, per_client = 8, 25
+
+    def burst() -> dict:
+        samples: list[list[float]] = [[] for _ in range(clients)]
+        statuses: list[list[int]] = [[] for _ in range(clients)]
+        barrier = threading.Barrier(clients + 1)
+
+        def client(slot: int) -> None:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+            try:
+                barrier.wait()
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    conn.request("GET", "/v1/far")
+                    resp = conn.getresponse()
+                    resp.read()
+                    samples[slot].append(time.perf_counter() - t0)
+                    statuses[slot].append(resp.status)
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        t0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        flat = sorted(s for chunk in samples for s in chunk)
+        return {
+            "statuses": [s for chunk in statuses for s in chunk],
+            "p50_s": _percentile(flat, 0.50),
+            "p99_s": _percentile(flat, 0.99),
+            "rps": len(flat) / elapsed,
+        }
+
+    result = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert all(s == 200 for s in result["statuses"])
+    benchmark.extra_info["clients"] = clients
+    benchmark.extra_info["requests"] = clients * per_client
+    benchmark.extra_info["p50_ms"] = round(result["p50_s"] * 1000, 3)
+    benchmark.extra_info["p99_ms"] = round(result["p99_s"] * 1000, 3)
+    benchmark.extra_info["sustained_rps"] = round(result["rps"], 1)
+    assert result["p99_s"] < 5.0  # tail stays bounded on the warm path
+
+
+def test_serve_shed_rate_at_2x_overload(benchmark):
+    """2x capacity in cold traffic: capacity serves, the excess sheds 429.
+
+    The acceptance criterion verbatim: every reject is a 429 carrying
+    ``Retry-After`` — zero 500s — and the backlog never exceeds
+    ``max_concurrency + queue_depth`` because admission is bounded by
+    construction.
+    """
+    server = _start(max_concurrency=2, queue_depth=4, retry_after_s=1.0)
+    port = server.bound_port
+    capacity = 2 + 4
+
+    def overload() -> dict:
+        offered = 2 * capacity  # the "2x overload" of the claim
+        results: list[tuple[int, dict]] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(offered)
+
+        def client() -> None:
+            # a distinct never-seen seed at a larger scale: every
+            # admitted request is a genuinely slow cold engine run, so
+            # the burst really overlaps the admission window
+            path = f"/v1/far?seed={next(_fresh_seed)}&scale=0.5"
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+            try:
+                conn.connect()  # handshake first; the burst is just bytes
+                barrier.wait()
+                conn.request("GET", path)
+                resp = conn.getresponse()
+                resp.read()
+                with lock:
+                    results.append((resp.status, dict(resp.getheaders())))
+            finally:
+                conn.close()
+
+        threads = [threading.Thread(target=client) for _ in range(offered)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return {
+            "offered": offered,
+            "statuses": [s for s, _ in results],
+            "rejects": [(s, h) for s, h in results if s != 200],
+        }
+
+    try:
+        result = benchmark.pedantic(overload, rounds=1, iterations=1)
+    finally:
+        _stop(server)
+
+    statuses = result["statuses"]
+    served = statuses.count(200)
+    shed = statuses.count(429)
+    assert len(statuses) == result["offered"]
+    # the acceptance criterion: overload degrades to 429s — never 5xx,
+    # and never an unbounded queue (admission bounds it by construction)
+    assert all(s in (200, 429) for s in statuses), statuses
+    assert served + shed == result["offered"]
+    assert shed >= 1  # 2x capacity cannot fit: something must shed
+    # every reject carries the retry hint
+    assert all(h.get("Retry-After") == "1" for s, h in result["rejects"])
+    benchmark.extra_info["offered"] = result["offered"]
+    benchmark.extra_info["capacity"] = capacity
+    benchmark.extra_info["served"] = served
+    benchmark.extra_info["shed"] = shed
+    benchmark.extra_info["shed_rate"] = round(shed / result["offered"], 3)

@@ -44,6 +44,13 @@ the latest run against its recorded history (median-of-history timing
 noise band, cell-level scientific drift) and exits non-zero on a
 finding; ``report`` renders a self-contained HTML dashboard.
 
+Serving: ``repro serve`` runs the analyses as a fault-tolerant HTTP
+service over the engine cache (``GET /v1/far|blind|sensitivity``,
+``/v1/runs``, ``/healthz``, ``/readyz``) with bounded admission + load
+shedding, per-request deadlines, request coalescing, per-config
+circuit breakers, content-addressed ETags, and graceful SIGTERM drain
+— see :mod:`repro.serve` and METHODOLOGY §14.
+
 Every option may be given either before the subcommand or after it
 (``repro --seed 9 run`` and ``repro run --seed 9`` are equivalent):
 the option set is declared once in :data:`OPTION_GROUPS` and wired to
@@ -350,6 +357,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="for 'report': output HTML path "
         "(default <obs-dir>/ledger/dashboard.html)",
     )
+
+    p_serve = subcommand(
+        "serve", help="serve analysis queries over HTTP (/v1/far, /v1/blind, ...)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        help="bind port (0 binds an ephemeral port and announces it)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        help="requests allowed to execute analysis work at once (default 4)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot; beyond this the "
+        "request is shed with 429 + Retry-After (default 16)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=15.0,
+        help="per-request budget in seconds; a cold run past it answers "
+        "504 with partial-result metadata (default 15)",
+    )
+    p_serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="Retry-After hint on 429/503/504 responses (default 1s)",
+    )
+    p_serve.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.0,
+        help="deterministic per-request fault-injection rate (default 0)",
+    )
+    p_serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed of the serve chaos plan (default: the world seed)",
+    )
     return parser
 
 
@@ -471,6 +527,12 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    return serve_forever(ServeConfig.from_cli(args))
+
+
 def _cmd_cache(args) -> int:
     from repro.engine.cache import ArtifactCache
     from repro.pipeline.checkpoint import CheckpointMismatch
@@ -478,11 +540,34 @@ def _cmd_cache(args) -> int:
     if args.cache_dir is None:
         print("repro cache requires --cache-dir", file=sys.stderr)
         return 2
+    if args.action == "gc" and args.max_bytes is None and args.max_entries is None:
+        print("gc requires --max-bytes and/or --max-entries", file=sys.stderr)
+        return 2
     try:
-        cache = ArtifactCache(args.cache_dir)
+        cache = ArtifactCache.if_exists(args.cache_dir)
     except CheckpointMismatch as exc:
         print(f"not an engine cache: {exc}", file=sys.stderr)
         return 2
+    if cache is None:
+        # a cache that was never written is an empty cache, not an
+        # error — and inspecting it must not conjure the directory
+        if args.action == "stats":
+            for line in (
+                "entries:          0",
+                "size:             0 bytes",
+                "quarantined:      0",
+                "quarantine size:  0 bytes",
+            ):
+                print(line)
+        elif args.action == "verify":
+            print("checked 0 entries: 0 ok")
+        elif args.action == "gc":
+            print("evicted 0 entries")
+        elif args.purge:
+            print("purged 0 quarantined files")
+        else:
+            print("quarantine is empty")
+        return 0
 
     if args.action == "stats":
         s = cache.stats()
@@ -500,9 +585,6 @@ def _cmd_cache(args) -> int:
         return 1 if report["quarantined"] else 0
 
     if args.action == "gc":
-        if args.max_bytes is None and args.max_entries is None:
-            print("gc requires --max-bytes and/or --max-entries", file=sys.stderr)
-            return 2
         evicted = cache.gc(max_bytes=args.max_bytes, max_entries=args.max_entries)
         print(f"evicted {len(evicted)} entries")
         for name in evicted:
@@ -642,6 +724,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "cache": _cmd_cache,
     "runs": _cmd_runs,
+    "serve": _cmd_serve,
 }
 
 
@@ -690,8 +773,9 @@ def _finish_obs(args, obs) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     obs = None
-    # 'runs'/'cache' only read artifacts back; they never run a pipeline
-    if args.command not in ("runs", "cache") and (
+    # 'runs'/'cache' only read artifacts back; 'serve' owns its whole
+    # observability lifecycle (session record, event stream, drain flush)
+    if args.command not in ("runs", "cache", "serve") and (
         args.trace or args.metrics or args.profile or args.ledger
     ):
         from repro.obs import ObsContext

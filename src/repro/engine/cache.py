@@ -77,6 +77,22 @@ class ArtifactCache:
         # CheckpointMismatch on a foreign one, create a missing one
         self._store.begin(resume=True)
 
+    @classmethod
+    def if_exists(cls, root: str | Path) -> "ArtifactCache | None":
+        """Open an existing cache, or return ``None`` without creating one.
+
+        Read-only tooling (``repro cache stats|verify|gc``) must be able
+        to report an empty cache without materializing the directory as
+        a side effect.  A missing or empty path is simply "no cache";
+        a populated foreign directory still raises
+        :class:`~repro.pipeline.checkpoint.CheckpointMismatch` — absence
+        is benign, misidentity is not.
+        """
+        root_path = Path(root)
+        if not root_path.is_dir() or not any(root_path.iterdir()):
+            return None
+        return cls(root_path)
+
     @property
     def root(self) -> Path:
         return self._store.root

@@ -77,6 +77,16 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "contract.flagged",
         "contract.repaired",
         "contract.held",
+        # analysis-as-a-service request lifecycle (repro.serve)
+        "serve.request",
+        "serve.response",
+        "serve.not_modified",
+        "serve.coalesced",
+        "serve.shed",
+        "serve.deadline",
+        "serve.breaker_open",
+        "serve.error",
+        "serve.drain",
     }
 )
 

@@ -47,6 +47,7 @@ __all__ = [
     "body_digest",
     "scientific_cells",
     "build_run_record",
+    "build_service_record",
 ]
 
 # bump on incompatible record-shape change; old ledgers are still
@@ -338,6 +339,34 @@ def build_run_record(
     record = RunRecord(body=body, timing=timing)
     return RunRecord(
         body=record.body, timing=record.timing, digest=body_digest(record.body)
+    )
+
+
+def build_service_record(
+    meta: dict,
+    service: dict,
+    timing: dict | None = None,
+) -> RunRecord:
+    """Assemble a ledger record for one *service session* (``repro serve``).
+
+    A serve session is not a pipeline run — it has no scientific cells
+    of its own (each query's cells are the engine's, already keyed by
+    config fingerprint) — but it leaves the same determinism-split
+    record: ``body`` carries the session metadata and the request
+    counters (requests, shed, coalesced, 304s, deadline timeouts,
+    breaker rejections …), all reproducible for a given request
+    sequence; ``timing`` carries wall-clock facts only.
+    """
+    body = {
+        "schema": LEDGER_SCHEMA,
+        "meta": {k: meta[k] for k in sorted(meta)},
+        "config_fingerprint": None,
+        "service": {k: service[k] for k in sorted(service)},
+    }
+    return RunRecord(
+        body=body,
+        timing=dict(timing or {}),
+        digest=body_digest(body),
     )
 
 

@@ -28,7 +28,11 @@ from repro.pipeline.link import link_identities, LinkedData, ResearcherRecord
 from repro.pipeline.enrich import enrich_researchers, Enrichment
 from repro.pipeline.infer import infer_genders, InferenceOutcome
 from repro.pipeline.dataset import AnalysisDataset
-from repro.pipeline.checkpoint import CheckpointStore, CheckpointMismatch
+from repro.pipeline.checkpoint import (
+    CheckpointMismatch,
+    CheckpointStore,
+    CheckpointWriteError,
+)
 from repro.pipeline.config import EngineConfig, RunConfig
 from repro.pipeline.runner import run_pipeline, PipelineResult
 
@@ -49,6 +53,7 @@ __all__ = [
     "AnalysisDataset",
     "CheckpointStore",
     "CheckpointMismatch",
+    "CheckpointWriteError",
     "run_pipeline",
     "PipelineResult",
 ]

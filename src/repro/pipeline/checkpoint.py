@@ -23,11 +23,26 @@ import pickle
 from pathlib import Path
 from typing import Any
 
-__all__ = ["CheckpointMismatch", "CheckpointStore", "save_item_file"]
+__all__ = [
+    "CheckpointMismatch",
+    "CheckpointStore",
+    "CheckpointWriteError",
+    "save_item_file",
+]
 
 
 class CheckpointMismatch(ValueError):
     """Resume was requested against a checkpoint from a different run."""
+
+
+class CheckpointWriteError(OSError):
+    """An atomic checkpoint write failed before the artifact landed.
+
+    Raised in place of the raw ``OSError`` so callers can distinguish
+    "the store could not persist" from unrelated I/O failures.  The
+    partial ``*.tmp`` file has already been removed — a failed write
+    leaves no debris for a later directory scan to trip over.
+    """
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
@@ -37,13 +52,26 @@ def _atomic_write(path: Path, data: bytes) -> None:
     after it — without both, a crash between write and disk flush can
     leave a truncated artifact under the final name, which a later
     ``--resume`` (or engine cache read) would trust.
+
+    A mid-stream failure (disk full, quota, I/O error) removes the
+    partial temp file and raises :class:`CheckpointWriteError`; the
+    final ``path`` is never touched on failure.
     """
     tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-    with open(tmp, "wb") as fh:
-        fh.write(data)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise CheckpointWriteError(
+            f"atomic write to {path} failed mid-stream: {exc}"
+        ) from exc
     dir_fd = os.open(path.parent, os.O_RDONLY)
     try:
         os.fsync(dir_fd)

@@ -1,0 +1,39 @@
+"""repro.serve — fault-tolerant analysis-as-a-service over the engine cache.
+
+The HTTP front door of the reproduction (``repro serve``): ``GET
+/v1/far``, ``/v1/blind``, ``/v1/sensitivity`` answer the paper's
+analysis queries straight out of the content-addressed engine cache,
+``/v1/runs[/<id>]`` reads the run ledger back, and ``/healthz`` /
+``/readyz`` serve probes.  Robustness is the design center, not an
+afterthought:
+
+- :mod:`repro.serve.admission` — bounded admission with load shedding
+  (429 + ``Retry-After``, never an unbounded backlog);
+- :mod:`repro.serve.service` — request coalescing (single-flight per
+  config fingerprint), per-request deadlines (504 with partial-result
+  metadata), per-config circuit breakers around cold engine runs
+  (poisoned configs degrade to 503), content-addressed ETags (warm
+  revalidation is a 304), and deterministic chaos injection;
+- :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer``
+  transport with graceful SIGTERM drain (finish in-flight, flush the
+  ledger, exit 0).
+
+See METHODOLOGY §14 for the serving semantics contract.
+"""
+
+from repro.serve.admission import Admission, AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.http import ReproServer, ServeHandler, serve_forever
+from repro.serve.service import ANALYSIS_ENDPOINTS, AnalysisService, ServeResponse
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "ServeConfig",
+    "AnalysisService",
+    "ServeResponse",
+    "ANALYSIS_ENDPOINTS",
+    "ReproServer",
+    "ServeHandler",
+    "serve_forever",
+]

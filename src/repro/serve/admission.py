@@ -1,0 +1,123 @@
+"""Bounded admission control with load shedding.
+
+The server's thread-per-connection model needs a hard bound between
+"connection accepted" and "analysis work running", or overload turns
+into unbounded concurrent engine runs.  The
+:class:`AdmissionController` provides that bound: at most
+``max_concurrency`` requests execute at once, at most ``queue_depth``
+more wait for a slot, and everything beyond that is **shed
+immediately** (the handler answers 429 + ``Retry-After`` and the
+connection thread exits).  Backlog is therefore bounded by
+construction — overload costs shed requests, never memory.
+
+Decisions are explicit (:class:`Admission`) rather than boolean so the
+handler can map each outcome to its own status code: shed → 429,
+queue-wait past the request deadline → 504, drain → 503.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+
+__all__ = ["Admission", "AdmissionController"]
+
+
+class Admission(enum.Enum):
+    """Outcome of one admission attempt."""
+
+    ADMITTED = "admitted"
+    SHED = "shed"          # queue full: reject now, never block
+    TIMEOUT = "timeout"    # waited in the queue past the deadline
+    DRAINING = "draining"  # server is shutting down; no new work
+
+
+class AdmissionController:
+    """Counting gate: bounded executors, bounded waiters, sheds the rest."""
+
+    def __init__(self, max_concurrency: int, queue_depth: int) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self._cond = threading.Condition()
+        self._executing = 0
+        self._waiting = 0
+        self._draining = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def executing(self) -> int:
+        with self._cond:
+            return self._executing
+
+    @property
+    def waiting(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    # -------------------------------------------------------------- admitting
+
+    def acquire(self, timeout_s: float) -> Admission:
+        """Try to admit one request, waiting at most ``timeout_s``.
+
+        Returns :attr:`Admission.ADMITTED` with an execution slot held
+        (the caller must :meth:`release`), or a rejection — which never
+        holds anything.
+        """
+        with self._cond:
+            if self._draining:
+                return Admission.DRAINING
+            if self._executing < self.max_concurrency:
+                self._executing += 1
+                return Admission.ADMITTED
+            if self._waiting >= self.queue_depth:
+                return Admission.SHED
+            self._waiting += 1
+            try:
+                deadline = time.monotonic() + timeout_s
+                while self._executing >= self.max_concurrency:
+                    if self._draining:
+                        return Admission.DRAINING
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return Admission.TIMEOUT
+                    self._cond.wait(remaining)
+                self._executing += 1
+                return Admission.ADMITTED
+            finally:
+                self._waiting -= 1
+
+    def release(self) -> None:
+        """Return an execution slot and wake one waiter."""
+        with self._cond:
+            self._executing -= 1
+            self._cond.notify_all()
+
+    # ---------------------------------------------------------------- drain
+
+    def drain(self) -> None:
+        """Stop admitting; wake every queued waiter so it can 503 out."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, grace_s: float) -> bool:
+        """Block until no request is executing (or the grace runs out)."""
+        deadline = time.monotonic() + grace_s
+        with self._cond:
+            while self._executing > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True

@@ -1,0 +1,142 @@
+"""Deterministic JSON encoding of analysis responses.
+
+Every response body the server emits comes through
+:func:`canonical_json`: sorted keys, compact separators, ``allow_nan``
+off (NaN/±inf render as ``null`` via :func:`num`).  Canonical encoding
+is what makes the serving determinism contract checkable — two
+identical-seed server sessions answering the same request sequence
+produce **byte-identical** bodies, so the chaos tests can compare
+bytes, not parsed approximations.  Anything wall-clock shaped (elapsed
+time, dates) rides in response *headers*, never in a body — the same
+body/timing split the run ledger enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.analysis.blind import BlindReport
+from repro.analysis.far import FarReport
+from repro.analysis.sensitivity import SensitivityReport
+from repro.stats.chisquare import Chi2Result
+from repro.stats.proportions import Proportion
+
+__all__ = [
+    "canonical_json",
+    "num",
+    "proportion_payload",
+    "chi2_payload",
+    "far_payload",
+    "blind_payload",
+    "sensitivity_payload",
+    "error_payload",
+]
+
+
+def canonical_json(payload: dict) -> bytes:
+    """The one canonical body encoding (sorted, compact, NaN-free)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def num(x: Any) -> float | None:
+    """A JSON-safe number: finite floats pass, NaN/±inf become null."""
+    if x is None:
+        return None
+    f = float(x)
+    return f if math.isfinite(f) else None
+
+
+def proportion_payload(p: Proportion) -> dict:
+    return {"hits": p.hits, "n": p.n, "value": num(p.value)}
+
+
+def chi2_payload(c: Chi2Result) -> dict:
+    return {"chi2": num(c.statistic), "df": c.df, "p": num(c.p_value)}
+
+
+def _config_payload(seed: int, scale: float, fingerprint: str) -> dict:
+    return {"seed": seed, "scale": scale, "fingerprint": fingerprint}
+
+
+def far_payload(
+    report: FarReport,
+    seed: int,
+    scale: float,
+    fingerprint: str,
+    conference: str | None = None,
+) -> dict:
+    """§3.1 FAR cells; with ``conference`` only that venue's slice."""
+    confs = report.by_conference
+    if conference is not None:
+        confs = tuple(c for c in confs if c.conference == conference)
+    return {
+        "endpoint": "far",
+        "config": _config_payload(seed, scale, fingerprint),
+        "overall": proportion_payload(report.overall),
+        "lead": proportion_payload(report.lead_overall),
+        "last": proportion_payload(report.last_overall),
+        "last_vs_all": chi2_payload(report.last_vs_all),
+        "by_conference": {
+            c.conference: {
+                "authors": proportion_payload(c.authors),
+                "lead": proportion_payload(c.lead),
+                "last": proportion_payload(c.last),
+            }
+            for c in confs
+        },
+    }
+
+
+def blind_payload(
+    report: BlindReport, seed: int, scale: float, fingerprint: str
+) -> dict:
+    """The double- vs single-blind review contrasts."""
+    return {
+        "endpoint": "blind",
+        "config": _config_payload(seed, scale, fingerprint),
+        "double_blind_conferences": sorted(report.double_blind_confs),
+        "authors": {
+            "double": proportion_payload(report.authors_double),
+            "single": proportion_payload(report.authors_single),
+            "test": chi2_payload(report.authors_test),
+        },
+        "lead": {
+            "double": proportion_payload(report.lead_double),
+            "single": proportion_payload(report.lead_single),
+            "test": chi2_payload(report.lead_test),
+        },
+    }
+
+
+def sensitivity_payload(
+    report: SensitivityReport, seed: int, scale: float, fingerprint: str
+) -> dict:
+    """The §2 unknown-gender sensitivity bands."""
+    return {
+        "endpoint": "sensitivity",
+        "config": _config_payload(seed, scale, fingerprint),
+        "unknowns": report.unknowns,
+        "all_stable": report.all_stable,
+        "far_values": {k: num(v) for k, v in sorted(report.far_values.items())},
+        "observations": [
+            {
+                "name": o.name,
+                "baseline": o.baseline,
+                "all_women": o.all_women,
+                "all_men": o.all_men,
+                "stable": o.stable,
+            }
+            for o in sorted(report.observations, key=lambda o: o.name)
+        ],
+    }
+
+
+def error_payload(code: str, message: str, **extra: Any) -> dict:
+    """The uniform error body: ``{"error": {"code", "message", ...}}``."""
+    body = {"code": code, "message": message}
+    body.update(extra)
+    return {"error": body}

@@ -1,0 +1,238 @@
+"""The HTTP front door: ``repro serve``.
+
+A deliberately boring transport — stdlib
+:class:`~http.server.ThreadingHTTPServer`, no new dependencies — whose
+entire job is to move bytes between sockets and the
+:class:`~repro.serve.service.AnalysisService`.  The robustness order of
+operations per request:
+
+1. ``/healthz`` (liveness) and ``/readyz`` (readiness) answer without
+   admission — probes must work *especially* under overload;
+2. everything else passes the bounded
+   :class:`~repro.serve.admission.AdmissionController`: a full queue
+   sheds the request with 429 + ``Retry-After`` before any work
+   happens, a queue wait that outlives the budget answers 504, a
+   draining server answers 503;
+3. admitted requests are handled by the service (which owns ETags,
+   coalescing, deadlines, breakers, chaos) and always release their
+   slot.
+
+Shutdown is graceful: SIGTERM/SIGINT flips readiness off, stops
+accepting, lets in-flight requests finish (bounded by the drain
+grace), flushes the session record + event stream to the run ledger,
+and exits 0.
+
+Response *bodies* are deterministic (canonical JSON, no wall-clock
+content); timing rides in headers only (``Date``,
+``X-Repro-Elapsed-Ms``) — the serving version of the ledger's
+body/timing split.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.admission import Admission, AdmissionController
+from repro.serve.config import ServeConfig
+from repro.serve.encode import canonical_json, error_payload
+from repro.serve.service import AnalysisService, ServeResponse
+
+__all__ = ["ServeHandler", "ReproServer", "serve_forever"]
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Route one request through admission into the service."""
+
+    server_version = "repro-serve"
+    sys_version = ""
+    protocol_version = "HTTP/1.1"
+    # one TCP segment per response: fully buffer writes and disable
+    # Nagle, or keep-alive clients eat a ~40ms delayed-ACK stall on
+    # every warm hit — the difference between "near-free 304s" and not
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # ----------------------------------------------------------------- verbs
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server's spelling)
+        started = time.perf_counter()
+        server: "ReproServer" = self.server  # type: ignore[assignment]
+        service = server.service
+        parts = urlsplit(self.path)
+
+        if parts.path == "/healthz":
+            self._write(ServeResponse(200, canonical_json({"status": "alive"})),
+                        started)
+            return
+        if parts.path == "/readyz":
+            if service.draining:
+                self._write(
+                    ServeResponse(
+                        503, canonical_json({"status": "draining"})
+                    ),
+                    started,
+                )
+            else:
+                self._write(
+                    ServeResponse(200, canonical_json({"status": "ready"})),
+                    started,
+                )
+            return
+
+        if service.draining:
+            self._write(service.draining_response(), started)
+            return
+        decision = server.admission.acquire(service.config.deadline_s)
+        if decision is Admission.SHED:
+            self._write(service.shed_response(), started)
+            return
+        if decision is Admission.TIMEOUT:
+            self._write(service.queue_timeout_response(), started)
+            return
+        if decision is Admission.DRAINING:
+            self._write(service.draining_response(), started)
+            return
+        try:
+            response = service.handle(
+                parts.path,
+                dict(parse_qsl(parts.query)),
+                if_none_match=self.headers.get("If-None-Match"),
+            )
+            # write while still holding the slot: drain waits for idle
+            # admission, so an in-flight response is fully flushed before
+            # the process exits
+            self._write(response, started)
+        finally:
+            server.admission.release()
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._write(
+            ServeResponse(
+                405,
+                canonical_json(
+                    error_payload("method-not-allowed", "this service is GET-only")
+                ),
+                headers=(("Allow", "GET"),),
+            ),
+            time.perf_counter(),
+        )
+
+    do_PUT = do_DELETE = do_PATCH = do_POST
+
+    # ----------------------------------------------------------------- output
+
+    def _write(self, response: ServeResponse, started: float) -> None:
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", "application/json")
+            for name, value in response.headers:
+                self.send_header(name, value)
+            # timing lives in headers, never bodies (determinism split)
+            self.send_header(
+                "X-Repro-Elapsed-Ms",
+                f"{(time.perf_counter() - started) * 1000.0:.3f}",
+            )
+            if response.status == 304:
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
+            self.send_header("Content-Length", str(len(response.body)))
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):
+            # a client that hung up mid-response is its problem, not ours
+            self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:
+        # access logging is the event log's job (typed serve.* events),
+        # not stderr's
+        return
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Threading HTTP server wired to one service + admission gate."""
+
+    daemon_threads = True
+    # drain manages in-flight work itself (bounded by drain_grace_s);
+    # blocking close on daemon threads would hang on a stuck handler
+    block_on_close = False
+
+    def __init__(self, config: ServeConfig, service: AnalysisService | None = None):
+        self.config = config
+        self.service = service if service is not None else AnalysisService(config)
+        self.admission = AdmissionController(
+            config.max_concurrency, config.queue_depth
+        )
+        self._drain_started = threading.Event()
+        super().__init__((config.host, config.port), ServeHandler)
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (differs from config when ``port=0``)."""
+        return self.server_address[1]
+
+    # ----------------------------------------------------------------- drain
+
+    def initiate_drain(self) -> None:
+        """Begin a graceful shutdown (idempotent, callable from any thread)."""
+        if self._drain_started.is_set():
+            return
+        self._drain_started.set()
+        self.service.begin_drain()      # readyz → 503, new requests refused
+        self.admission.drain()          # wake queued waiters so they 503 out
+        self.shutdown()                 # stop the accept loop
+
+    def drain_and_close(self) -> str | None:
+        """Finish in-flight work, flush the ledger, close the socket."""
+        self.admission.wait_idle(self.config.drain_grace_s)
+        run_id = self.service.flush_ledger()
+        self.server_close()
+        return run_id
+
+
+def serve_forever(
+    config: ServeConfig,
+    install_signals: bool = True,
+    announce=print,
+) -> int:
+    """Run the server until SIGTERM/SIGINT, then drain gracefully.
+
+    Returns 0 on a clean drain — the contract the acceptance test
+    holds SIGTERM to: stop accepting, finish in-flight requests, write
+    the session's ledger record, exit 0.
+    """
+    server = ReproServer(config)
+
+    if install_signals and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            # shutdown() must not run on the serve_forever thread —
+            # hand the drain to a helper and let the loop exit
+            threading.Thread(target=server.initiate_drain, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    announce(
+        f"repro serve listening on http://{config.host}:{server.bound_port} "
+        f"(seed {config.seed}, scale {config.scale}, "
+        f"concurrency {config.max_concurrency}, queue {config.queue_depth}, "
+        f"deadline {config.deadline_s:g}s)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.initiate_drain()
+    run_id = server.drain_and_close()
+    counters = server.service.counters()
+    served = counters.get("requests", 0)
+    announce(
+        f"drained: {served} request(s) served, "
+        f"shed {counters.get('shed', 0)}, "
+        f"coalesced {counters.get('coalesced', 0)}"
+        + (f"; ledger record {run_id}" if run_id else "")
+    )
+    return 0

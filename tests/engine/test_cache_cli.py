@@ -101,3 +101,59 @@ class TestCacheQuarantine:
         )
         assert code == 0 and "purged 1 quarantined files" in out
         assert ArtifactCache(cache_dir).quarantined() == []
+
+
+class TestCacheMissingDir:
+    """Regression: maintenance against a cache that was never created.
+
+    ``repro cache stats|verify|gc|quarantine`` on a nonexistent directory
+    must report an empty cache and exit 0 — and must NOT create the
+    directory as a side effect (a read-only report has no business
+    materializing state on disk).
+    """
+
+    @pytest.fixture
+    def missing(self, tmp_path):
+        return tmp_path / "never-created"
+
+    def test_stats_reports_empty_and_exits_zero(self, missing, capsys):
+        code, out = run_cli(capsys, "--cache-dir", str(missing), "cache", "stats")
+        assert code == 0
+        assert "entries:          0" in out
+        assert not missing.exists()
+
+    def test_verify_checks_nothing_and_exits_zero(self, missing, capsys):
+        code, out = run_cli(capsys, "--cache-dir", str(missing), "cache", "verify")
+        assert code == 0
+        assert "checked 0 entries: 0 ok" in out
+        assert not missing.exists()
+
+    def test_gc_evicts_nothing_and_exits_zero(self, missing, capsys):
+        code, out = run_cli(
+            capsys,
+            "--cache-dir", str(missing), "cache", "gc", "--max-entries", "1",
+        )
+        assert code == 0
+        assert "evicted 0 entries" in out
+        assert not missing.exists()
+
+    def test_gc_still_requires_a_budget(self, missing, capsys):
+        # argument validation precedes the existence check
+        assert main(["--cache-dir", str(missing), "cache", "gc"]) == 2
+        assert not missing.exists()
+
+    def test_quarantine_is_empty_and_exits_zero(self, missing, capsys):
+        code, out = run_cli(
+            capsys, "--cache-dir", str(missing), "cache", "quarantine"
+        )
+        assert code == 0 and "quarantine is empty" in out
+        assert not missing.exists()
+
+    def test_empty_directory_counts_as_no_cache(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code, out = run_cli(capsys, "--cache-dir", str(empty), "cache", "stats")
+        assert code == 0
+        assert "entries:          0" in out
+        # and if_exists never adopted it: no meta.json materialized
+        assert list(empty.iterdir()) == []

@@ -28,7 +28,7 @@ class TestTaxonomy:
         prefixes = {t.split(".")[0] for t in EVENT_TYPES}
         assert prefixes == {
             "run", "span", "stage", "cache", "checkpoint", "fault", "contract",
-            "node",
+            "node", "serve",
         }
 
 

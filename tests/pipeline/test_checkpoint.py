@@ -8,7 +8,12 @@ many as there are missing editions.
 import pytest
 
 from repro.faults import FaultConfig
-from repro.pipeline import CheckpointMismatch, CheckpointStore, run_pipeline
+from repro.pipeline import (
+    CheckpointMismatch,
+    CheckpointStore,
+    CheckpointWriteError,
+    run_pipeline,
+)
 
 NO_FAULTS = FaultConfig(rate=0.0, seed=1)
 
@@ -91,6 +96,57 @@ class TestCheckpointStore:
         store.save_stage("ingest", {"payload": list(range(50))})
         leftovers = [p for p in (tmp_path / "ck").rglob("*") if ".tmp" in p.name]
         assert leftovers == []
+
+    def test_failed_write_cleans_tmp_and_raises_typed_error(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a mid-stream write failure must not leave debris.
+
+        A disk-full/quota/I/O error inside ``_atomic_write`` used to
+        propagate the raw ``OSError`` and abandon the partial ``*.tmp``
+        file for later directory scans to trip over.  Now the temp file
+        is removed and the failure surfaces as ``CheckpointWriteError``.
+        """
+        import os
+
+        from repro.pipeline import checkpoint as cp
+
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+
+        def exploding_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cp.os, "fsync", exploding_fsync)
+        with pytest.raises(CheckpointWriteError) as excinfo:
+            store.save_stage("ingest", {"payload": [1, 2, 3]})
+        # typed, chained, and specific about what failed
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert "ingest" in str(excinfo.value)
+        monkeypatch.undo()
+
+        ck = tmp_path / "ck"
+        assert [p for p in ck.rglob("*") if ".tmp" in p.name] == []
+        assert not store.has_stage("ingest")  # final name never touched
+
+    def test_failed_replace_cleans_tmp(self, tmp_path, monkeypatch):
+        from repro.pipeline import checkpoint as cp
+
+        store = CheckpointStore(tmp_path / "ck", {"seed": 1})
+        store.begin()
+
+        def exploding_replace(src, dst):
+            raise OSError(30, "Read-only file system")
+
+        monkeypatch.setattr(cp.os, "replace", exploding_replace)
+        with pytest.raises(CheckpointWriteError):
+            store.save_stage("ingest", {"payload": [1]})
+        monkeypatch.undo()
+        assert [p for p in (tmp_path / "ck").rglob("*") if ".tmp" in p.name] == []
+
+    def test_write_error_is_an_oserror(self):
+        # callers with broad OSError handling keep working unchanged
+        assert issubclass(CheckpointWriteError, OSError)
 
 
 class TestPipelineResume:

@@ -1,0 +1,113 @@
+"""Admission control: bounded executors, bounded waiters, shed the rest."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Admission, AdmissionController
+
+pytestmark = pytest.mark.serve
+
+
+class TestBounds:
+    def test_admits_up_to_max_concurrency(self):
+        gate = AdmissionController(max_concurrency=3, queue_depth=0)
+        assert [gate.acquire(0.0) for _ in range(3)] == [Admission.ADMITTED] * 3
+        assert gate.executing == 3
+
+    def test_sheds_immediately_beyond_the_queue(self):
+        """The defining property: a full queue sheds NOW, it never blocks."""
+        gate = AdmissionController(max_concurrency=1, queue_depth=0)
+        assert gate.acquire(5.0) is Admission.ADMITTED
+        t0 = time.perf_counter()
+        assert gate.acquire(5.0) is Admission.SHED
+        assert time.perf_counter() - t0 < 0.5  # no wait despite the 5s budget
+        assert gate.waiting == 0
+
+    def test_backlog_is_bounded_by_construction(self):
+        """executing + waiting can never exceed the configured bounds."""
+        gate = AdmissionController(max_concurrency=2, queue_depth=3)
+        for _ in range(2):
+            assert gate.acquire(0.0) is Admission.ADMITTED
+        results: list[Admission] = []
+        threads = [
+            threading.Thread(target=lambda: results.append(gate.acquire(2.0)))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)  # let every thread reach the gate
+        # beyond 3 waiters, the other 5 were shed without blocking
+        assert results.count(Admission.SHED) == 5
+        assert gate.waiting == 3
+        for _ in range(5):
+            gate.release()  # 2 executors release + headroom wakes the queue
+        for t in threads:
+            t.join(timeout=5)
+        assert results.count(Admission.ADMITTED) == 3
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0, queue_depth=1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=1, queue_depth=-1)
+
+
+class TestQueueing:
+    def test_release_wakes_a_waiter(self):
+        gate = AdmissionController(max_concurrency=1, queue_depth=1)
+        assert gate.acquire(0.0) is Admission.ADMITTED
+        got: list[Admission] = []
+        t = threading.Thread(target=lambda: got.append(gate.acquire(5.0)))
+        t.start()
+        time.sleep(0.05)
+        assert gate.waiting == 1
+        gate.release()
+        t.join(timeout=5)
+        assert got == [Admission.ADMITTED]
+        assert gate.executing == 1 and gate.waiting == 0
+
+    def test_queue_wait_past_deadline_times_out(self):
+        gate = AdmissionController(max_concurrency=1, queue_depth=1)
+        assert gate.acquire(0.0) is Admission.ADMITTED
+        t0 = time.perf_counter()
+        assert gate.acquire(0.05) is Admission.TIMEOUT
+        assert 0.04 <= time.perf_counter() - t0 < 2.0
+        assert gate.waiting == 0  # the waiter cleaned up after itself
+
+
+class TestDrain:
+    def test_drain_refuses_new_work(self):
+        gate = AdmissionController(max_concurrency=2, queue_depth=2)
+        gate.drain()
+        assert gate.acquire(1.0) is Admission.DRAINING
+
+    def test_drain_wakes_queued_waiters(self):
+        gate = AdmissionController(max_concurrency=1, queue_depth=2)
+        assert gate.acquire(0.0) is Admission.ADMITTED
+        got: list[Admission] = []
+        threads = [
+            threading.Thread(target=lambda: got.append(gate.acquire(30.0)))
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        gate.drain()
+        for t in threads:
+            t.join(timeout=5)  # woken immediately, not after 30s
+        assert got == [Admission.DRAINING, Admission.DRAINING]
+
+    def test_wait_idle_returns_when_work_finishes(self):
+        gate = AdmissionController(max_concurrency=1, queue_depth=0)
+        assert gate.acquire(0.0) is Admission.ADMITTED
+        threading.Timer(0.05, gate.release).start()
+        assert gate.wait_idle(5.0) is True
+
+    def test_wait_idle_gives_up_after_the_grace(self):
+        gate = AdmissionController(max_concurrency=1, queue_depth=0)
+        assert gate.acquire(0.0) is Admission.ADMITTED  # never released
+        t0 = time.perf_counter()
+        assert gate.wait_idle(0.05) is False
+        assert time.perf_counter() - t0 < 2.0

@@ -1,0 +1,207 @@
+"""The HTTP transport end to end: real sockets, real signals.
+
+An in-process :class:`~repro.serve.ReproServer` on an ephemeral port
+covers the status-code and header contracts; a subprocess running
+``python -m repro serve`` covers the full SIGTERM drain: stop
+accepting, finish in-flight work, write the ledger record, exit 0.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig
+
+pytestmark = pytest.mark.serve
+
+SCALE = 0.1
+
+
+def make_server(tmp_path, **overrides) -> ReproServer:
+    defaults = dict(
+        port=0,
+        seed=7,
+        scale=SCALE,
+        obs_dir=str(tmp_path / "obs"),
+        deadline_s=30.0,
+    )
+    defaults.update(overrides)
+    server = ReproServer(ServeConfig(**defaults))
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+def get(port: int, path: str, headers: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    server = make_server(tmp_path_factory.mktemp("http"))
+    yield server
+    server.initiate_drain()
+    server.drain_and_close()
+
+
+class TestEndpoints:
+    def test_healthz_and_readyz(self, server):
+        status, _, body = get(server.bound_port, "/healthz")
+        assert status == 200 and json.loads(body) == {"status": "alive"}
+        status, _, body = get(server.bound_port, "/readyz")
+        assert status == 200 and json.loads(body) == {"status": "ready"}
+
+    def test_far_roundtrip_with_headers(self, server):
+        status, headers, body = get(server.bound_port, "/v1/far")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert headers["ETag"].startswith('"')
+        float(headers["X-Repro-Elapsed-Ms"])  # timing in headers, not body
+        payload = json.loads(body)
+        assert payload["endpoint"] == "far"
+        assert "elapsed" not in body.decode()  # determinism split honoured
+
+    def test_if_none_match_roundtrip_is_304(self, server):
+        _, headers, _ = get(server.bound_port, "/v1/far")
+        status, h2, body = get(
+            server.bound_port, "/v1/far",
+            headers={"If-None-Match": headers["ETag"]},
+        )
+        assert status == 304 and body == b""
+        assert h2["ETag"] == headers["ETag"]
+
+    def test_unknown_route_404(self, server):
+        status, _, body = get(server.bound_port, "/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not-found"
+
+    def test_bad_parameter_400(self, server):
+        status, _, _ = get(server.bound_port, "/v1/far?scale=banana")
+        assert status == 400
+
+    def test_post_is_405(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.bound_port, timeout=60
+        )
+        try:
+            conn.request("POST", "/v1/far", body=b"{}")
+            resp = conn.getresponse()
+            assert resp.status == 405
+            assert resp.getheader("Allow") == "GET"
+            resp.read()
+        finally:
+            conn.close()
+
+    def test_keep_alive_connection_reuse(self, server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", server.bound_port, timeout=60
+        )
+        try:
+            for _ in range(3):
+                conn.request("GET", "/v1/far")
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()  # same socket serves all three
+        finally:
+            conn.close()
+
+
+class TestShedding:
+    def test_overload_sheds_429_with_retry_after(self, tmp_path):
+        """With the one execution slot held and no queue, requests shed."""
+        server = make_server(
+            tmp_path, max_concurrency=1, queue_depth=0, retry_after_s=2.0
+        )
+        try:
+            from repro.serve import Admission
+
+            assert server.admission.acquire(0.0) is Admission.ADMITTED
+            try:
+                status, headers, body = get(server.bound_port, "/v1/far")
+                assert status == 429
+                assert headers["Retry-After"] == "2"
+                assert json.loads(body)["error"]["code"] == "overloaded"
+            finally:
+                server.admission.release()
+            # probes keep answering while analysis traffic sheds
+            assert get(server.bound_port, "/healthz")[0] == 200
+        finally:
+            server.initiate_drain()
+            server.drain_and_close()
+
+
+class TestDrainInProcess:
+    def test_drain_refuses_new_work_and_writes_ledger(self, tmp_path):
+        server = make_server(tmp_path)
+        port = server.bound_port
+        assert get(port, "/v1/far")[0] == 200
+        server.service.begin_drain()
+        status, _, body = get(port, "/readyz")
+        assert status == 503 and json.loads(body) == {"status": "draining"}
+        status, _, body = get(port, "/v1/far")
+        assert status == 503
+        assert json.loads(body)["error"]["code"] == "draining"
+        server.initiate_drain()
+        run_id = server.drain_and_close()
+        assert run_id is not None
+        ledger_file = Path(tmp_path, "obs", "ledger", "runs.jsonl")
+        assert ledger_file.exists() and run_id in ledger_file.read_text()
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_flushes_and_exits_zero(self, tmp_path):
+        """The acceptance criterion, against the real CLI process."""
+        obs_dir = tmp_path / "obs"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro",
+                "--obs-dir", str(obs_dir), "--scale", str(SCALE),
+                "serve", "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(Path(__file__).resolve().parents[2]),
+        )
+        try:
+            announce = proc.stdout.readline()
+            assert "listening on http://" in announce
+            port = int(announce.split("http://127.0.0.1:")[1].split()[0])
+
+            # a loaded server: one request in flight when the signal lands
+            results: list[int] = []
+            t = threading.Thread(
+                target=lambda: results.append(get(port, "/v1/far")[0])
+            )
+            t.start()
+            time.sleep(0.3)  # in the window: admitted, still computing
+            proc.send_signal(signal.SIGTERM)
+            t.join(timeout=120)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode == 0
+        assert results == [200]  # in-flight work finished, not dropped
+        assert "drained:" in out and "ledger record" in out
+        ledger_file = obs_dir / "ledger" / "runs.jsonl"
+        assert ledger_file.exists()
+        record = json.loads(ledger_file.read_text().splitlines()[-1])
+        assert record["body"]["meta"]["command"] == "serve"
+        assert record["body"]["service"]["requests"] >= 1
