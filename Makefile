@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs engine ledger chaos serve serve-test bench-serve regress engine-demo audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine ledger chaos serve serve-test bench-serve tabular-bench regress engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,11 @@ serve-test:
 # serving benchmark: warm/cold ratio, p50/p99, shed behaviour at 2x overload
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/bench_serve.py --benchmark-only
+
+# tabular kernel benchmark: factorized groupby/join/agg vs the legacy
+# per-row loops; enforces the >=5x band at the 1e5-row scale
+tabular-bench:
+	$(PYTHON) -m pytest benchmarks/bench_tabular.py --benchmark-only
 
 # chaos suite: supervised execution under injected node/cache faults,
 # quarantine/repair, and end-to-end heal-to-100% runs

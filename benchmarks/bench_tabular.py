@@ -1,0 +1,210 @@
+"""Benchmark TAB: factorized tabular kernels vs the legacy per-row loops.
+
+Every headline cell of the reproduction (FAR by conference/role/year,
+blind-review contrasts) funnels through the groupby/join/agg kernels,
+so their cost bounds the analysis stage.  Each benchmark here times the
+factorized kernel at 10³/10⁴/10⁵ rows and re-times the legacy per-row
+implementation (inlined below, as shipped before the vectorization) on
+the same table, reporting ``speedup_vs_baseline`` in ``extra_info`` —
+the numbers land in ``benchmarks/output/BENCH_tabular.json`` via the
+session hook.
+
+Regress-style band: at the 10⁵-row scale the groupby / join / agg
+kernels must hold a ≥5x speedup over the legacy loops.  The assertion
+lives in the benchmark itself so the win cannot silently erode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.tabular import Table, count, inner_join, left_join, mean, share
+
+SIZES = (1_000, 10_000, 100_000)
+FULL_SCALE = 100_000  # the band is enforced at this size
+SPEEDUP_BAND = 5.0
+
+_CONFS = ["SC", "ISC", "HPDC", "IPDPS", "ICS", "PPoPP", "SPAA", "CCGrid", "Cluster"]
+_ROLES = ["author", "pc-member", "pc-chair", "keynote", "panelist"]
+
+
+def _world_table(n: int, seed: int = 7) -> Table:
+    """A researcher-role table shaped like the analysis-stage input."""
+    rng = np.random.default_rng(seed)
+    gender = rng.choice(["F", "M"], size=n, p=[0.12, 0.88]).astype(object)
+    gender[rng.random(n) < 0.03] = None  # the paper's 3.03% unassigned
+    cites = rng.exponential(12.0, size=n)
+    cites[rng.random(n) < 0.05] = np.nan
+    return Table(
+        {
+            "conference": [_CONFS[i] for i in rng.integers(0, len(_CONFS), n)],
+            "year": [2013 + int(y) for y in rng.integers(0, 5, n)],
+            "role": [_ROLES[i] for i in rng.integers(0, len(_ROLES), n)],
+            "gender": gender,
+            "cites": cites,
+            "country": [f"c{int(i):02d}" for i in rng.integers(0, 40, n)],
+            "sector": [["EDU", "COM", "GOV"][int(i)] for i in rng.integers(0, 3, n)],
+        }
+    )
+
+
+def _profile_table(n_keys: int, seed: int = 11) -> Table:
+    """A unique-key enrichment table to join against (right side)."""
+    rng = np.random.default_rng(seed)
+    return Table(
+        {
+            "country": [f"c{i:02d}" for i in range(n_keys)],
+            "region": [f"r{int(i)}" for i in rng.integers(0, 6, n_keys)],
+            "weight": rng.uniform(0.5, 2.0, n_keys),
+        }
+    )
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---- legacy kernels (pre-vectorization, verbatim shape) ---------------------
+
+
+def _legacy_groupby_index(table: Table, keys: list[str]) -> dict:
+    cols = [table.col(k).values for k in keys]
+    buckets: dict[tuple, list[int]] = {}
+    for i in range(table.num_rows):
+        key = tuple(col[i] for col in cols)
+        buckets.setdefault(key, []).append(i)
+    return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
+
+
+def _legacy_key_rows(table: Table, keys: list[str]) -> list[tuple]:
+    cols = [table.col(k).values for k in keys]
+    return [tuple(col[i] for col in cols) for i in range(table.num_rows)]
+
+
+def _legacy_inner_join_rows(left: Table, right: Table, keys: list[str]):
+    index: dict[tuple, list[int]] = {}
+    for j, key in enumerate(_legacy_key_rows(right, keys)):
+        index.setdefault(key, []).append(j)
+    li: list[int] = []
+    ri: list[int] = []
+    for i, key in enumerate(_legacy_key_rows(left, keys)):
+        for j in index.get(key, ()):
+            li.append(i)
+            ri.append(j)
+    return np.array(li, dtype=np.int64), np.array(ri, dtype=np.int64)
+
+
+def _legacy_agg(table: Table, keys: list[str], aggregations: dict) -> list[dict]:
+    rows = []
+    for k, idx in _legacy_groupby_index(table, keys).items():
+        sub = table.take(idx)  # full width: no column pruning
+        row = dict(zip(keys, k))
+        for name, fn in aggregations.items():
+            row[name] = fn(sub)
+        rows.append(row)
+    return rows
+
+
+def _legacy_value_counts(table: Table, name: str):
+    col = table.col(name)
+    counts: dict = {}
+    for v in col.values:
+        if col.kind == "float" and np.isnan(v):
+            continue
+        if v is None:
+            continue
+        counts[v] = counts.get(v, 0) + 1
+    return sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+
+
+def _legacy_sort_by_str(table: Table, name: str) -> np.ndarray:
+    col = table.col(name)
+    keys = np.array(["" if v is None else str(v) for v in col.values])
+    return np.argsort(keys, kind="stable")
+
+
+# ---- benchmarks -------------------------------------------------------------
+
+
+def _record(benchmark, legacy_s: float, n: int, enforce: bool) -> None:
+    new_s = benchmark.stats.stats.min
+    speedup = legacy_s / new_s if new_s else float("inf")
+    benchmark.extra_info["rows"] = n
+    benchmark.extra_info["legacy_ms"] = round(legacy_s * 1000, 3)
+    benchmark.extra_info["new_ms"] = round(new_s * 1000, 3)
+    benchmark.extra_info["speedup_vs_baseline"] = round(speedup, 1)
+    if enforce and n >= FULL_SCALE:
+        assert speedup >= SPEEDUP_BAND, (
+            f"kernel speedup regressed: {speedup:.1f}x < {SPEEDUP_BAND}x "
+            f"at {n} rows (legacy {legacy_s * 1000:.1f}ms, new {new_s * 1000:.1f}ms)"
+        )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_groupby_index(benchmark, n):
+    """Multi-key group index construction (conference x year)."""
+    t = _world_table(n)
+    keys = ["conference", "year"]
+    benchmark(lambda: t.groupby(*keys))
+    legacy_s = _best_of(lambda: _legacy_groupby_index(t, keys))
+    _record(benchmark, legacy_s, n, enforce=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_inner_join(benchmark, n):
+    """Many-to-one join of the role table onto country enrichment."""
+    t = _world_table(n)
+    profiles = _profile_table(40)
+    benchmark(lambda: inner_join(t, profiles, on="country"))
+    legacy_s = _best_of(lambda: _legacy_inner_join_rows(t, profiles, ["country"]))
+    _record(benchmark, legacy_s, n, enforce=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_left_join(benchmark, n):
+    """Left join with the one-to-at-most-one uniqueness check."""
+    t = _world_table(n)
+    profiles = _profile_table(40)
+    benchmark(lambda: left_join(t, profiles, on="country"))
+    legacy_s = _best_of(lambda: _legacy_inner_join_rows(t, profiles, ["country"]))
+    _record(benchmark, legacy_s, n, enforce=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_groupby_agg(benchmark, n):
+    """The FAR cell computation: share of women per conference/year."""
+    t = _world_table(n)
+    aggs = dict(n=count(), far=share("gender", "F"), cites=mean("cites"))
+    benchmark(lambda: t.groupby("conference", "year").agg(**aggs))
+    legacy_s = _best_of(
+        lambda: _legacy_agg(t, ["conference", "year"], dict(aggs))
+    )
+    _record(benchmark, legacy_s, n, enforce=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_value_counts(benchmark, n):
+    """Distinct-value counting on a string column with missing entries."""
+    t = _world_table(n)
+    benchmark(lambda: t.value_counts("gender"))
+    legacy_s = _best_of(lambda: _legacy_value_counts(t, "gender"))
+    _record(benchmark, legacy_s, n, enforce=False)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sort_by_str(benchmark, n):
+    """Stable sort on a string key (rank-encoded vs per-row str())."""
+    t = _world_table(n)
+    benchmark(lambda: t.sort_by("conference", "country"))
+    legacy_s = _best_of(
+        lambda: (_legacy_sort_by_str(t, "country"), _legacy_sort_by_str(t, "conference"))
+    )
+    _record(benchmark, legacy_s, n, enforce=False)

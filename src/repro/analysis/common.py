@@ -12,7 +12,12 @@ __all__ = ["women_share", "share_of", "mask_eq"]
 
 def mask_eq(table: Table, column: str, value) -> np.ndarray:
     """Boolean mask of rows whose column equals ``value``."""
-    return np.array([v == value for v in table[column]], dtype=bool)
+    # elementwise == runs in C even for object columns; None/NaN
+    # entries compare unequal to any real value, matching the old loop
+    eq = table[column] == value
+    if not isinstance(eq, np.ndarray):  # empty or degenerate comparison
+        return np.zeros(table.num_rows, dtype=bool)
+    return eq.astype(bool)
 
 
 def share_of(table: Table, column: str, value) -> Proportion:

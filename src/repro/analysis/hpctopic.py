@@ -37,12 +37,19 @@ class HpcTopicReport:
 def hpc_topic_report(ds: AnalysisDataset) -> HpcTopicReport:
     """Compute §4.1 over an analysis dataset."""
     papers = ds.papers
+    flag_col = papers.col("is_hpc")
+    # the flag column is bool when complete and float-with-NaN when some
+    # proceedings records were missing; a missing flag is *unknown*, not
+    # False (and certainly not True, which bool(NaN) would make it)
+    known = ~flag_col.is_missing()
+    truthy = np.zeros(len(flag_col), dtype=bool)
+    truthy[known] = flag_col.values[known].astype(bool)
     hpc_flags = {
-        pid: bool(flag)
-        for pid, flag in zip(papers["paper_id"], papers["is_hpc"])
-        if flag is not None
+        pid: bool(t)
+        for pid, t, k in zip(papers["paper_id"], truthy, known)
+        if k
     }
-    hpc_count = sum(1 for v in hpc_flags.values() if v)
+    hpc_count = int(truthy.sum())
 
     positions = ds.author_positions
     in_hpc = np.array(
@@ -51,7 +58,7 @@ def hpc_topic_report(ds: AnalysisDataset) -> HpcTopicReport:
     authors_hpc = women_share(positions.filter(in_hpc))
     authors_all = women_share(positions)
 
-    firsts = papers.filter(lambda t: np.array([bool(x) for x in t["is_hpc"]]))
+    firsts = papers.filter(truthy)
     lead_hpc = women_share(firsts, "first_gender")
     lead_all = women_share(papers, "first_gender")
 

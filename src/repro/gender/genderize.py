@@ -54,6 +54,11 @@ class GenderizeClient:
         self._seed = int(service_seed)
         self._bank = bank or default_bank()
         self.queries = 0
+        # the service's data is frozen at query time, so one forename
+        # always maps to one response: memoize it.  ``queries`` still
+        # counts every call — the paper's call-volume statistic is about
+        # how often the pipeline *asks*, not what computing costs.
+        self._memo: dict[str, GenderizeResponse] = {}
 
     def query(self, full_name: str) -> GenderizeResponse:
         """Query the service with a full name (forename is extracted)."""
@@ -61,6 +66,12 @@ class GenderizeClient:
         forename = forename_of(full_name)
         if forename is None:
             return GenderizeResponse(full_name, None, 0.0, 0)
+        resp = self._memo.get(forename)
+        if resp is None:
+            resp = self._memo[forename] = self._infer(forename)
+        return resp
+
+    def _infer(self, forename: str) -> GenderizeResponse:
         entry = self._bank.lookup(forename)
         if entry is None:
             return GenderizeResponse(forename, None, 0.0, 0)
@@ -77,5 +88,9 @@ class GenderizeClient:
         return GenderizeResponse(forename, gender, float(prob), int(count))
 
     def batch(self, names: list[str]) -> list[GenderizeResponse]:
-        """Query many names (the real API supports batches of 10)."""
+        """Query many names (the real API supports batches of 10).
+
+        Duplicate names in one batch resolve through the same memo, so
+        a batch costs one inference per *distinct* forename.
+        """
         return [self.query(n) for n in names]

@@ -145,7 +145,10 @@ def parse_html(text: str) -> HtmlElement:
         pos = m.end()
         close_tag, open_tag, attr_text, self_close, raw_text = m.groups()
         if raw_text is not None:
-            if raw_text.strip():
+            # whitespace-only text *inside* an element is content and
+            # must survive a render/parse roundtrip; at document level
+            # it is formatting and is dropped
+            if raw_text.strip() or len(stack) > 1:
                 stack[-1].children.append(unescape(raw_text))
         elif open_tag is not None:
             attrs = {k: unescape(v) for k, v in _ATTR.findall(attr_text or "")}

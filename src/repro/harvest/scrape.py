@@ -145,16 +145,18 @@ def scrape_site(
         if rec is not None:
             found = {}
             for line in rec.fulltext_header.splitlines():
+                # contact lines carry an address; skipping the rest
+                # avoids cleaning every header line per author
+                if "<" not in line or "@" not in line:
+                    continue
+                email = _email_between_brackets(line)
+                if email is None:
+                    continue
+                # clean once per line, not once per line x author
+                cleaned = clean_person_name(line)
                 for raw, name in zip(raw_names, names):
-                    cleaned = clean_person_name(line)
-                    if (
-                        (line.startswith(raw) or cleaned.startswith(name))
-                        and "<" in line
-                        and "@" in line
-                    ):
-                        email = _email_between_brackets(line)
-                        if email is not None:
-                            found[name] = email
+                    if line.startswith(raw) or cleaned.startswith(name):
+                        found[name] = email
             emails = tuple(found.get(n) for n in names)
         else:
             emails = tuple(None for _ in names)

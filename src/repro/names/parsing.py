@@ -6,10 +6,11 @@ pages, scholar profiles) by name; these helpers define the canonical key.
 
 from __future__ import annotations
 
+import functools
 import re
 import unicodedata
 
-__all__ = ["clean_person_name", "forename_of", "normalize_name", "name_key"]
+__all__ = ["clean_person_name", "forename_of", "normalize_name", "name_key", "cached_name_key"]
 
 _WS = re.compile(r"\s+")
 _INITIAL = re.compile(r"^[A-Za-z]\.?$")
@@ -62,3 +63,16 @@ def name_key(full_name: str) -> str:
     (documented) failure mode real bibliometric pipelines have.
     """
     return _strip_accents(normalize_name(full_name)).lower()
+
+
+@functools.lru_cache(maxsize=65536)
+def cached_name_key(full_name: str) -> str:
+    """Memoized :func:`name_key` for the lookup-loop hot paths.
+
+    Identity resolution and the scholar stores key every observation by
+    name; the same spelling recurs once per role/paper observation, so
+    the normalization (NFKD decompose + filter) is worth caching.  The
+    function is pure; the bound keeps a 10⁷-researcher universe from
+    pinning every spelling in memory.
+    """
+    return name_key(full_name)

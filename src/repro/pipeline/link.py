@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.confmodel.roles import Role
 from repro.harvest.scrape import HarvestedConference
-from repro.names.parsing import name_key
+from repro.names.parsing import cached_name_key, name_key
 
 __all__ = ["ResearcherRecord", "LinkedPaper", "LinkedData", "link_identities"]
 
@@ -86,7 +86,9 @@ def link_identities(harvested: list[HarvestedConference]) -> LinkedData:
 
     def resolve(full_name: str) -> ResearcherRecord:
         nonlocal counter
-        key = name_key(full_name)
+        # same spelling recurs once per role/paper observation; the
+        # cached key skips re-normalizing it every time
+        key = cached_name_key(full_name)
         rec = by_key.get(key)
         if rec is None:
             rec = ResearcherRecord(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.names.parsing import name_key
+from repro.names.parsing import cached_name_key, name_key
 
 __all__ = ["GSProfile", "GoogleScholarStore"]
 
@@ -63,7 +63,7 @@ class GoogleScholarStore:
 
     def search(self, full_name: str) -> list[GSProfile]:
         """All profiles matching a name (may be 0, 1, or several)."""
-        ids = self._by_name.get(name_key(full_name), [])
+        ids = self._by_name.get(cached_name_key(full_name), [])
         return [self._profiles[i] for i in ids]
 
     def unique_match(self, full_name: str) -> GSProfile | None:

@@ -46,9 +46,9 @@ class SemanticScholarStore:
 
     def search_name(self, full_name: str) -> list[S2Record]:
         """All records matching a display name (S2's author search)."""
-        from repro.names.parsing import name_key
+        from repro.names.parsing import cached_name_key
 
-        ids = self._by_name.get(name_key(full_name), [])
+        ids = self._by_name.get(cached_name_key(full_name), [])
         return [self._records[i] for i in ids]
 
     def get(self, person_id: str) -> S2Record | None:

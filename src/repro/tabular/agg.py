@@ -1,8 +1,17 @@
-"""Ready-made aggregation callables for ``GroupBy.agg``."""
+"""Ready-made aggregation callables for ``GroupBy.agg``.
+
+Each helper declares the columns it reads via a ``columns`` attribute on
+the returned callable.  When every aggregation passed to
+:meth:`~repro.tabular.groupby.GroupBy.agg` carries the attribute, the
+per-group sub-tables are pruned to exactly those columns — the analysis
+hot path then materializes one or two columns per group instead of the
+whole table width.  Hand-written lambdas (no attribute) simply disable
+the pruning for that call.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -11,14 +20,19 @@ from repro.tabular.table import Table
 __all__ = ["count", "total", "mean", "nan_mean", "share", "rate"]
 
 
+def _declares(fn: Callable, columns: Sequence[str]) -> Callable:
+    fn.columns = tuple(columns)
+    return fn
+
+
 def count() -> Callable[[Table], int]:
     """Number of rows in the group."""
-    return lambda g: g.num_rows
+    return _declares(lambda g: g.num_rows, ())
 
 
 def total(name: str) -> Callable[[Table], float]:
     """Sum of a numeric column (NaN-aware)."""
-    return lambda g: float(np.nansum(g[name].astype(np.float64)))
+    return _declares(lambda g: float(np.nansum(g[name].astype(np.float64))), (name,))
 
 
 def mean(name: str) -> Callable[[Table], float]:
@@ -28,7 +42,7 @@ def mean(name: str) -> Callable[[Table], float]:
         v = g[name].astype(np.float64)
         return float(np.mean(v)) if v.size else float("nan")
 
-    return _mean
+    return _declares(_mean, (name,))
 
 
 def nan_mean(name: str) -> Callable[[Table], float]:
@@ -39,7 +53,7 @@ def nan_mean(name: str) -> Callable[[Table], float]:
         obs = v[~np.isnan(v)]
         return float(np.mean(obs)) if obs.size else float("nan")
 
-    return _mean
+    return _declares(_mean, (name,))
 
 
 def share(name: str, value) -> Callable[[Table], float]:
@@ -58,7 +72,7 @@ def share(name: str, value) -> Callable[[Table], float]:
         hits = int(np.sum((col.values == value) & ~miss))
         return hits / denom
 
-    return _share
+    return _declares(_share, (name,))
 
 
 def rate(numerator: Callable[[Table], float], denominator: Callable[[Table], float]):
@@ -70,4 +84,8 @@ def rate(numerator: Callable[[Table], float], denominator: Callable[[Table], flo
             return float("nan")
         return numerator(g) / d
 
+    num_cols = getattr(numerator, "columns", None)
+    den_cols = getattr(denominator, "columns", None)
+    if num_cols is not None and den_cols is not None:
+        _declares(_rate, tuple(dict.fromkeys((*num_cols, *den_cols))))
     return _rate

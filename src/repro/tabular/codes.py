@@ -1,0 +1,293 @@
+"""Vectorized key factorization shared by the tabular kernels.
+
+Groupby, the hash joins, ``value_counts`` and ``sort_by`` all reduce to
+the same primitive: map each row's key to a small integer *code* such
+that two rows get the same code iff their keys are equal under the
+engine's key semantics.  Once keys are codes, everything else is NumPy
+(``bincount``, ``argsort``, ``searchsorted``) and the per-row Python
+tuple loops disappear.
+
+Missing-key contract (METHODOLOGY §15): a missing key — NaN in a float
+column, ``None`` in a string column — is canonicalized into a *single*
+missing code per column.  All missing entries therefore land in one
+group (and match each other in joins) instead of each NaN spawning its
+own singleton group via ``nan != nan``.  The canonical key value
+reported for a missing float key is the module-level :data:`MISSING`
+singleton, so key tuples containing it behave as stable dict keys
+(tuple/dict lookups short-circuit on identity before ``==``).
+
+Because columns are immutable, a column's factorization is computed
+once and cached on the column: the report layer groups the same
+dataset columns many times (FAR by conference, by role, by year, ...)
+and every grouping after the first reuses the codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tabular.column import Column
+
+__all__ = [
+    "MISSING",
+    "Factorized",
+    "factorize",
+    "combine_codes",
+    "group_index",
+    "factorize_join_keys",
+    "sort_codes",
+]
+
+#: Canonical missing float key.  A single shared ``nan`` object: tuples
+#: and dicts compare elements by identity first, so key tuples built
+#: from this exact object round-trip through lookups even though
+#: ``nan != nan``.
+MISSING: float = float("nan")
+
+# int64 headroom guard for composed multi-key codes
+_CODE_LIMIT = 2**62
+
+
+def _dense_limit(n: int) -> int:
+    """Max code span for which dense bincount-style kernels pay off."""
+    return 4 * n + 1024
+
+
+@dataclass(frozen=True)
+class Factorized:
+    """Integer codes for one key column.
+
+    ``uniques[code]`` recovers the canonical key value; ``missing_code``
+    is the code shared by every missing entry (or None when the column
+    has no missing entries).  Codes are dense in ``[0, n_codes)`` but
+    ``uniques`` is *not* necessarily sorted — order is representation-
+    dependent (first-seen for object columns, ascending for numeric).
+    """
+
+    codes: np.ndarray  # int64, one entry per row
+    uniques: list      # code -> canonical key value
+    missing_code: int | None = None
+
+    @property
+    def n_codes(self) -> int:
+        return len(self.uniques)
+
+    def key_at(self, row: int):
+        """The canonical key value of ``row``."""
+        return self.uniques[self.codes[row]]
+
+
+def _factorize_object(values: np.ndarray) -> Factorized:
+    """Single-pass dict factorization for str/object columns.
+
+    Python-level equality/hash — exactly the legacy per-row-tuple
+    semantics — with ``None`` canonicalized as the missing key.  One
+    ``setdefault`` per row beats mask-then-unique on object arrays.
+    """
+    seen: dict = {}
+    codes = np.fromiter(
+        (seen.setdefault(v, len(seen)) for v in values),
+        dtype=np.int64,
+        count=len(values),
+    )
+    uniques = list(seen)
+    missing_code = seen.get(None)
+    if missing_code is not None:
+        uniques[missing_code] = None
+    return Factorized(codes, uniques, missing_code)
+
+
+def _factorize_float(values: np.ndarray) -> Factorized:
+    mask = np.isnan(values)
+    if mask.any():
+        uniq, inv = np.unique(values[~mask], return_inverse=True)
+        uniques = uniq.tolist()
+        codes = np.empty(len(values), dtype=np.int64)
+        codes[~mask] = inv
+        missing_code = len(uniques)
+        codes[mask] = missing_code
+        uniques.append(MISSING)
+        return Factorized(codes, uniques, missing_code)
+    uniq, inv = np.unique(values, return_inverse=True)
+    return Factorized(inv.astype(np.int64), uniq.tolist(), None)
+
+
+def _factorize_int(values: np.ndarray) -> Factorized:
+    """int columns: dense counting-sort factorization for small ranges."""
+    n = len(values)
+    if n:
+        vmin = int(values.min())
+        vmax = int(values.max())
+        if vmax - vmin <= _dense_limit(n):
+            off = values - vmin
+            present = np.nonzero(np.bincount(off))[0]
+            codes = np.searchsorted(present, off).astype(np.int64)
+            return Factorized(codes, list(present + vmin), None)
+    uniq, inv = np.unique(values, return_inverse=True)
+    return Factorized(inv.astype(np.int64), list(uniq), None)
+
+
+def factorize(col: Column) -> Factorized:
+    """Factorize one column under the missing-key contract.
+
+    The result is cached on the (immutable) column; repeated groupings
+    and joins over the same column reuse the codes.
+    """
+    cached = col._fact
+    if cached is not None:
+        return cached
+    if col.kind == "float":
+        f = _factorize_float(col.values)
+    elif col.kind == "int":
+        f = _factorize_int(col.values)
+    elif col.kind == "bool":
+        uniq, inv = np.unique(col.values, return_inverse=True)
+        f = Factorized(inv.astype(np.int64), list(uniq), None)
+    else:
+        f = _factorize_object(col.values)
+    col._fact = f
+    return f
+
+
+def combine_codes(facts: list[Factorized]) -> tuple[np.ndarray, int]:
+    """Compose per-column codes into one int64 code per row.
+
+    Returns ``(codes, span)``: equal composed codes iff all per-column
+    codes are equal, with every code in ``[0, span)``.  Codes are
+    re-compressed through ``np.unique`` whenever the span would
+    overflow the int64 headroom.
+    """
+    codes = facts[0].codes
+    span = max(facts[0].n_codes, 1)
+    for f in facts[1:]:
+        width = max(f.n_codes, 1)
+        if span > _CODE_LIMIT // width:
+            _, codes = np.unique(codes, return_inverse=True)
+            codes = codes.astype(np.int64)
+            span = int(codes.max()) + 1 if codes.size else 1
+        codes = codes * width + f.codes
+        span = span * width
+    return codes, span
+
+
+def group_index(codes: np.ndarray, span: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Group rows by code, in first-appearance order of each code.
+
+    Returns ``(reps, groups)``: for group ``g``, ``reps[g]`` is the row
+    index of its first appearance and ``groups[g]`` the row indices of
+    its members in original row order.
+    """
+    n = len(codes)
+    if span > _dense_limit(n):
+        # sparse code space: compress first
+        _, codes = np.unique(codes, return_inverse=True)
+        codes = codes.astype(np.int64)
+        span = int(codes.max()) + 1 if n else 0
+    counts = np.bincount(codes, minlength=span)
+    # reversed fancy-index assignment: the last write per code is its
+    # first occurrence in row order
+    first = np.full(span, -1, dtype=np.int64)
+    first[codes[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    present = np.nonzero(counts)[0]
+    order = present[np.argsort(first[present], kind="stable")]
+    rank = np.empty(span, dtype=np.int64)
+    rank[order] = np.arange(order.size)
+    gid = rank[codes]
+    row_order = np.argsort(gid, kind="stable")
+    groups = np.split(row_order, np.cumsum(counts[order])[:-1]) if order.size else []
+    return first[order], groups
+
+
+def _merge_maps(
+    lf: Factorized, rf: Factorized
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Joint code space for one key column of two join sides.
+
+    Maps each side's codes into a shared space by merging the (small)
+    unique sets — O(uniques), not O(rows).  Python hash semantics make
+    cross-kind numeric keys (``1 == 1.0 == True``) match, exactly like
+    the legacy per-row tuples; both sides' missing codes share one
+    joint missing code.
+    """
+    joint: dict = {}
+    lmap = np.empty(max(lf.n_codes, 1), dtype=np.int64)
+    rmap = np.empty(max(rf.n_codes, 1), dtype=np.int64)
+    for code, v in enumerate(lf.uniques):
+        if code != lf.missing_code:
+            lmap[code] = joint.setdefault(v, len(joint))
+    for code, v in enumerate(rf.uniques):
+        if code != rf.missing_code:
+            rmap[code] = joint.setdefault(v, len(joint))
+    width = len(joint)
+    if lf.missing_code is not None or rf.missing_code is not None:
+        if lf.missing_code is not None:
+            lmap[lf.missing_code] = width
+        if rf.missing_code is not None:
+            rmap[rf.missing_code] = width
+        width += 1
+    return lmap, rmap, width
+
+
+def factorize_join_keys(
+    left_cols: list[Column], right_cols: list[Column]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Comparable codes for the key columns of two tables.
+
+    Returns ``(left_codes, right_codes, span)`` where equal codes mean
+    equal keys across the two tables (missing keys canonicalized per
+    the §15 contract, so NaN/None keys match each other).
+    """
+    nl = len(left_cols[0])
+    nr = len(right_cols[0])
+    lc = np.zeros(nl, dtype=np.int64)
+    rc = np.zeros(nr, dtype=np.int64)
+    span = 1
+    for lcol, rcol in zip(left_cols, right_cols):
+        lf, rf = factorize(lcol), factorize(rcol)
+        lmap, rmap, width = _merge_maps(lf, rf)
+        width = max(width, 1)
+        if span > _CODE_LIMIT // width:
+            both = np.concatenate([lc, rc])
+            _, both = np.unique(both, return_inverse=True)
+            lc, rc = both[:nl].astype(np.int64), both[nl:].astype(np.int64)
+            span = int(both.max()) + 1 if both.size else 1
+        lc = lc * width + (lmap[lf.codes] if nl else lc)
+        rc = rc * width + (rmap[rf.codes] if nr else rc)
+        span = span * width
+    if span > _dense_limit(nl + nr):
+        both = np.concatenate([lc, rc])
+        _, both = np.unique(both, return_inverse=True)
+        lc, rc = both[:nl].astype(np.int64), both[nl:].astype(np.int64)
+        span = int(both.max()) + 1 if both.size else 0
+    return lc, rc, span
+
+
+def sort_codes(col: Column) -> np.ndarray:
+    """Order-preserving int codes for a string column's sort keys.
+
+    Matches the legacy key ``"" if v is None else str(v)``: None ties
+    with the empty string (equal keys share a rank, so a stable sort
+    interleaves them in original order), and arbitrary objects compare
+    by their str() form.
+    """
+    f = factorize(col)
+
+    def key_of(code: int) -> str:
+        if code == f.missing_code:
+            return ""
+        v = f.uniques[code]
+        return v if isinstance(v, str) else str(v)
+
+    order = sorted(range(f.n_codes), key=key_of)
+    rank = np.empty(max(f.n_codes, 1), dtype=np.int64)
+    r = 0
+    prev: str | None = None
+    for i, code in enumerate(order):
+        k = key_of(code)
+        if i and k != prev:
+            r += 1
+        rank[code] = r
+        prev = k
+    return rank[f.codes]

@@ -14,35 +14,32 @@ _KINDS = {"int": np.int64, "float": np.float64, "bool": np.bool_, "str": object}
 def infer_dtype(values: Sequence[Any]) -> str:
     """Infer a column kind ('int' | 'float' | 'bool' | 'str') from values.
 
-    ``None`` mixed with numbers promotes to float (NaN); ``None`` mixed
-    with strings stays a string column with ``None`` entries.
-    An all-``None``/empty input infers 'str' (the most permissive kind).
+    ``None`` mixed with numbers — ints *or* bools — promotes to float
+    (NaN); ``None`` mixed with strings stays a string column with
+    ``None`` entries.  An all-``None``/empty input infers 'str' (the
+    most permissive kind).
     """
-    saw_float = saw_int = saw_bool = saw_str = False
+    saw_float = saw_int = saw_bool = saw_str = saw_none = False
     for v in values:
         if v is None:
-            saw_float = saw_float or False
-            continue
-        if isinstance(v, (bool, np.bool_)):
+            saw_none = True
+        elif isinstance(v, (bool, np.bool_)):
             saw_bool = True
         elif isinstance(v, (int, np.integer)):
             saw_int = True
         elif isinstance(v, (float, np.floating)):
             saw_float = True
-        elif isinstance(v, str):
-            saw_str = True
         else:
-            saw_str = True  # arbitrary objects ride in object columns
+            saw_str = True  # strings and arbitrary objects ride in object columns
     if saw_str:
         return "str"
     if saw_float:
         return "float"
     if saw_int:
-        if any(v is None for v in values):
-            return "float"
-        return "int"
+        return "float" if saw_none else "int"
     if saw_bool:
-        return "bool"
+        # bool cannot represent missing (None would coerce to False)
+        return "float" if saw_none else "bool"
     return "str"
 
 
@@ -54,9 +51,12 @@ class Column:
     NaN, which forces a float kind.
     """
 
-    __slots__ = ("name", "kind", "values")
+    __slots__ = ("name", "kind", "values", "_fact")
 
     def __init__(self, name: str, values: Any, kind: str | None = None) -> None:
+        # lazy factorization cache (repro.tabular.codes.factorize); safe
+        # because the column is immutable
+        self._fact = None
         if kind is None:
             if isinstance(values, np.ndarray) and values.dtype != object:
                 kind = {
@@ -94,16 +94,31 @@ class Column:
     def __getitem__(self, idx):
         return self.values[idx]
 
+    @classmethod
+    def _wrap(cls, name: str, kind: str, arr: np.ndarray) -> "Column":
+        """Adopt an already-typed array without re-validating/copying."""
+        col = cls.__new__(cls)
+        col.name = name
+        col.kind = kind
+        arr.setflags(write=False)
+        col.values = arr
+        col._fact = None
+        return col
+
     def take(self, indices: np.ndarray) -> "Column":
         """New column with rows at ``indices`` (order preserved)."""
-        return Column(self.name, self.values[indices], kind=self.kind)
+        return Column._wrap(self.name, self.kind, self.values[indices])
 
     def mask(self, keep: np.ndarray) -> "Column":
         """New column keeping rows where ``keep`` is True."""
-        return Column(self.name, self.values[np.asarray(keep, dtype=bool)], kind=self.kind)
+        return Column._wrap(
+            self.name, self.kind, self.values[np.asarray(keep, dtype=bool)]
+        )
 
     def rename(self, name: str) -> "Column":
-        return Column(name, self.values, kind=self.kind)
+        col = Column._wrap(name, self.kind, self.values)
+        col._fact = self._fact  # same values, same factorization
+        return col
 
     def is_missing(self) -> np.ndarray:
         """Boolean mask of missing entries (NaN or None)."""

@@ -2,21 +2,33 @@
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.obs.context import current as _obs
+from repro.tabular.codes import MISSING, combine_codes, factorize, group_index
 from repro.tabular.table import Table
 
 __all__ = ["GroupBy"]
+
+
+def _canonical(value: Any) -> Any:
+    """Map any NaN float to the canonical missing-key singleton."""
+    if isinstance(value, (float, np.floating)) and math.isnan(value):
+        return MISSING
+    return value
 
 
 class GroupBy:
     """Grouping of a table by one or more key columns.
 
     Group order is first-appearance order of each key tuple, which keeps
-    reports deterministic without a separate sort.
+    reports deterministic without a separate sort.  Missing keys (NaN in
+    a float column, ``None`` in a string column) form a *single* group
+    per the missing-key contract (METHODOLOGY §15); its position is its
+    first appearance, like any other key.
     """
 
     def __init__(self, table: Table, keys: Sequence[str]) -> None:
@@ -28,18 +40,20 @@ class GroupBy:
 
     def _build_index(self) -> dict[tuple, np.ndarray]:
         cols = [self._table.col(k) for k in self._keys]
-        buckets: dict[tuple, list[int]] = {}
-        # Materialize key tuples once; object-array iteration is the cost.
-        columns = [c.values for c in cols]
-        for i in range(self._table.num_rows):
-            key = tuple(col[i] for col in columns)
-            buckets.setdefault(key, []).append(i)
+        index: dict[tuple, np.ndarray] = {}
+        if self._table.num_rows:
+            facts = [factorize(c) for c in cols]
+            codes, span = combine_codes(facts)
+            reps, groups = group_index(codes, span)
+            for rep, rows in zip(reps, groups):
+                key = tuple(f.key_at(rep) for f in facts)
+                index[key] = rows
         m = _obs().metrics
         if m.enabled:
             m.inc("tabular.groupby.calls")
-            m.inc("tabular.groupby.groups", len(buckets))
+            m.inc("tabular.groupby.groups", len(index))
             m.inc("tabular.groupby.rows_in", self._table.num_rows)
-        return {k: np.array(v, dtype=np.int64) for k, v in buckets.items()}
+        return index
 
     @property
     def keys(self) -> tuple[str, ...]:
@@ -50,8 +64,13 @@ class GroupBy:
         return {k: self._table.take(idx) for k, idx in self._index.items()}
 
     def group(self, *key: Any) -> Table:
-        """The sub-table for one key tuple (raises KeyError if absent)."""
-        k = tuple(key)
+        """The sub-table for one key tuple (raises KeyError if absent).
+
+        NaN components are canonicalized, so ``group(float("nan"))``
+        finds the missing group regardless of which NaN object the
+        caller passes.
+        """
+        k = tuple(_canonical(v) for v in key)
         if k not in self._index:
             raise KeyError(f"no group {k!r}")
         return self._table.take(self._index[k])
@@ -75,10 +94,17 @@ class GroupBy:
                 far=lambda g: far_of(g),
                 n=lambda g: g.num_rows,
             )
+
+        The helpers in :mod:`repro.tabular.agg` declare which columns
+        they read (a ``columns`` attribute on the callable); when every
+        aggregation declares its columns, the per-group sub-tables are
+        pruned to exactly those columns, which keeps the hot analysis
+        loops from materializing untouched columns group by group.
         """
+        source = self._agg_source(aggregations.values())
         rows = []
         for k, idx in self._index.items():
-            sub = self._table.take(idx)
+            sub = source.take(idx)
             row = dict(zip(self._keys, k))
             for name, fn in aggregations.items():
                 row[name] = fn(sub)
@@ -86,6 +112,21 @@ class GroupBy:
         return Table.from_records(
             rows, columns=list(self._keys) + list(aggregations.keys())
         )
+
+    def _agg_source(self, fns) -> Table:
+        """The table sub-groups are cut from: column-pruned when possible."""
+        needed: set[str] = set()
+        for fn in fns:
+            cols = getattr(fn, "columns", None)
+            if cols is None:
+                return self._table
+            needed.update(cols)
+        keep = [c for c in self._table.columns if c in needed]
+        if not keep:
+            # zero-column tables lose their row count; keep one column
+            # so ``count()``-style aggregations still see group sizes
+            keep = self._table.columns[:1]
+        return self._table.select(keep)
 
     def apply(self, fn: Callable[[tuple, Table], Mapping[str, Any]]) -> Table:
         """Apply ``fn(key, subtable) -> row dict`` to each group."""

@@ -1,4 +1,13 @@
-"""Hash joins for the tabular engine."""
+"""Hash joins for the tabular engine.
+
+Key matching runs on jointly factorized integer codes
+(:mod:`repro.tabular.codes`): both sides' key columns are stacked,
+factorized once, and all row matching is ``argsort``/``searchsorted``
+arithmetic — no per-row Python key tuples.  Missing keys (NaN/None)
+are canonicalized per the METHODOLOGY §15 contract: missing matches
+missing, and duplicate missing keys on the right side of a left join
+violate the uniqueness contract like any other duplicate.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +16,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.obs.context import current as _obs
+from repro.tabular.codes import factorize_join_keys
 from repro.tabular.column import Column
 from repro.tabular.table import Table
 
 __all__ = ["inner_join", "left_join"]
-
-
-def _key_rows(table: Table, keys: Sequence[str]) -> list[tuple]:
-    cols = [table.col(k).values for k in keys]
-    return [tuple(col[i] for col in cols) for i in range(table.num_rows)]
 
 
 def _suffix_conflicts(left: Table, right: Table, keys: Sequence[str], suffix: str) -> Table:
@@ -27,28 +32,45 @@ def _suffix_conflicts(left: Table, right: Table, keys: Sequence[str], suffix: st
     return right.rename(renames) if renames else right
 
 
+def _key_codes(
+    left: Table, right: Table, keys: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray, int]:
+    if not keys:
+        raise ValueError("join requires at least one key column")
+    return factorize_join_keys(
+        [left.col(k) for k in keys], [right.col(k) for k in keys]
+    )
+
+
 def inner_join(
     left: Table, right: Table, on: Sequence[str] | str, suffix: str = "_right"
 ) -> Table:
     """Inner join on equality of key columns.
 
-    Matches every pair of rows with equal keys (many-to-many).  Non-key
+    Matches every pair of rows with equal keys (many-to-many); missing
+    keys are equal to each other (one missing group per column).  Non-key
     columns of ``right`` that clash with ``left`` get ``suffix``.
     Output row order: left order, then right match order — deterministic.
     """
     keys = [on] if isinstance(on, str) else list(on)
     right = _suffix_conflicts(left, right, keys, suffix)
-    index: dict[tuple, list[int]] = {}
-    for j, key in enumerate(_key_rows(right, keys)):
-        index.setdefault(key, []).append(j)
-    li: list[int] = []
-    ri: list[int] = []
-    for i, key in enumerate(_key_rows(left, keys)):
-        for j in index.get(key, ()):
-            li.append(i)
-            ri.append(j)
-    lidx = np.array(li, dtype=np.int64)
-    ridx = np.array(ri, dtype=np.int64)
+    lc, rc, span = _key_codes(left, right, keys)
+    # codes are dense in [0, span), so per-code match runs come straight
+    # from a bincount — no searchsorted over the left side needed
+    order_r = np.argsort(rc, kind="stable")
+    counts_r = np.bincount(rc, minlength=span)
+    starts_r = np.cumsum(counts_r) - counts_r
+    counts = counts_r[lc]
+    lidx = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    total = int(counts.sum())
+    if total:
+        # for each left row, its matches are the run of order_r starting
+        # at starts_r[code]
+        run_starts = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        ridx = order_r[np.repeat(starts_r[lc], counts) + offsets]
+    else:
+        ridx = np.empty(0, dtype=np.int64)
     out = left.take(lidx)
     rtaken = right.take(ridx)
     for n in rtaken.columns:
@@ -67,18 +89,25 @@ def left_join(
     """Left join; unmatched left rows get missing values on right columns.
 
     ``right`` must be unique on the key columns (one-to-at-most-one);
-    duplicate right keys raise to avoid silent row multiplication.
+    duplicate right keys raise to avoid silent row multiplication — and
+    since missing keys are canonicalized, two NaN/None right keys are
+    duplicates of each other too.
     """
     keys = [on] if isinstance(on, str) else list(on)
     right = _suffix_conflicts(left, right, keys, suffix)
-    index: dict[tuple, int] = {}
-    for j, key in enumerate(_key_rows(right, keys)):
-        if key in index:
+    lc, rc, n_codes = _key_codes(left, right, keys)
+    if n_codes:
+        right_counts = np.bincount(rc, minlength=n_codes)
+        if (right_counts > 1).any():
+            dup_code = int(np.argmax(right_counts > 1))
+            j = int(np.argmax(rc == dup_code))
+            key = tuple(right.col(k).values[j] for k in keys)
             raise ValueError(f"left_join right side has duplicate key {key!r}")
-        index[key] = j
-    match = np.array(
-        [index.get(key, -1) for key in _key_rows(left, keys)], dtype=np.int64
-    )
+        lookup = np.full(n_codes, -1, dtype=np.int64)
+        lookup[rc] = np.arange(len(right), dtype=np.int64)
+        match = lookup[lc]
+    else:
+        match = np.full(len(left), -1, dtype=np.int64)
     out = left
     matched = match >= 0
     safe = np.where(matched, match, 0)

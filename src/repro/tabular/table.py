@@ -178,11 +178,15 @@ class Table:
         # Sort by least-significant key first (stable sorts compose).
         for name, d in reversed(list(zip(names, desc))):
             col = self.col(name)
-            vals = col.values[idx]
             if col.kind == "str":
-                keys = np.array(["" if v is None else str(v) for v in vals])
+                # rank-encode once per key column: None sorts as "" and
+                # lexicographic order is preserved, but the sort itself
+                # runs on int codes instead of per-row str() calls
+                from repro.tabular.codes import sort_codes
+
+                keys = sort_codes(col)[idx]
             else:
-                keys = vals
+                keys = col.values[idx]
             if d:
                 # Stable descending: rank values ascending, then stably
                 # sort by negated rank (plain reversal would break ties).
@@ -217,16 +221,22 @@ class Table:
         return GroupBy(self, keys)
 
     def value_counts(self, name: str) -> "Table":
-        """Counts of distinct values of a column, descending by count."""
+        """Counts of distinct values of a column, descending by count.
+
+        Missing entries (NaN/None) are excluded.  Counting runs on
+        factorized codes (one ``bincount``), not a per-row dict.
+        """
+        from repro.tabular.codes import factorize
+
         col = self.col(name)
-        counts: dict = {}
-        for v in col.values:
-            if col.kind == "float" and np.isnan(v):
-                continue
-            if v is None:
-                continue
-            counts[v] = counts.get(v, 0) + 1
-        items = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        f = factorize(col)
+        counts = np.bincount(f.codes, minlength=f.n_codes)
+        items = [
+            (f.uniques[code], int(c))
+            for code, c in enumerate(counts)
+            if c and code != f.missing_code
+        ]
+        items.sort(key=lambda kv: (-kv[1], str(kv[0])))
         return Table({name: [k for k, _ in items], "count": [c for _, c in items]})
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

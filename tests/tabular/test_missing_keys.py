@@ -1,0 +1,134 @@
+"""Regression tests for the missing-key correctness fixes (METHODOLOGY §15).
+
+Each test here fails on the pre-fix kernels:
+
+- per-row ``tuple(col[i] ...)`` grouping hashed every NaN scalar as a
+  distinct dict key, so each NaN row became its own singleton group;
+- the joins dropped NaN-key matches (``nan != nan``) and the left-join
+  duplicate guard never fired for duplicate NaN right keys;
+- ``infer_dtype`` returned 'bool' for bool-with-``None`` input and the
+  constructor silently coerced ``None → False``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tabular import Column, Table, count, infer_dtype, inner_join, left_join, share
+
+pytestmark = pytest.mark.tabular
+
+NAN = float("nan")
+
+
+class TestGroupbyMissingKeys:
+    def test_nan_rows_form_single_group(self):
+        t = Table({"x": [NAN, NAN, 1.0]})
+        gb = t.groupby("x")
+        assert len(gb) == 2  # pre-fix: 3 (one singleton group per NaN)
+
+    def test_missing_group_position_is_first_appearance(self):
+        t = Table({"x": [2.0, NAN, 2.0, NAN, 1.0]})
+        keys = [k for k, _ in t.groupby("x")]
+        assert keys[0] == (2.0,)
+        assert math.isnan(keys[1][0])
+        assert keys[2] == (1.0,)
+
+    def test_group_lookup_with_any_nan_object(self):
+        t = Table({"x": [NAN, 5.0, NAN]})
+        gb = t.groupby("x")
+        # a fresh NaN object (not the canonical singleton) must find it
+        assert gb.group(float("nan")).num_rows == 2
+        assert gb.group(np.float64("nan")).num_rows == 2
+
+    def test_none_string_keys_form_single_group(self):
+        t = Table({"g": [None, "F", None, "M", None]})
+        sizes = {k[0]: sub.num_rows for k, sub in t.groupby("g")}
+        assert sizes == {None: 3, "F": 1, "M": 1}
+
+    def test_multi_key_missing_components(self):
+        t = Table(
+            {
+                "conf": ["SC", None, "SC", None],
+                "year": [NAN, 2017.0, NAN, 2017.0],
+            }
+        )
+        gb = t.groupby("conf", "year")
+        assert len(gb) == 2
+        for key, sub in gb:
+            assert sub.num_rows == 2
+
+    def test_agg_over_missing_group(self):
+        t = Table({"x": [NAN, NAN, 1.0], "g": ["F", "M", "F"]})
+        out = t.groupby("x").agg(n=count(), far=share("g", "F"))
+        recs = out.to_records()
+        assert [r["n"] for r in recs] == [2, 1]
+        assert recs[0]["far"] == 0.5
+
+
+class TestJoinMissingKeys:
+    def test_inner_join_matches_nan_keys(self):
+        left = Table({"k": [1.0, NAN], "a": [1, 2]})
+        right = Table({"k": [NAN, 1.0], "b": [10, 20]})
+        out = inner_join(left, right, on="k")
+        # pre-fix: the NaN pair silently dropped (1 row)
+        assert out.num_rows == 2
+        recs = out.to_records()
+        assert recs[0]["b"] == 20
+        assert recs[1]["b"] == 10
+
+    def test_inner_join_matches_none_string_keys(self):
+        left = Table({"k": ["a", None]})
+        right = Table({"k": [None], "v": [7]})
+        out = inner_join(left, right, on="k")
+        assert out.num_rows == 1
+        assert out["v"].tolist() == [7]
+
+    def test_left_join_rejects_duplicate_nan_right_keys(self):
+        left = Table({"k": [1.0]})
+        right = Table({"k": [NAN, NAN], "v": [1, 2]})
+        # pre-fix: nan != nan meant the guard never fired
+        with pytest.raises(ValueError, match="duplicate"):
+            left_join(left, right, on="k")
+
+    def test_left_join_rejects_duplicate_none_right_keys(self):
+        left = Table({"k": ["a"]})
+        right = Table({"k": [None, None], "v": [1, 2]})
+        with pytest.raises(ValueError, match="duplicate"):
+            left_join(left, right, on="k")
+
+    def test_left_join_matches_missing_left_keys(self):
+        left = Table({"k": [NAN, 2.0]})
+        right = Table({"k": [NAN], "v": [9]})
+        out = left_join(left, right, on="k")
+        assert out.num_rows == 2
+        assert out["v"][0] == 9.0
+        assert np.isnan(out["v"][1])
+
+
+class TestBoolMissingPromotion:
+    def test_infer_dtype_promotes_bool_with_none(self):
+        assert infer_dtype([True, None, False]) == "float"
+
+    def test_column_keeps_missing_as_nan(self):
+        c = Column("b", [True, None, False])
+        # pre-fix: kind stayed 'bool' and None coerced to False
+        assert c.kind == "float"
+        assert c.values[0] == 1.0
+        assert np.isnan(c.values[1])
+        assert c.values[2] == 0.0
+        assert c.is_missing().tolist() == [False, True, False]
+
+    def test_pure_bool_stays_bool(self):
+        c = Column("b", [True, False])
+        assert c.kind == "bool"
+        assert infer_dtype([True, False]) == "bool"
+
+    def test_table_from_records_with_missing_flags(self):
+        t = Table.from_records([{"f": True}, {"f": None}, {"f": False}])
+        col = t.col("f")
+        assert col.kind == "float"
+        # the missing flag must not count as either True or False
+        assert int(np.nansum(col.values)) == 1
+        assert col.is_missing().sum() == 1
