@@ -6,7 +6,7 @@ FAULT_RATE ?= 0.5
 # run straight from the source tree; harmless when pip-installed
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test faults contracts obs engine ledger chaos serve serve-test bench-serve tabular-bench regress engine-demo audit bench examples artifact report trace profile verify-all clean
+.PHONY: install test faults contracts obs engine ledger chaos serve serve-test bench-serve tabular-bench scale scale-bench regress engine-demo audit bench examples artifact report trace profile verify-all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -50,6 +50,16 @@ bench-serve:
 # per-row loops; enforces the >=5x band at the 1e5-row scale
 tabular-bench:
 	$(PYTHON) -m pytest benchmarks/bench_tabular.py --benchmark-only
+
+# sharded-scaling suite (shard plans, worker-count determinism,
+# per-shard cache invalidation, committee-quorum floor)
+scale:
+	$(PYTHON) -m pytest tests/ -m scale
+
+# sharded-scaling benchmark: a 36-shard 10^5-researcher universe end to
+# end, plus the peak-RSS-vs-shard-count band (writes BENCH_scale.json)
+scale-bench:
+	$(PYTHON) -m pytest benchmarks/bench_scale.py --benchmark-only
 
 # chaos suite: supervised execution under injected node/cache faults,
 # quarantine/repair, and end-to-end heal-to-100% runs

@@ -1,0 +1,118 @@
+"""Benchmark SCALE: the sharded streaming pipeline at 10⁵ researchers.
+
+Two claims of the sharded execution model, measured end to end:
+
+- **Scale ceiling** — a 12-venue, 3-year synthetic universe (36 shards)
+  runs to a merged dataset of ≥10⁵ researchers in one benchmark round;
+  the researchers/papers/wall/peak-RSS point lands in ``extra_info``.
+- **Streaming memory** — peak RSS grows sublinearly in shard count at
+  fixed per-shard size: 8 shards must stay within 2x the peak RSS of a
+  single shard, because each shard's heavyweight intermediates (world,
+  harvest, linked records) die with its node body and only compact
+  analysis tables reach the merge.
+
+Every configuration runs in its own subprocess so
+``resource.getrusage(RUSAGE_SELF).ru_maxrss`` is that run's true
+process-lifetime peak, not an artifact of earlier allocations in the
+pytest process.  The session conftest publishes the collected stats to
+``benchmarks/output/BENCH_scale.json``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+# one subprocess per measured configuration; the child prints one JSON line
+_CHILD = """
+import json, resource, sys, time
+from repro.api import RunConfig, WorldConfig, run_sharded
+
+cfg = json.loads(sys.argv[1])
+rc = RunConfig(
+    world=WorldConfig(
+        seed=cfg["seed"],
+        scale=cfg["scale"],
+        venues=cfg["venues"],
+        years=tuple(cfg["years"]),
+    ),
+    shards=cfg["venues"],
+    shard_workers=cfg["workers"],
+)
+t0 = time.perf_counter()
+res = run_sharded(rc)
+print(json.dumps({
+    "researchers": res.researchers,
+    "papers": res.dataset.papers.num_rows,
+    "shards": len(res.plan),
+    "wall_s": time.perf_counter() - t0,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _measure(
+    *, seed=7, scale=1.0, venues=1, years=(2017,), workers=1
+) -> dict:
+    cfg = {
+        "seed": seed,
+        "scale": scale,
+        "venues": venues,
+        "years": list(years),
+        "workers": workers,
+    }
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, json.dumps(cfg)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_streaming_100k_researchers(benchmark):
+    """36 shards, ≥3 years, ≥12 venues, ≥10⁵ merged researchers."""
+    stats = benchmark.pedantic(
+        lambda: _measure(
+            scale=18.0, venues=12, years=(2016, 2017, 2018), workers=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats["shards"] == 36
+    assert stats["researchers"] >= 100_000
+    assert stats["papers"] > 0
+    benchmark.extra_info.update(stats)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_peak_rss_sublinear_in_shard_count(benchmark):
+    """Fixed per-shard size: 8x the shards must cost ≤ 2x the peak RSS."""
+
+    def curve():
+        return {
+            v: _measure(scale=4.0, venues=v, workers=1) for v in (1, 2, 4, 8)
+        }
+
+    points = benchmark.pedantic(curve, rounds=1, iterations=1)
+    rss1 = points[1]["peak_rss_kb"]
+    rss8 = points[8]["peak_rss_kb"]
+    assert points[8]["researchers"] > 4 * points[1]["researchers"]
+    assert rss8 <= 2 * rss1, f"peak RSS {rss8}kB at 8 shards vs {rss1}kB at 1"
+    benchmark.extra_info.update(
+        {
+            "curve": [
+                {"venues": v, **stats} for v, stats in sorted(points.items())
+            ],
+            "rss_ratio_8_over_1": round(rss8 / rss1, 3),
+        }
+    )

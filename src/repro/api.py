@@ -23,7 +23,9 @@ from repro.pipeline.checkpoint import CheckpointMismatch, CheckpointStore
 from repro.pipeline.config import EngineConfig, RunConfig
 from repro.pipeline.dataset import AnalysisDataset
 from repro.pipeline.runner import PipelineResult, run_pipeline
+from repro.pipeline.sharded import ShardedRunResult, run_sharded
 from repro.synth.config import WorldConfig
+from repro.synth.shards import ShardPlan, ShardSpec
 from repro.synth.world import SyntheticWorld, build_world
 from repro.util.parallel import ParallelConfig
 from repro.version import __version__
@@ -31,6 +33,7 @@ from repro.version import __version__
 __all__ = [
     # entry points
     "run_pipeline",
+    "run_sharded",
     "build_world",
     "__version__",
     # run configuration
@@ -42,8 +45,12 @@ __all__ = [
     "FaultConfig",
     "ValidationMode",
     "ObsContext",
+    # sharded scaling surface
+    "ShardPlan",
+    "ShardSpec",
     # results
     "PipelineResult",
+    "ShardedRunResult",
     "AnalysisDataset",
     "SyntheticWorld",
     "DegradedCoverage",

@@ -103,6 +103,16 @@ OPTION_GROUPS: tuple[tuple[str, str, tuple[tuple[str, dict], ...]], ...] = (
                     help="worker processes for the ingest stage (default: serial)",
                 ),
             ),
+            (
+                "--shards",
+                dict(
+                    type=int,
+                    default=None,
+                    help="venue count of a sharded synthetic universe; selects "
+                    "the sharded streaming pipeline (one engine DAG node "
+                    "per conference×edition, merged deterministically)",
+                ),
+            ),
         ),
     ),
     (
@@ -248,6 +258,16 @@ OPTION_GROUPS: tuple[tuple[str, str, tuple[tuple[str, dict], ...]], ...] = (
                     action="store_true",
                     default=False,
                     help="recompute every stage and overwrite cache entries",
+                ),
+            ),
+            (
+                "--shard-workers",
+                dict(
+                    type=int,
+                    default=None,
+                    help="worker processes executing shard nodes concurrently "
+                    "(--shards runs; results are byte-identical for any "
+                    "worker count)",
                 ),
             ),
         ),
@@ -413,7 +433,15 @@ def _result(args):
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
     rc = RunConfig.from_cli(args)
-    result = run_pipeline(rc)
+    if rc.shards is not None:
+        from repro.pipeline.sharded import run_sharded
+
+        mode = rc.validation_mode()
+        if mode is not None and mode.value == "strict":
+            raise SystemExit("--validate strict is not supported with --shards")
+        result = run_sharded(rc)
+    else:
+        result = run_pipeline(rc)
     # stashed for the post-command observability hooks (ledger append)
     args._last_result = result
     args._last_config = rc
@@ -431,6 +459,10 @@ def _cmd_run(args) -> int:
     print()
     print(f"researchers: {result.dataset.researchers.num_rows}  "
           f"papers: {result.dataset.papers.num_rows}")
+    if getattr(result, "plan", None) is not None:
+        print(f"shards: {len(result.plan)}  "
+              f"(cache hits {result.shard_cache_hits}, "
+              f"executed {result.executed_shards})")
     print(f"FAR: {far.overall}  (paper: 9.9%)")
     print(f"PC:  {pc.memberships}  (paper: 18.46%)")
     print(f"coverage: manual {100*cov['manual']:.2f}% / genderize "

@@ -12,6 +12,8 @@ Stages (each a module, composable separately):
 5. :mod:`repro.pipeline.dataset` — the tabular
    :class:`~repro.pipeline.dataset.AnalysisDataset` the analyses read.
 6. :mod:`repro.pipeline.runner`  — :func:`run_pipeline` glue.
+7. :mod:`repro.pipeline.sharded` — :func:`run_sharded`: the
+   conference×edition-sharded streaming pipeline for scaled universes.
 
 Nothing downstream of ingest reads the ground truth: tables and figures
 are recomputed from harvested artifacts, so pipeline defects show up as
@@ -35,6 +37,7 @@ from repro.pipeline.checkpoint import (
 )
 from repro.pipeline.config import EngineConfig, RunConfig
 from repro.pipeline.runner import run_pipeline, PipelineResult
+from repro.pipeline.sharded import run_sharded, ShardedRunResult, ShardResult
 
 __all__ = [
     "EngineConfig",
@@ -56,4 +59,7 @@ __all__ = [
     "CheckpointWriteError",
     "run_pipeline",
     "PipelineResult",
+    "run_sharded",
+    "ShardedRunResult",
+    "ShardResult",
 ]

@@ -107,6 +107,18 @@ class RunConfig:
         Stage-DAG execution options.  ``None`` selects the legacy
         linear runner; any :class:`EngineConfig` (even an empty one)
         selects the DAG engine.
+    shards:
+        Venue count of a sharded synthetic universe.  Setting it routes
+        the run through :func:`~repro.pipeline.sharded.run_sharded`:
+        each conference×edition cell is generated, harvested, linked,
+        enriched, and gender-inferred as an independent engine DAG node,
+        then merged deterministically.  ``None`` keeps the monolithic
+        single-world pipeline.  Unlike ``shard_workers``, this changes
+        *what* is computed, so it participates in the run fingerprint.
+    shard_workers:
+        Worker processes executing shard nodes concurrently.  Execution
+        policy only — results are byte-identical for any worker count —
+        so it is excluded from the fingerprint.
     """
 
     world: WorldConfig | None = None
@@ -118,10 +130,16 @@ class RunConfig:
     validation: ValidationMode | str | None = None
     obs: ObsContext | None = None
     engine: EngineConfig | None = None
+    shards: int | None = None
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.resume and not self.checkpoint_dir:
             raise ValueError("resume=True requires checkpoint_dir")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
 
     # ------------------------------------------------------------- helpers
 
@@ -162,6 +180,7 @@ class RunConfig:
                 checkpoint_dir=None,
                 resume=False,
                 parallel=None,
+                shard_workers=None,
                 # normalize the str/enum spellings to one fingerprint
                 validation=mode.value if mode is not None else None,
             ),
@@ -210,8 +229,13 @@ class RunConfig:
                 workers=get("engine_workers"),
                 refresh=get("refresh_cache", False),
             )
+        shards = get("shards")
         return cls(
-            world=WorldConfig(seed=get("seed", 7), scale=get("scale", 1.0)),
+            world=WorldConfig(
+                seed=get("seed", 7),
+                scale=get("scale", 1.0),
+                venues=shards or 0,
+            ),
             parallel=parallel,
             policy=None,
             faults=faults,
@@ -220,10 +244,38 @@ class RunConfig:
             validation=validation,
             obs=get("_obs"),
             engine=engine,
+            shards=shards,
+            shard_workers=get("shard_workers"),
+        )
+
+    @classmethod
+    def for_query(
+        cls,
+        seed: int,
+        scale: float,
+        *,
+        shards: int | None = None,
+        shard_workers: int | None = None,
+        cache_dir: str | None = None,
+    ) -> "RunConfig":
+        """The canonical config for a parameterized analysis query.
+
+        Shared by ``repro serve`` (``?seed=&scale=&shards=``) and any
+        embedder that wants serve-equivalent semantics: one constructor
+        means one fingerprint per (seed, scale, shards) triple, so the
+        service cache and the CLI cache address the same entries.
+        """
+        return cls(
+            world=WorldConfig(seed=seed, scale=scale, venues=shards or 0),
+            engine=EngineConfig(cache_dir=cache_dir),
+            shards=shards,
+            shard_workers=shard_workers,
         )
 
 
 # the legacy run_pipeline kwargs RunConfig consolidates, in signature order
 LEGACY_KWARGS: tuple[str, ...] = tuple(
-    f.name for f in fields(RunConfig) if f.name != "engine"
+    f.name
+    for f in fields(RunConfig)
+    if f.name not in ("engine", "shards", "shard_workers")
 )

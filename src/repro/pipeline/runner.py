@@ -181,6 +181,11 @@ def run_pipeline(
         validation=validation,
         obs=obs,
     )
+    if rc.shards is not None:
+        raise ValueError(
+            "RunConfig.shards selects the sharded pipeline; "
+            "call repro.pipeline.sharded.run_sharded (repro.api.run_sharded)"
+        )
     octx = rc.obs if rc.obs is not None else _NULL_OBS
     with _obs_use(rc.obs):
         octx.event(

@@ -1,0 +1,600 @@
+"""Sharded streaming execution: one engine DAG node per conference×edition.
+
+The monolithic pipeline builds one world, harvests every edition, and
+links/enriches/infers over whole in-memory lists — fine at the paper's
+~2.5k researchers, hopeless at the ROADMAP's 10⁵–10⁶.  This module
+splits the universe into conference×edition *shards*
+(:class:`repro.synth.shards.ShardPlan`):
+
+- each shard is generated, harvested, linked, enriched, and
+  gender-inferred by an independent :class:`~repro.engine.node.StageNode`
+  whose body is a pure function of ``(seed, shard)`` — shards execute in
+  parallel and land in the content-addressed artifact cache, so editing
+  one edition's targets re-executes exactly that shard;
+- a shard's heavyweight intermediates (the synthetic world, harvested
+  pages, linked records) die with the node body; only the compact
+  per-shard analysis tables flow to the merge;
+- the merge folds shards **in plan order** with the concat-free chunked
+  builder (:mod:`repro.tabular.chunked`) — one ``np.concatenate`` per
+  column — then re-derives the cross-shard researcher identity exactly
+  the way :func:`repro.pipeline.link.link_identities` does within a
+  shard: same normalized name key ⇒ same researcher.  Merge output is
+  byte-identical for any shard-worker count.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.faults.degradation import DegradedCoverage, FaultStats, LossRecord
+from repro.faults.plan import FaultConfig
+from repro.faults.session import FaultSession
+from repro.gender.model import GenderAssignment
+from repro.gender.resolver import GenderResolver, ResolverPolicy
+from repro.harvest.webindex import build_name_keyed_evidence
+from repro.obs.context import NULL as _NULL_OBS
+from repro.obs.context import ObsContext
+from repro.obs.context import use as _obs_use
+from repro.pipeline.config import EngineConfig, RunConfig
+from repro.pipeline.dataset import AnalysisDataset
+from repro.pipeline.enrich import enrich_researchers
+from repro.pipeline.infer import infer_genders
+from repro.pipeline.ingest import ingest_world, ingest_world_resilient
+from repro.pipeline.link import link_identities
+from repro.synth.config import WorldConfig
+from repro.synth.shards import ShardPlan, ShardSpec
+from repro.tabular import ChunkedTableBuilder, Column, Table
+from repro.util.timing import StageTimer
+
+__all__ = ["ShardResult", "ShardedRunResult", "run_sharded", "build_shard_graph"]
+
+
+# --------------------------------------------------------------------- shards
+
+
+@dataclass(frozen=True)
+class ShardParams:
+    """Run-level parameters handed to every shard/merge node body.
+
+    Everything here that affects node output is mirrored into the
+    respective node's ``params`` (which enter the cache fingerprint), so
+    a cache hit can never serve a stale result.
+    """
+
+    config: WorldConfig
+    policy: ResolverPolicy | None
+    faults: FaultConfig | None
+    order: tuple[str, ...]
+
+    @property
+    def resilient(self) -> bool:
+        return False  # shard nodes own their fault handling internally
+
+
+@dataclass
+class ShardResult:
+    """The compact survivable output of one shard node.
+
+    Holds only analysis tables and merge bookkeeping — the shard's
+    synthetic world, harvested pages, and linked records are freed when
+    the node body returns, which is what bounds peak memory.
+    """
+
+    key: str
+    conference: str
+    year: int
+    dataset: AnalysisDataset
+    name_keys: tuple[str, ...]          # aligned with dataset.researchers rows
+    losses: list[LossRecord] = field(default_factory=list)
+    stats: FaultStats | None = None
+    total_editions: int = 1
+    harvested_editions: int = 1
+
+
+def stage_shard(spec: ShardSpec, params: ShardParams, inputs: dict) -> dict:
+    """Build + harvest + link + enrich + infer one conference×edition.
+
+    Pure in ``(config.seed, spec)``: the world draws from the named rng
+    stream ``("shard", conference, year)`` and the population plan comes
+    from the shard's own targets with repeat factors of 1.0 (a
+    one-edition pool has no cross-conference overlap to discount).
+    """
+    from repro.synth.population import plan_from_targets
+    from repro.synth.world import build_world
+
+    cfg = params.config
+    world = build_world(
+        cfg,
+        targets=[spec.target],
+        year=spec.year,
+        rng_path=("shard", spec.conference, spec.year),
+        population_plan=plan_from_targets(
+            [spec.target], author_repeat=1.0, pc_repeat=1.0
+        ),
+    )
+
+    losses: list[LossRecord] = []
+    stats: FaultStats | None = None
+    total = harvested_n = 1
+    if params.faults is not None:
+        report = ingest_world_resilient(world, year=spec.year, faults=params.faults)
+        harvested = report.conferences
+        losses.extend(report.losses)
+        stats = FaultStats()
+        stats.merge(report.stats)
+        total = report.total_editions
+        harvested_n = len(report.conferences)
+    else:
+        harvested = ingest_world(world, year=spec.year)
+
+    linked = link_identities(harvested)
+
+    enrich_session = FaultSession(params.faults) if params.faults is not None else None
+    enrichment = enrich_researchers(
+        linked, world.gs_store, world.s2_store, session=enrich_session
+    )
+    infer_session = FaultSession(params.faults) if params.faults is not None else None
+    name_evidence, name_truth = build_name_keyed_evidence(
+        world.registry, world.evidence_availability, world.true_genders
+    )
+    inference = infer_genders(
+        linked,
+        name_evidence,
+        name_truth,
+        seed=world.seed,
+        policy=params.policy,
+        photo_error_rate=cfg.photo_error_rate,
+        session=infer_session,
+    )
+    for session in (enrich_session, infer_session):
+        if session is not None:
+            losses.extend(session.losses)
+            if stats is None:
+                stats = FaultStats()
+            stats.merge(session.snapshot)
+
+    dataset = AnalysisDataset.build(linked, enrichment, inference.assignments)
+    name_keys = tuple(
+        linked.researchers[rid].name_key for rid in dataset.researchers["researcher_id"]
+    )
+    result = ShardResult(
+        key=spec.key,
+        conference=spec.conference,
+        year=spec.year,
+        dataset=dataset,
+        name_keys=name_keys,
+        losses=losses,
+        stats=stats,
+        total_editions=total,
+        harvested_editions=harvested_n,
+    )
+    return {f"shard:{spec.key}": result}
+
+
+# ---------------------------------------------------------------------- merge
+
+# researcher demographics re-derived from the merged identity (first
+# occurrence in plan order wins, matching link_identities' first-seen
+# spelling rule within a shard)
+_DEMOGRAPHICS = ("gender", "country", "region", "sector")
+
+
+@dataclass
+class MergedShards:
+    """Deterministic fold of all shard results (the ``merged`` artifact)."""
+
+    dataset: AnalysisDataset
+    coverage: dict[str, float]
+    degraded: DegradedCoverage | None
+    shard_keys: tuple[str, ...]
+
+
+def _promoted_schema(tables: list[Table]) -> list[tuple[str, str]]:
+    """Column (name, kind) pairs promoted across shards, order preserved."""
+    order = tables[0].columns
+    schema = []
+    for name in order:
+        kinds = {t.col(name).kind for t in tables}
+        if len(kinds) == 1:
+            kind = kinds.pop()
+        else:
+            kind = "str" if "str" in kinds else "float"
+        schema.append((name, kind))
+    return schema
+
+
+def _replace_columns(base: Table, replacements: dict[str, Column]) -> Table:
+    """A table with some columns swapped, order preserved."""
+    return Table(
+        [replacements.get(name, base.col(name)) for name in base.columns]
+    )
+
+
+def _gid_array(local2gid: dict, values, count: int) -> np.ndarray:
+    """Local researcher ids → merged gids; missing ids (None) → -1."""
+    return np.fromiter(
+        (-1 if r is None else local2gid[r] for r in values),
+        dtype=np.int64,
+        count=count,
+    )
+
+
+def _take_or_none(pool: np.ndarray, gids: np.ndarray) -> np.ndarray:
+    """``pool[gids]`` with ``gids < 0`` mapped to ``None``.
+
+    Single-author papers carry ``last_author=None`` (see
+    ``AnalysisDataset.build``); the sentinel keeps that hole intact
+    through the merge.
+    """
+    out = np.empty(len(gids), dtype=object)
+    mask = gids >= 0
+    out[mask] = pool[gids[mask]]
+    out[~mask] = None
+    return out
+
+
+def stage_merge(params: ShardParams, inputs: dict) -> dict:
+    """Fold per-shard results into one dataset, in fixed plan order.
+
+    Cross-shard identity is by normalized name key — the same rule (and
+    the same known failure mode: distinct same-named researchers merge)
+    the paper's linking applies within one harvest.  The first
+    occurrence, in plan order, contributes the researcher's demographic
+    attributes and gender assignment; later occurrences only extend the
+    role flags.  Every per-researcher column in the position/paper/role
+    tables is then re-derived from the merged identity, so the output is
+    internally consistent and independent of worker count or shard
+    completion order.
+    """
+    shards: list[ShardResult] = [inputs[f"shard:{k}"] for k in params.order]
+
+    gid_of: dict[str, int] = {}
+    demo_of = {name: [] for name in _DEMOGRAPHICS}   # per-gid, first occurrence
+    author_flag: list[bool] = []
+    pc_flag: list[bool] = []
+    assignments: dict[str, GenderAssignment] = {}
+
+    res_tables = [s.dataset.researchers for s in shards]
+    res_builder = ChunkedTableBuilder(_promoted_schema(res_tables))
+    builders: dict[str, ChunkedTableBuilder] = {}
+    gid_chunks: dict[str, list[np.ndarray]] = {
+        "author_positions": [],
+        "conf_authors": [],
+        "role_slots": [],
+    }
+    paper_first_gids: list[np.ndarray] = []
+    paper_last_gids: list[np.ndarray] = []
+    for attr in ("author_positions", "conf_authors", "papers", "conferences", "role_slots"):
+        builders[attr] = ChunkedTableBuilder(
+            _promoted_schema([getattr(s.dataset, attr) for s in shards])
+        )
+
+    for sh in shards:
+        rt = sh.dataset.researchers
+        rids = rt["researcher_id"]
+        genders = rt["gender"]
+        is_author = rt["is_author"]
+        is_pc = rt["is_pc"]
+        gids = np.empty(len(rids), dtype=np.int64)
+        new_rows: list[int] = []
+        for i, key in enumerate(sh.name_keys):
+            g = gid_of.get(key)
+            if g is None:
+                g = len(gid_of)
+                gid_of[key] = g
+                new_rows.append(i)
+                for name in _DEMOGRAPHICS:
+                    demo_of[name].append(rt[name][i])
+                author_flag.append(bool(is_author[i]))
+                pc_flag.append(bool(is_pc[i]))
+                assignment = sh.dataset.assignments.get(rids[i])
+                if assignment is not None:
+                    assignments[f"r{g:06d}"] = assignment
+            else:
+                author_flag[g] = author_flag[g] or bool(is_author[i])
+                pc_flag[g] = pc_flag[g] or bool(is_pc[i])
+            gids[i] = g
+        local2gid = dict(zip(rids, gids))
+
+        if new_rows:
+            idx = np.array(new_rows, dtype=np.int64)
+            res_builder.append({n: rt.col(n).values[idx] for n in rt.columns})
+
+        for attr in ("author_positions", "conf_authors", "role_slots"):
+            tbl = getattr(sh.dataset, attr)
+            g = np.fromiter(
+                (local2gid[r] for r in tbl["researcher_id"]),
+                dtype=np.int64,
+                count=tbl.num_rows,
+            )
+            gid_chunks[attr].append(g)
+            builders[attr].append({n: tbl.col(n).values for n in tbl.columns})
+
+        pt = sh.dataset.papers
+        paper_first_gids.append(
+            _gid_array(local2gid, pt["first_author"], pt.num_rows)
+        )
+        paper_last_gids.append(
+            _gid_array(local2gid, pt["last_author"], pt.num_rows)
+        )
+        builders["papers"].append({n: pt.col(n).values for n in pt.columns})
+        ct = sh.dataset.conferences
+        builders["conferences"].append({n: ct.col(n).values for n in ct.columns})
+
+    n = len(gid_of)
+    rid_str = np.empty(n, dtype=object)
+    rid_str[:] = [f"r{g:06d}" for g in range(n)]
+    demo_arr = {}
+    for name in _DEMOGRAPHICS:
+        arr = np.empty(n, dtype=object)
+        arr[:] = demo_of[name]
+        demo_arr[name] = arr
+
+    researchers = _replace_columns(
+        res_builder.build(),
+        {
+            "researcher_id": Column("researcher_id", rid_str, kind="str"),
+            "is_author": Column("is_author", np.array(author_flag, dtype=bool), kind="bool"),
+            "is_pc": Column("is_pc", np.array(pc_flag, dtype=bool), kind="bool"),
+        },
+    )
+
+    tables: dict[str, Table] = {}
+    for attr in ("author_positions", "conf_authors", "role_slots"):
+        base = builders[attr].build()
+        gid_all = (
+            np.concatenate(gid_chunks[attr])
+            if gid_chunks[attr]
+            else np.empty(0, dtype=np.int64)
+        )
+        repl = {
+            "researcher_id": Column("researcher_id", rid_str[gid_all], kind="str")
+        }
+        for name in _DEMOGRAPHICS:
+            if name in base:
+                repl[name] = Column(name, demo_arr[name][gid_all], kind="str")
+        tables[attr] = _replace_columns(base, repl)
+
+    papers_base = builders["papers"].build()
+    fg = (
+        np.concatenate(paper_first_gids)
+        if paper_first_gids
+        else np.empty(0, dtype=np.int64)
+    )
+    lg = (
+        np.concatenate(paper_last_gids)
+        if paper_last_gids
+        else np.empty(0, dtype=np.int64)
+    )
+    papers = _replace_columns(
+        papers_base,
+        {
+            "first_author": Column(
+                "first_author", _take_or_none(rid_str, fg), kind="str"
+            ),
+            "last_author": Column(
+                "last_author", _take_or_none(rid_str, lg), kind="str"
+            ),
+            "first_gender": Column(
+                "first_gender", _take_or_none(demo_arr["gender"], fg), kind="str"
+            ),
+            "last_gender": Column(
+                "last_gender", _take_or_none(demo_arr["gender"], lg), kind="str"
+            ),
+        },
+    )
+
+    dataset = AnalysisDataset(
+        researchers=researchers,
+        author_positions=tables["author_positions"],
+        conf_authors=tables["conf_authors"],
+        papers=papers,
+        conferences=builders["conferences"].build(),
+        role_slots=tables["role_slots"],
+        assignments=assignments,
+    )
+
+    degraded = None
+    if params.faults is not None:
+        stats = FaultStats()
+        losses: list[LossRecord] = []
+        for sh in shards:
+            if sh.stats is not None:
+                stats.merge(sh.stats)
+            losses.extend(sh.losses)
+        degraded = DegradedCoverage.from_parts(
+            total_editions=sum(sh.total_editions for sh in shards),
+            harvested_editions=sum(sh.harvested_editions for sh in shards),
+            losses=losses,
+            stats=stats,
+        )
+
+    merged = MergedShards(
+        dataset=dataset,
+        coverage=GenderResolver.coverage(assignments),
+        degraded=degraded,
+        shard_keys=tuple(params.order),
+    )
+    return {"merged": merged}
+
+
+# ------------------------------------------------------------------ graph/run
+
+
+def build_shard_graph(plan: ShardPlan, params: ShardParams):
+    """Declare the sharded DAG: one node per shard, one merge node.
+
+    Each shard node's cache fingerprint covers its spec (targets
+    included), the normalized world config, and the fault/resolver
+    policies — everything its body reads — so editing one edition's
+    targets invalidates exactly that shard plus the merge.
+    """
+    from repro.engine import StageGraph, StageNode
+
+    fp = StageNode.freeze_params
+    graph = StageGraph()
+    for spec in plan:
+        name = f"shard:{spec.key}"
+        graph.add(
+            StageNode(
+                name,
+                functools.partial(stage_shard, spec),
+                inputs=(),
+                outputs=(name,),
+                params=fp(
+                    {
+                        "shard": spec,
+                        "config": params.config,
+                        "faults": params.faults,
+                        "policy": params.policy,
+                    }
+                ),
+            )
+        )
+    graph.add(
+        StageNode(
+            "merge",
+            stage_merge,
+            inputs=tuple(f"shard:{k}" for k in plan.keys),
+            outputs=("merged",),
+            params=fp({"order": params.order, "config": params.config}),
+        )
+    )
+    return graph
+
+
+@dataclass
+class _WorldMeta:
+    """Ledger-facing stand-in for a full world (seed + config only)."""
+
+    seed: int
+    config: WorldConfig
+
+
+@dataclass
+class ShardedRunResult:
+    """Outcome of :func:`run_sharded` (duck-compatible with the ledger)."""
+
+    dataset: AnalysisDataset
+    coverage: dict[str, float]
+    plan: ShardPlan
+    timer: StageTimer
+    world: _WorldMeta
+    degraded: DegradedCoverage | None = None
+    contracts: None = None
+    obs: ObsContext | None = None
+    shard_cache_hits: int = 0
+    executed_shards: int = 0
+    merge_cache_hit: bool = False
+
+    @property
+    def researchers(self) -> int:
+        """Unique researchers in the merged dataset."""
+        return self.dataset.researchers.num_rows
+
+
+def _normalized_world(rc: RunConfig) -> tuple[WorldConfig, WorldConfig]:
+    """(effective, per-shard) world configs for a sharded run."""
+    wc = rc.world or WorldConfig()
+    if rc.shards is not None and wc.venues == 0:
+        wc = replace(wc, venues=rc.shards)
+    shard_cfg = replace(wc, years=(), venues=0, include_timeline=False)
+    return wc, shard_cfg
+
+
+def run_sharded(
+    config: RunConfig | WorldConfig | None = None,
+    plan: ShardPlan | None = None,
+    **legacy,
+) -> ShardedRunResult:
+    """Run the sharded streaming pipeline and merge deterministically.
+
+    The supported calling convention mirrors
+    :func:`~repro.pipeline.runner.run_pipeline`: a single
+    :class:`~repro.pipeline.config.RunConfig`::
+
+        run_sharded(RunConfig(world=WorldConfig(seed=7, scale=4.0,
+                                                years=(2016, 2017, 2018),
+                                                venues=12)))
+
+    optionally with an explicit ``plan`` (e.g. one edition's targets
+    edited via :meth:`~repro.synth.shards.ShardPlan.with_target` — only
+    that shard and the merge re-execute against a warm cache).  Passing
+    a bare :class:`~repro.synth.config.WorldConfig` or the legacy
+    ``run_pipeline`` keyword arguments works through the same
+    deprecation shim as ``run_pipeline``.
+
+    Contract validation is not yet shard-aware: ``validation="strict"``
+    raises, other modes are ignored.  ``shard_workers`` only changes the
+    wall-clock — the merged dataset and its ledger body digest are
+    byte-identical for any worker count.
+    """
+    from repro.engine import IncompleteRunError, run_dag
+    from repro.pipeline.runner import _coerce_config
+
+    rc = _coerce_config(config, **legacy)
+    mode = rc.validation_mode()
+    if mode is not None and mode.value == "strict":
+        raise ValueError(
+            "sharded runs do not support strict contract validation yet"
+        )
+
+    octx = rc.obs if rc.obs is not None else _NULL_OBS
+    with _obs_use(rc.obs):
+        octx.event("run.start", "sharded", shards=rc.shards or 0)
+        timer = StageTimer(tracer=octx.tracer if octx.enabled else None)
+        wc, shard_cfg = _normalized_world(rc)
+        with timer.stage("plan"):
+            if plan is None:
+                plan = ShardPlan.from_config(wc)
+            params = ShardParams(
+                config=shard_cfg,
+                policy=rc.policy,
+                faults=rc.faults,
+                order=plan.keys,
+            )
+            graph = build_shard_graph(plan, params)
+
+        base = rc.engine or EngineConfig()
+        engine = replace(base, workers=rc.shard_workers or base.workers)
+        with timer.stage("execute"):
+            run = run_dag(graph, params, engine=engine, timer=None)
+
+        if "merged" not in run.artifacts:
+            raise IncompleteRunError(run.failed, run.skipped, missing=["merged"])
+        merged: MergedShards = run["merged"]
+
+        shard_results = [r for r in run.results if r.node.startswith("shard:")]
+        merge_results = [r for r in run.results if r.node == "merge"]
+        result = ShardedRunResult(
+            dataset=merged.dataset,
+            coverage=merged.coverage,
+            plan=plan,
+            timer=timer,
+            world=_WorldMeta(seed=wc.seed, config=wc),
+            degraded=merged.degraded,
+            contracts=None,
+            obs=octx if octx.enabled else None,
+            shard_cache_hits=sum(1 for r in shard_results if r.cache_hit),
+            executed_shards=sum(
+                1 for r in shard_results if not r.cache_hit and r.status == "ok"
+            ),
+            merge_cache_hit=any(r.cache_hit for r in merge_results),
+        )
+        if octx.enabled:
+            m = octx.metrics
+            m.set_gauge("pipeline.researchers", result.researchers)
+            m.set_gauge("pipeline.papers", merged.dataset.papers.num_rows)
+            m.set_gauge("pipeline.shards", len(plan))
+            for name, secs in timer.durations.items():
+                m.set_gauge(f"time.stage.{name}", secs)
+        octx.event(
+            "run.end",
+            "sharded",
+            shards=len(plan),
+            cache_hits=result.shard_cache_hits,
+        )
+        return result

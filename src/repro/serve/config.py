@@ -30,6 +30,14 @@ class ServeConfig:
         announces the bound one) — the spelling tests and benches use.
     seed / scale:
         Defaults for queries that omit ``?seed=``/``?scale=``.
+    shards / shard_workers:
+        When ``shards`` is set, analysis queries run the sharded
+        streaming pipeline (:func:`repro.pipeline.sharded.run_sharded`)
+        with that venue count instead of the monolithic engine DAG;
+        ``shard_workers`` bounds concurrent shard execution.  Queries
+        route through :meth:`repro.pipeline.config.RunConfig.for_query`,
+        the same constructor the CLI uses, so the service cache and a
+        ``repro --shards N run`` address identical entries.
     cache_dir:
         Content-addressed engine cache backing the cold path; ``None``
         still serves (every cold query recomputes) but forfeits the
@@ -75,6 +83,8 @@ class ServeConfig:
     port: int = 8177
     seed: int = 7
     scale: float = 1.0
+    shards: int | None = None
+    shard_workers: int | None = None
     cache_dir: str | None = None
     obs_dir: str | None = "out/obs"
     max_concurrency: int = 4
@@ -99,6 +109,10 @@ class ServeConfig:
             raise ValueError("max_scale must be > 0")
         if self.drain_grace_s < 0:
             raise ValueError("drain_grace_s must be >= 0")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
 
     @classmethod
     def from_cli(cls, args: Any) -> "ServeConfig":
@@ -122,6 +136,8 @@ class ServeConfig:
             port=get("port", 8177),
             seed=get("seed", 7),
             scale=get("scale", 1.0),
+            shards=get("shards"),
+            shard_workers=get("shard_workers"),
             cache_dir=get("cache_dir"),
             obs_dir=get("obs_dir", "out/obs"),
             max_concurrency=get("max_concurrency", 4),

@@ -46,7 +46,7 @@ from repro.faults.breaker import CircuitBreaker
 from repro.faults.chaos import ChaosKind, ChaosPlan
 from repro.faults.errors import CircuitOpenError
 from repro.obs.events import EventLog
-from repro.pipeline.config import EngineConfig, RunConfig
+from repro.pipeline.config import RunConfig
 from repro.serve.config import ServeConfig
 from repro.serve.encode import (
     blind_payload,
@@ -55,7 +55,6 @@ from repro.serve.encode import (
     far_payload,
     sensitivity_payload,
 )
-from repro.synth.config import WorldConfig
 from repro.util.timing import StageTimer
 
 __all__ = ["AnalysisService", "ServeResponse", "ANALYSIS_ENDPOINTS"]
@@ -232,9 +231,12 @@ class AnalysisService:
         deadline_s: float | None,
     ) -> ServeResponse:
         seed, scale, conference, deadline = self._params(query, deadline_s)
-        rc = RunConfig(
-            world=WorldConfig(seed=seed, scale=scale),
-            engine=EngineConfig(cache_dir=self.config.cache_dir),
+        rc = RunConfig.for_query(
+            seed,
+            scale,
+            shards=self.config.shards,
+            shard_workers=self.config.shard_workers,
+            cache_dir=self.config.cache_dir,
         )
         fp = rc.fingerprint()
         identity = f"{endpoint}:{fp[:16]}" + (
@@ -482,10 +484,18 @@ class AnalysisService:
         from repro.engine import PipelineParams, build_graph, run_dag
 
         try:
-            params = PipelineParams(world_config=rc.world)
-            graph = build_graph(params)
-            run = run_dag(graph, params, engine=rc.engine, timer=fl.timer)
-            ds = run["dataset"]
+            if rc.shards is not None:
+                from repro.pipeline.sharded import run_sharded
+
+                res = run_sharded(rc)
+                ds = res.dataset
+                executed = res.executed_shards + (0 if res.merge_cache_hit else 1)
+            else:
+                params = PipelineParams(world_config=rc.world)
+                graph = build_graph(params)
+                run = run_dag(graph, params, engine=rc.engine, timer=fl.timer)
+                ds = run["dataset"]
+                executed = run.executed
         except Exception as exc:
             with self._lock:
                 fl.error = f"{type(exc).__name__}: {exc}"
@@ -494,7 +504,7 @@ class AnalysisService:
         else:
             with self._lock:
                 fl.result = ds
-                fl.source = "disk" if run.executed == 0 else "cold"
+                fl.source = "disk" if executed == 0 else "cold"
                 self._breaker(fp).record_success()
                 self._datasets[fp] = ds
                 while len(self._datasets) > _DATASET_MEMO:

@@ -17,11 +17,14 @@ Submodules (build order):
   first/last-position gender quotas.
 - :mod:`repro.synth.committees`  — PC and visible-role staffing.
 - :mod:`repro.synth.timeline`    — SC/ISC 2016–2020 mini-editions.
+- :mod:`repro.synth.shards`      — conference×edition shard identity for
+  the scaled universe (:class:`~repro.synth.shards.ShardPlan`).
 - :mod:`repro.synth.world`       — the orchestrator producing a
   :class:`~repro.synth.world.SyntheticWorld`.
 """
 
 from repro.synth.config import WorldConfig
+from repro.synth.shards import ShardPlan, ShardSpec
 from repro.synth.world import SyntheticWorld, build_world
 
-__all__ = ["WorldConfig", "SyntheticWorld", "build_world"]
+__all__ = ["WorldConfig", "ShardPlan", "ShardSpec", "SyntheticWorld", "build_world"]

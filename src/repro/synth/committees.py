@@ -19,7 +19,11 @@ from repro.confmodel.roles import Role, RoleAssignment
 from repro.synth.dealing import deal
 from repro.synth.population import PersonSpec
 
-__all__ = ["staff_committees"]
+__all__ = ["staff_committees", "PC_QUORUM"]
+
+# A program committee can never shrink below quorum, however small the
+# world scale: a 1-member "committee" breaks the PC-report statistics.
+PC_QUORUM = 3
 
 
 def _scaled_women(size: int, raw_size: int, raw_women: int, scale_fn) -> int:
@@ -46,10 +50,12 @@ def staff_committees(
     women_quota: dict[str, int] = {}
     men_quota: dict[str, int] = {}
     for t in targets:
-        size = scale_fn(t.pc_size)
+        # quorum guard: tiny scale factors must not degenerate PCs to a
+        # single member (scale < 1/pc_size used to round down to 1)
+        size = max(scale_fn(t.pc_size), min(t.pc_size, PC_QUORUM))
         w = min(_scaled_women(size, t.pc_size, t.pc_women, scale_fn), len(women))
         women_quota[t.name] = w
-        men_quota[t.name] = size - w
+        men_quota[t.name] = min(size - w, len(men))
 
     def top_up(quota: dict[str, int], pool_size: int) -> None:
         deficit = pool_size - sum(quota.values())

@@ -21,6 +21,15 @@ class WorldConfig:
         proportionally smaller worlds for fast tests.  Quota counts are
         rescaled with largest-remainder rounding so that rates are
         preserved as closely as integer arithmetic allows.
+    years:
+        Editions to synthesize, e.g. ``(2016, 2017, 2018)``.  Empty means
+        the paper's single 2017 snapshot.  Multi-year worlds are built
+        shard-by-shard via :class:`repro.synth.shards.ShardPlan`.
+    venues:
+        Number of synthetic venues in a sharded universe (0 means the
+        paper's nine HPC conferences).  Venue targets are drawn purely
+        from ``(seed, venue index, year)`` so each conference×edition
+        shard can be generated independently.
     include_timeline:
         Whether to also build the SC/ISC 2016–2020 mini-editions (§3.4).
     photo_error_rate:
@@ -33,23 +42,38 @@ class WorldConfig:
 
     seed: int = 2017
     scale: float = 1.0
+    years: tuple[int, ...] = ()
+    venues: int = 0
     include_timeline: bool = True
     photo_error_rate: float = 0.01
     email_rate: float = 0.8
     pc_author_overlap: float = 0.30
 
     def __post_init__(self) -> None:
-        if not 0.01 <= self.scale <= 10.0:
-            raise ValueError("scale must be in [0.01, 10]")
+        if not 0.01 <= self.scale <= 1000.0:
+            raise ValueError("scale must be in [0.01, 1000]")
         if not 0.0 <= self.photo_error_rate <= 1.0:
             raise ValueError("photo_error_rate must be in [0,1]")
         if not 0.0 <= self.email_rate <= 1.0:
             raise ValueError("email_rate must be in [0,1]")
         if not 0.0 <= self.pc_author_overlap <= 0.9:
             raise ValueError("pc_author_overlap must be in [0, 0.9]")
+        if not isinstance(self.years, tuple) or any(
+            not isinstance(y, int) for y in self.years
+        ):
+            raise ValueError("years must be a tuple of ints")
+        if len(set(self.years)) != len(self.years):
+            raise ValueError("years must not repeat")
+        if not isinstance(self.venues, int) or self.venues < 0:
+            raise ValueError("venues must be a non-negative int")
 
-    def scaled(self, n: int | float) -> int:
-        """Scale a population count, keeping at least 1 when n >= 1."""
+    def scaled(self, n: int | float, floor: int = 1) -> int:
+        """Scale a population count, keeping at least ``floor`` when n >= 1.
+
+        The floor never exceeds the unscaled count, so tiny scales cannot
+        inflate a group beyond its paper-scale size.
+        """
         if n <= 0:
             return 0
-        return max(1, int(round(n * self.scale)))
+        lo = max(1, min(int(floor), int(n)))
+        return max(lo, int(round(n * self.scale)))

@@ -76,7 +76,10 @@ def draw_conference_slates(
         uniq = scale_fn(t.unique_authors)
         n_women = min(int(round(uniq * t.far)), uniq, len(women_pool))
         women_quota[t.name] = n_women
-        men_quota[t.name] = uniq - n_women
+        # clamp to the pool: single-shard plans size the pool at exactly
+        # the per-conference count, and the two independent roundings
+        # (pool split vs quota) can disagree by one
+        men_quota[t.name] = min(uniq - n_women, len(men_pool))
 
     # Every pool member must fit somewhere; when scaled quotas undershoot
     # the pool (tiny scale factors), top up the largest conferences.

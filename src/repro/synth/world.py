@@ -98,6 +98,10 @@ def _edition_for(target, year: int, scale_fn=lambda n: n) -> ConferenceEdition:
 def build_world(
     config: WorldConfig | None = None,
     targets=None,
+    *,
+    year: int = _YEAR,
+    rng_path: tuple = ("world",),
+    population_plan=None,
 ) -> SyntheticWorld:
     """Build the full synthetic world for the given configuration.
 
@@ -111,6 +115,17 @@ def build_world(
         :mod:`repro.universe`) builds a world for those conferences, with
         pool sizes derived from the targets via
         :func:`repro.synth.population.plan_from_targets`.
+    year:
+        Edition year stamped on conferences, papers, and roles.
+    rng_path:
+        Root path of the world's named rng tree.  Shard builds pass a
+        per-shard path (e.g. ``("shard", conf, year)``) so each shard is
+        a pure, independent function of ``(seed, shard identity)``.
+    population_plan:
+        Explicit :class:`repro.synth.population.PopulationPlan` override;
+        defaults to ``plan_from_targets(targets)`` for custom target
+        lists.  Single-shard builds pass repeat factors of 1.0 because a
+        one-edition pool has no cross-conference overlap to discount.
     """
     from repro.synth.population import plan_from_targets
 
@@ -123,10 +138,12 @@ def build_world(
         targets = list(targets)
         if not targets:
             raise ValueError("targets must be a nonempty conference list")
-    stream = RngStream(cfg.seed, ("world",))
+    stream = RngStream(cfg.seed, tuple(rng_path))
 
     # ---- population ------------------------------------------------------
-    plan = plan_from_targets(targets) if custom else None
+    plan = population_plan
+    if plan is None and custom:
+        plan = plan_from_targets(targets)
     pop = PopulationBuilder(cfg, stream, plan=plan).build()
     everyone = pop.everyone()
     spec_by_id = {p.person_id: p for p in everyone}
@@ -134,7 +151,7 @@ def build_world(
     # ---- registry skeleton ------------------------------------------------
     registry = WorldRegistry()
     for t in targets:
-        registry.add_edition(_edition_for(t, _YEAR, cfg.scaled))
+        registry.add_edition(_edition_for(t, year, cfg.scaled))
 
     # ---- papers ------------------------------------------------------------
     slate_rng = stream.child("slates").generator()
@@ -143,7 +160,7 @@ def build_world(
     for t in targets:
         prng = stream.child("papers", t.name).generator()
         papers.extend(
-            build_papers(t, slates[t.name], _YEAR, cfg.scaled, prng, paper_id_start=0)
+            build_papers(t, slates[t.name], year, cfg.scaled, prng, paper_id_start=0)
         )
 
     # HPC tagging (§4.1): the paper tags 178 of 518 papers; custom
@@ -159,7 +176,7 @@ def build_world(
 
     # ---- committees --------------------------------------------------------
     c_rng = stream.child("committees").generator()
-    roles = staff_committees(targets, pop.pc_members, _YEAR, cfg.scaled, c_rng)
+    roles = staff_committees(targets, pop.pc_members, year, cfg.scaled, c_rng)
 
     # anyone staffed who was PC-pool gets is_pc already; visible-only people
     # may come from the pc pool as well, nothing to update.

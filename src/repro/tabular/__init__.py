@@ -9,6 +9,8 @@ what the reproduction needs:
   column selection/derivation, and sorting,
 - split-apply-combine grouping (:mod:`repro.tabular.groupby`),
 - hash joins (:mod:`repro.tabular.join`),
+- concat-free chunked construction for streaming producers
+  (:mod:`repro.tabular.chunked`),
 - aggregation helpers (:mod:`repro.tabular.agg`),
 - CSV/JSON round-tripping (:mod:`repro.tabular.io`).
 
@@ -21,6 +23,7 @@ guidance this project follows).
 
 from repro.tabular.column import Column, infer_dtype
 from repro.tabular.table import Table
+from repro.tabular.chunked import ChunkedTableBuilder, concat_tables
 from repro.tabular.groupby import GroupBy
 from repro.tabular.join import inner_join, left_join
 from repro.tabular.agg import (
@@ -42,6 +45,8 @@ __all__ = [
     "Column",
     "infer_dtype",
     "Table",
+    "ChunkedTableBuilder",
+    "concat_tables",
     "GroupBy",
     "inner_join",
     "left_join",

@@ -1,0 +1,127 @@
+"""Concat-free chunked table construction for streaming producers.
+
+The sharded pipeline emits per-shard record batches; materializing each
+batch as a :class:`Table` and folding with ``Table.concat`` is O(n·k)
+in copies (every pairwise concat re-copies all prior rows).  The builder
+here buffers typed per-column chunks and performs exactly **one**
+``np.concatenate`` per column at :meth:`ChunkedTableBuilder.build`, so
+peak memory is bounded by input + one output array per column, and the
+amortized cost is a single copy per value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.tabular.column import Column
+from repro.tabular.table import Table
+
+__all__ = ["ChunkedTableBuilder", "concat_tables"]
+
+
+class ChunkedTableBuilder:
+    """Accumulate typed column chunks; concatenate once at the end.
+
+    The schema — column names, order, and kinds — is fixed up front so
+    every chunk normalizes to the same dtype and the final adoption via
+    ``Column._wrap`` needs no re-validation::
+
+        b = ChunkedTableBuilder([("conference", "str"), ("n", "int")])
+        for shard in shards:
+            b.append({"conference": shard.names, "n": shard.counts})
+        table = b.build()
+    """
+
+    def __init__(self, schema: Sequence[tuple[str, str]]) -> None:
+        if not schema:
+            raise ValueError("schema must name at least one column")
+        self._names = [name for name, _ in schema]
+        self._kinds = dict(schema)
+        if len(self._kinds) != len(self._names):
+            raise ValueError("duplicate column names in schema")
+        self._chunks: dict[str, list[np.ndarray]] = {n: [] for n in self._names}
+        self._rows = 0
+
+    @property
+    def num_rows(self) -> int:
+        """Rows appended so far."""
+        return self._rows
+
+    def append(self, chunk: Mapping[str, Any]) -> None:
+        """Append one record batch (column name → array/sequence).
+
+        Every schema column must be present and all chunk columns must
+        have the same length.  Values are normalized to the declared
+        kind through the :class:`Column` constructor, so missing-value
+        and dtype semantics match whole-table construction exactly.
+        """
+        n = None
+        staged: list[tuple[str, np.ndarray]] = []
+        for name in self._names:
+            if name not in chunk:
+                raise KeyError(f"chunk is missing column {name!r}")
+            col = Column(name, chunk[name], kind=self._kinds[name])
+            if n is None:
+                n = len(col)
+            elif len(col) != n:
+                raise ValueError(
+                    f"chunk column {name!r} has length {len(col)}, expected {n}"
+                )
+            staged.append((name, col.values))
+        if n:
+            for name, arr in staged:
+                self._chunks[name].append(arr)
+            self._rows += n
+
+    def append_records(self, records: Sequence[Mapping[str, Any]]) -> None:
+        """Append dict rows as one chunk (missing keys become missing)."""
+        if records:
+            self.append({n: [r.get(n) for r in records] for n in self._names})
+
+    def build(self) -> Table:
+        """Materialize the table: one concatenate per column."""
+        cols = []
+        for name in self._names:
+            kind = self._kinds[name]
+            parts = self._chunks[name]
+            if not parts:
+                arr = Column(name, [], kind=kind).values
+            elif len(parts) == 1:
+                arr = parts[0]
+            else:
+                arr = np.concatenate(parts)
+            cols.append(Column._wrap(name, kind, arr))
+        return Table(cols)
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Stack many same-schema tables with one concatenate per column.
+
+    The n-ary analogue of ``Table.concat``: pairwise folding copies each
+    row O(n) times, this copies it once.  Kind mismatches promote the
+    way ``Table.concat`` does (any str → str, else float).
+    """
+    tables = list(tables)
+    if not tables:
+        raise ValueError("concat_tables needs at least one table")
+    order = tables[0].columns
+    for t in tables[1:]:
+        if t.columns != order:
+            raise ValueError(f"column mismatch: {order} vs {t.columns}")
+    cols = []
+    for name in order:
+        kinds = {t.col(name).kind for t in tables}
+        if len(kinds) == 1:
+            kind = kinds.pop()
+        else:
+            kind = "str" if "str" in kinds else "float"
+        parts = [
+            t.col(name).values.astype(object if kind == "str" else np.float64)
+            if t.col(name).kind != kind
+            else t.col(name).values
+            for t in tables
+        ]
+        cols.append(Column._wrap(name, kind, np.concatenate(parts)))
+    return Table(cols)

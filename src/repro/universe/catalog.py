@@ -17,7 +17,7 @@ import numpy as np
 from repro.calibration.targets import ConferenceTargets
 from repro.util.rng import spawn_rng
 
-__all__ = ["SubfieldProfile", "SUBFIELD_PROFILES", "systems_universe"]
+__all__ = ["SubfieldProfile", "SUBFIELD_PROFILES", "systems_universe", "edition_targets"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,79 @@ SUBFIELD_PROFILES: tuple[SubfieldProfile, ...] = (
 )
 
 _HOSTS = ("US", "US", "US", "DE", "ES", "UK", "CN", "JP", "CA", "FR", "IN", "TH")
+
+
+def edition_targets(seed: int, venues: int, years: tuple[int, ...]) -> list[ConferenceTargets]:
+    """Generate per-edition targets for a sharded multi-year universe.
+
+    Every (venue, year) cell draws from its own named rng stream
+    (``spawn_rng(seed, "edition", k, year)``) so a single edition's
+    targets are a pure function of ``(seed, venue index, year)`` —
+    independent of how many other venues or years exist.  That purity is
+    what lets :class:`repro.synth.shards.ShardPlan` cache and rebuild one
+    shard without touching the rest of the universe.
+
+    Venues cycle through the subfield profiles; names carry a ``V``
+    marker (e.g. ``HPCV01``) so they can never collide with the
+    :func:`systems_universe` catalog.
+    """
+    if venues <= 0:
+        raise ValueError("venues must be positive")
+    if not years:
+        raise ValueError("years must be non-empty")
+    targets: list[ConferenceTargets] = []
+    for k in range(venues):
+        profile = SUBFIELD_PROFILES[k % len(SUBFIELD_PROFILES)]
+        name = f"{profile.name[:4].upper()}V{k + 1:02d}"
+        for year in years:
+            rng = spawn_rng(seed, "edition", k, year)
+            papers = max(10, int(round(profile.papers_mean * (0.7 + 0.6 * rng.random()))))
+            authors_per_paper = 3.6 + 0.8 * rng.random()
+            unique_authors = int(round(papers * authors_per_paper))
+            positions = int(round(unique_authors * 1.06))
+            far = float(
+                np.clip(
+                    profile.far_mean + profile.far_spread * (2 * rng.random() - 1),
+                    0.02,
+                    0.40,
+                )
+            )
+            pc_size = max(20, int(round(papers * 2.2)))
+            pc_far = float(np.clip(far * 1.8, 0.05, 0.45))
+            month = int(rng.integers(1, 13))
+            targets.append(
+                ConferenceTargets(
+                    name=name,
+                    date=f"{year}-{month:02d}-{int(rng.integers(1, 28)):02d}",
+                    papers=papers,
+                    unique_authors=unique_authors,
+                    acceptance_rate=float(
+                        np.clip(profile.acceptance_mean * (0.8 + 0.4 * rng.random()), 0.08, 0.5)
+                    ),
+                    country=str(_HOSTS[int(rng.integers(len(_HOSTS)))]),
+                    author_positions=positions,
+                    far=far,
+                    lead_far=float(np.clip(far * (0.9 + 0.4 * rng.random()), 0.02, 0.5)),
+                    last_far=float(np.clip(far * (0.7 + 0.4 * rng.random()), 0.02, 0.5)),
+                    pc_size=pc_size,
+                    pc_women=int(round(pc_size * pc_far)),
+                    pc_chairs=int(rng.integers(2, 5)),
+                    pc_chair_women=int(rng.random() < 2.2 * far),
+                    keynotes=int(rng.integers(2, 5)),
+                    keynote_women=int(rng.random() < 2.0 * far),
+                    panelists=int(rng.integers(0, 13)),
+                    panelist_women=int(rng.random() < 2.0 * far),
+                    session_chairs=max(4, papers // 5),
+                    session_chair_women=int(round(max(4, papers // 5) * far * 1.2)),
+                    double_blind=bool(rng.random() < 0.3),
+                    diversity_chair=bool(rng.random() < 0.15),
+                    code_of_conduct=bool(rng.random() < 0.4),
+                    childcare=bool(rng.random() < 0.05),
+                    demographic_reporting=bool(rng.random() < 0.1),
+                    field=profile.name,
+                )
+            )
+    return targets
 
 
 def systems_universe(seed: int = 56) -> list[ConferenceTargets]:

@@ -40,4 +40,6 @@ class TestScaleUp:
         with pytest.raises(ValueError):
             WorldConfig(scale=0.001)
         with pytest.raises(ValueError):
-            WorldConfig(scale=11)
+            WorldConfig(scale=1001)
+        # the sharded pipeline raised the ceiling from 10 to 1000
+        WorldConfig(scale=11)

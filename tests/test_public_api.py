@@ -74,6 +74,7 @@ def test_top_level_exports():
 API_SURFACE = [
     # entry points
     "run_pipeline",
+    "run_sharded",
     "build_world",
     "__version__",
     # run configuration
@@ -85,8 +86,12 @@ API_SURFACE = [
     "FaultConfig",
     "ValidationMode",
     "ObsContext",
+    # sharded scaling surface
+    "ShardPlan",
+    "ShardSpec",
     # results
     "PipelineResult",
+    "ShardedRunResult",
     "AnalysisDataset",
     "SyntheticWorld",
     "DegradedCoverage",
